@@ -1,0 +1,30 @@
+//! The nine benchmark applications of *Active I/O Switches in System
+//! Area Networks* (HPCA 2003), each in the paper's four standard
+//! configurations.
+//!
+//! Every benchmark processes **real data** end to end: the Grep DFA
+//! finds the actual 16 matching lines, MD5 produces RFC 1321-correct
+//! digests, HashJoin's bit-vector filters the actual records, and each
+//! run's result is validated against a pure-Rust reference before any
+//! timing is reported.
+
+pub mod blockio;
+pub mod cost;
+pub mod data;
+pub mod dfa;
+pub mod grep;
+pub mod hashjoin;
+pub mod md5;
+pub mod md5app;
+pub mod mpeg;
+pub mod multiprog;
+pub mod psort;
+pub mod reduce;
+pub mod runner;
+pub mod select;
+pub mod shared;
+pub mod tar;
+pub mod tar_fmt;
+pub mod twolevel;
+
+pub use runner::{sweep, AppRun, Variant};

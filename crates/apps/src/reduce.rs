@@ -1,0 +1,629 @@
+//! Collective Reduction (§5, Table 2, Figures 15–16).
+//!
+//! `p` nodes combine 512-byte vectors (u32 lanes, sum). Two result
+//! distributions are modeled:
+//!
+//! * **Reduce-to-one** — node 0 gets the full result vector;
+//! * **Distributed Reduce** — node `i` gets slice `i` of the result.
+//!
+//! The **normal** case is the classic minimum-spanning-tree algorithm
+//! over hosts: ⌈log₂ p⌉ rounds of `α + λ` each. The **active** case
+//! sends every vector into the switch fabric: each leaf switch combines
+//! the 8 vectors of its hosts, parents combine their children's partial
+//! results, and the root delivers — latency `α + γ + ⌈log_{N/2} p⌉·δ`,
+//! which is how the paper beats the MST lower bound and reaches
+//! speedups of 5.61 / 5.92 at 128 nodes.
+
+use asan_core::cluster::{Cluster, ClusterConfig, HostCtx, HostMsg, HostProgram};
+use asan_core::handler::{Handler, HandlerCtx};
+use asan_net::topo::{SwitchSpec, TopologyBuilder};
+use asan_net::{HandlerId, LinkConfig, NodeId};
+use asan_sim::SimTime;
+
+use crate::cost;
+use crate::data::{reduce_vector, vector_add};
+
+/// Handler ID of the combine handler (same on every switch).
+pub const REDUCE_HANDLER: HandlerId = HandlerId::new_const(9);
+
+/// Flow tag of result delivery to hosts.
+pub const RESULT: HandlerId = HandlerId::new_const(41);
+
+/// Handler ID for broadcasting the result down the switch tree
+/// (Reduce-to-all).
+pub const BCAST_HANDLER: HandlerId = HandlerId::new_const(10);
+
+/// Vector size in bytes (512 in §5).
+pub const VECTOR_BYTES: usize = 512;
+
+/// Hosts attached to each leaf switch (8 of 16 ports, §5).
+pub const HOSTS_PER_LEAF: usize = 8;
+
+/// Which reduction is performed (Table 2 lists all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Result vector delivered whole to node 0.
+    ReduceToOne,
+    /// Result vector sliced across all nodes.
+    Distributed,
+    /// Result vector delivered whole to every node ("results for
+    /// Reduce-to-all are similar to those for Reduce-to-one", §5) —
+    /// the active case broadcasts by *replication in the switches*.
+    ToAll,
+}
+
+/// The reduction result as computed by the simulation, for validation.
+pub fn reference_sum(p: usize) -> Vec<u8> {
+    let mut acc = reduce_vector(0);
+    for i in 1..p {
+        vector_add(&mut acc, &reduce_vector(i));
+    }
+    acc
+}
+
+/// Pieces of a reduction topology: the cluster, the hosts, all
+/// switches, each host's leaf switch, each switch's parent, and the
+/// root switch.
+pub type ReductionCluster = (
+    Cluster,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    Vec<NodeId>,
+    std::collections::HashMap<NodeId, NodeId>,
+    NodeId,
+);
+
+/// Builds the reduction topology: `p` hosts, 8 per leaf switch, leaf
+/// switches under a tree of 16-port switches. Returns the cluster
+/// pieces plus each host's leaf switch and each switch's parent.
+pub fn reduction_cluster(p: usize, cfg: ClusterConfig) -> ReductionCluster {
+    assert!(p >= 2, "reduction needs at least two nodes");
+    let mut b = TopologyBuilder::new();
+    let n_leaves = p.div_ceil(HOSTS_PER_LEAF);
+    let leaves: Vec<NodeId> = (0..n_leaves)
+        .map(|_| b.add_switch(SwitchSpec::paper()))
+        .collect();
+    let mut hosts = Vec::with_capacity(p);
+    let mut host_leaf = Vec::with_capacity(p);
+    for i in 0..p {
+        let h = b.add_host();
+        let leaf = leaves[i / HOSTS_PER_LEAF];
+        b.connect(h, leaf, LinkConfig::paper());
+        hosts.push(h);
+        host_leaf.push(leaf);
+    }
+    // Build the switch tree upward with fanout 8.
+    let mut parent = std::collections::HashMap::new();
+    let mut level = leaves.clone();
+    let mut switches = leaves.clone();
+    while level.len() > 1 {
+        let n_up = level.len().div_ceil(HOSTS_PER_LEAF);
+        let ups: Vec<NodeId> = (0..n_up)
+            .map(|_| b.add_switch(SwitchSpec::paper()))
+            .collect();
+        for (i, &sw) in level.iter().enumerate() {
+            let up = ups[i / HOSTS_PER_LEAF];
+            b.connect(sw, up, LinkConfig::paper());
+            parent.insert(sw, up);
+        }
+        switches.extend(ups.iter().copied());
+        level = ups;
+    }
+    let root = level[0];
+    (
+        Cluster::new(b, cfg),
+        hosts,
+        switches,
+        host_leaf,
+        parent,
+        root,
+    )
+}
+
+/// The combine handler on one switch of the tree.
+pub struct ReduceHandler {
+    /// Vectors expected at this switch (hosts below, or child switches).
+    expect: usize,
+    received: usize,
+    acc: Vec<u8>,
+    acc_buf: Option<asan_core::BufId>,
+    /// Where the combined vector goes: parent switch, or (at the root)
+    /// the result distribution.
+    parent: Option<NodeId>,
+    mode: Mode,
+    hosts: Vec<NodeId>,
+    /// Hosts attached directly below this switch (broadcast fan-out).
+    host_children: Vec<NodeId>,
+    /// Switches attached directly below this switch.
+    switch_children: Vec<NodeId>,
+}
+
+impl ReduceHandler {
+    fn new(
+        expect: usize,
+        parent: Option<NodeId>,
+        mode: Mode,
+        hosts: Vec<NodeId>,
+        host_children: Vec<NodeId>,
+        switch_children: Vec<NodeId>,
+    ) -> Self {
+        ReduceHandler {
+            expect,
+            received: 0,
+            acc: vec![0u8; VECTOR_BYTES],
+            acc_buf: None,
+            parent,
+            mode,
+            hosts,
+            host_children,
+            switch_children,
+        }
+    }
+
+    /// Replicates `data` to every directly-attached host and child
+    /// switch — the switch-tree broadcast of Reduce-to-all.
+    fn broadcast(&self, ctx: &mut HandlerCtx<'_>, data: &[u8]) {
+        for &sw in &self.switch_children {
+            ctx.send(sw, Some(BCAST_HANDLER), 0, data);
+        }
+        for &h in &self.host_children {
+            ctx.send(h, Some(RESULT), 0, data);
+        }
+    }
+
+    /// The accumulated vector (for validation).
+    pub fn accumulated(&self) -> &[u8] {
+        &self.acc
+    }
+}
+
+impl Handler for ReduceHandler {
+    fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+        if ctx.msg().handler == BCAST_HANDLER {
+            // Result coming *down* the tree: replicate and forward.
+            let data = ctx.payload();
+            self.broadcast(ctx, &data);
+            return;
+        }
+        let payload = ctx.payload();
+        debug_assert_eq!(payload.len(), VECTOR_BYTES);
+        if self.acc_buf.is_none() {
+            self.acc_buf = Some(ctx.alloc_buffer());
+        }
+        // Real element-wise add. The accumulate is a read-modify-write
+        // through the dedicated buffer port: the lane adds overlap the
+        // payload reads charged by `payload()`, so only the add
+        // instructions appear here (§3: the switch CPU "has its own
+        // read/write ports to the data buffers").
+        vector_add(&mut self.acc, &payload);
+        ctx.charge_stream(VECTOR_BYTES, cost::REDUCE_ADD_INSTR_PER_DWORD);
+        self.received += 1;
+        if self.received == self.expect {
+            let buf = self.acc_buf.take().expect("held");
+            // Materialize the accumulator into the buffer for the send.
+            let acc_snapshot = self.acc.clone();
+            ctx.buffer_write(buf, 0, &acc_snapshot);
+            match self.parent {
+                Some(parent) => {
+                    // Forward the partial result up the tree.
+                    ctx.send_buffer(buf, parent, Some(REDUCE_HANDLER), 0);
+                }
+                None => match self.mode {
+                    Mode::ReduceToOne => {
+                        ctx.send_buffer(buf, self.hosts[0], Some(RESULT), 0);
+                    }
+                    Mode::ToAll => {
+                        let data = self.acc.clone();
+                        self.broadcast(ctx, &data);
+                        ctx.free_buffer(buf);
+                    }
+                    Mode::Distributed => {
+                        // Scatter slice i to host i.
+                        let slice = VECTOR_BYTES / self.hosts.len().max(1);
+                        let slice = slice.max(4);
+                        for (i, &h) in self.hosts.iter().enumerate() {
+                            let lo = (i * slice).min(VECTOR_BYTES - slice);
+                            let part = self.acc[lo..lo + slice].to_vec();
+                            ctx.send(h, Some(RESULT), lo as u32, &part);
+                        }
+                        ctx.free_buffer(buf);
+                    }
+                },
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// One node of the collective, normal (MST) or active.
+struct ReduceNode {
+    me: usize,
+    p: usize,
+    mode: Mode,
+    active: bool,
+    peers: Vec<NodeId>,
+    leaf: NodeId,
+    vector: Vec<u8>,
+    /// MST round (normal case).
+    round: u32,
+    got_result: Option<Vec<u8>>,
+    done: bool,
+}
+
+impl ReduceNode {
+    /// In MST round `r`, either sends to `me - 2^r`, waits for
+    /// `me + 2^r`, or is already done.
+    fn mst_step(&mut self, ctx: &mut HostCtx<'_>) {
+        let p = self.p;
+        loop {
+            let bit = 1usize << self.round;
+            if bit >= p && self.me == 0 {
+                // Root holds the full reduction.
+                self.root_finish(ctx);
+                return;
+            }
+            if self.me & bit != 0 {
+                // Send my partial to the partner and retire.
+                let partner = self.me - bit;
+                ctx.send(self.peers[partner], Some(RESULT), 0, self.vector.clone());
+                if self.mode == Mode::ReduceToOne && self.me != 0 {
+                    self.done = true;
+                    ctx.finish();
+                }
+                // Distributed: wait for my slice later.
+                return;
+            }
+            let partner = self.me + bit;
+            if partner < p {
+                // Wait for the partner's vector (handled in on_message).
+                return;
+            }
+            // No partner this round; advance.
+            self.round += 1;
+        }
+    }
+
+    fn root_finish(&mut self, ctx: &mut HostCtx<'_>) {
+        match self.mode {
+            Mode::ReduceToOne => {
+                self.got_result = Some(self.vector.clone());
+                self.done = true;
+                ctx.finish();
+            }
+            Mode::ToAll => {
+                // Binomial broadcast of the whole vector.
+                let data = self.vector.clone();
+                self.broadcast_range(ctx, 0, self.p, &data);
+            }
+            Mode::Distributed => {
+                // Binomial-tree scatter (the MST counterpart of the
+                // reduce): log₂ p rounds instead of p serial sends.
+                let data = self.vector.clone();
+                self.scatter(ctx, 0, self.p, &data);
+            }
+        }
+    }
+
+    /// Holds the slices for nodes `[base, base+count)` in `data`; keeps
+    /// slice `base` (which is `me`) and forwards the upper half of the
+    /// range down the binomial tree.
+    fn scatter(&mut self, ctx: &mut HostCtx<'_>, base: usize, mut count: usize, data: &[u8]) {
+        debug_assert_eq!(self.me, base, "only the range base scatters");
+        let slice = (VECTOR_BYTES / self.p).max(4);
+        while count > 1 {
+            // Binomial split point: 2^(⌈log₂ count⌉ − 1).
+            let h = count.next_power_of_two() / 2;
+            let lo = h * slice;
+            let hi = (count * slice).min(data.len());
+            ctx.send(
+                self.peers[base + h],
+                Some(RESULT),
+                (base + h) as u32 | ((count - h) as u32) << 16,
+                data[lo.min(data.len())..hi].to_vec(),
+            );
+            count = h;
+        }
+        self.got_result = Some(data[..slice.min(data.len())].to_vec());
+        self.done = true;
+        ctx.finish();
+    }
+
+    /// Binomial broadcast of the full vector to nodes
+    /// `[base, base+count)` (normal Reduce-to-all).
+    fn broadcast_range(
+        &mut self,
+        ctx: &mut HostCtx<'_>,
+        base: usize,
+        mut count: usize,
+        data: &[u8],
+    ) {
+        debug_assert_eq!(self.me, base, "only the range base broadcasts");
+        while count > 1 {
+            let h = count.next_power_of_two() / 2;
+            ctx.send(
+                self.peers[base + h],
+                Some(RESULT),
+                (base + h) as u32 | ((count - h) as u32) << 16,
+                data.to_vec(),
+            );
+            count = h;
+        }
+        self.got_result = Some(data.to_vec());
+        self.done = true;
+        ctx.finish();
+    }
+}
+
+impl HostProgram for ReduceNode {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        if self.active {
+            // Fire the vector into the fabric and wait for the result.
+            ctx.send(self.leaf, Some(REDUCE_HANDLER), 0, self.vector.clone());
+            if self.mode == Mode::ReduceToOne && self.me != 0 {
+                self.done = true;
+                ctx.finish();
+            }
+            // Distributed / ToAll: every node awaits its RESULT.
+        } else {
+            self.mst_step(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
+        if self.done {
+            return;
+        }
+        if self.active {
+            // The result (or my slice).
+            self.got_result = Some(msg.data.clone());
+            self.done = true;
+            ctx.finish();
+            return;
+        }
+        // Normal MST: if I'm still reducing, this is a partner's vector.
+        let expecting_partner = {
+            let bit = 1usize << self.round;
+            self.me & bit == 0 && self.me + bit < self.p
+        };
+        if expecting_partner && msg.data.len() == VECTOR_BYTES {
+            vector_add(&mut self.vector, &msg.data);
+            // Charge the host-side combine λ: copy out of the receive
+            // buffer, add, write back.
+            ctx.cpu().compute(cost::REDUCE_HOST_COMBINE_INSTR);
+            ctx.cpu().scan(
+                0x6000_0000,
+                VECTOR_BYTES as u64,
+                8,
+                cost::REDUCE_ADD_INSTR_PER_DWORD,
+                false,
+            );
+            self.round += 1;
+            self.mst_step(ctx);
+        } else if self.mode == Mode::ToAll && !self.active {
+            // A broadcast block for nodes [base, base+count): keep the
+            // vector and forward down the binomial tree.
+            let base = (msg.addr & 0xFFFF) as usize;
+            let count = (msg.addr >> 16) as usize;
+            debug_assert_eq!(base, self.me, "broadcast block landed at wrong node");
+            let data = msg.data.clone();
+            self.broadcast_range(ctx, base, count, &data);
+        } else if self.mode == Mode::Distributed && !self.active {
+            // A scatter block covering nodes [base, base+count): keep my
+            // slice and forward the rest down the binomial tree.
+            let base = (msg.addr & 0xFFFF) as usize;
+            let count = (msg.addr >> 16) as usize;
+            debug_assert_eq!(base, self.me, "scatter block landed at wrong node");
+            // Rebase self as the root of this sub-range.
+            let data = msg.data.clone();
+            self.scatter(ctx, base, count, &data);
+        } else {
+            // My distributed slice (from the root).
+            self.got_result = Some(msg.data.clone());
+            self.done = true;
+            ctx.finish();
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Result of one reduction run.
+#[derive(Debug, Clone)]
+pub struct ReduceRun {
+    /// Number of nodes.
+    pub p: usize,
+    /// Whether the active-switch algorithm ran.
+    pub active: bool,
+    /// Completion latency (all receivers have their result).
+    pub latency: SimTime,
+}
+
+/// Runs one collective reduction, validating the result against the
+/// scalar reference.
+///
+/// # Panics
+///
+/// Panics if any delivered result lane is wrong.
+pub fn run(mode: Mode, active: bool, p: usize) -> ReduceRun {
+    run_with_config(mode, active, p, ClusterConfig::paper())
+}
+
+/// [`run`] with an explicit cluster configuration (used by the
+/// ablation studies to vary the active-switch hardware).
+pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -> ReduceRun {
+    let (mut cl, hosts, switches, host_leaf, parent, root) = reduction_cluster(p, cfg);
+
+    if active {
+        // Install a combine handler on every switch with its fan-in and
+        // its broadcast fan-out.
+        let mut fan_in: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut host_children: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        let mut switch_children: std::collections::HashMap<NodeId, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for (i, &leaf) in host_leaf.iter().enumerate() {
+            *fan_in.entry(leaf).or_insert(0) += 1;
+            host_children.entry(leaf).or_default().push(hosts[i]);
+        }
+        for sw in &switches {
+            if let Some(&up) = parent.get(sw) {
+                *fan_in.entry(up).or_insert(0) += 1;
+                switch_children.entry(up).or_default().push(*sw);
+            }
+        }
+        for &sw in &switches {
+            let expect = fan_in.get(&sw).copied().unwrap_or(0);
+            if expect > 0 {
+                let handler = Box::new(ReduceHandler::new(
+                    expect,
+                    parent.get(&sw).copied(),
+                    mode,
+                    hosts.clone(),
+                    host_children.get(&sw).cloned().unwrap_or_default(),
+                    switch_children.get(&sw).cloned().unwrap_or_default(),
+                ));
+                cl.register_handler(sw, REDUCE_HANDLER, handler);
+                if mode == Mode::ToAll {
+                    // The broadcast arrives under its own handler ID;
+                    // share the state via a second registration of a
+                    // pure-forwarding handler.
+                    cl.register_handler(
+                        sw,
+                        BCAST_HANDLER,
+                        Box::new(ReduceHandler::new(
+                            usize::MAX,
+                            parent.get(&sw).copied(),
+                            mode,
+                            hosts.clone(),
+                            host_children.get(&sw).cloned().unwrap_or_default(),
+                            switch_children.get(&sw).cloned().unwrap_or_default(),
+                        )),
+                    );
+                }
+            }
+        }
+        assert_eq!(parent.get(&root), None, "root has no parent");
+    }
+
+    for (i, &h) in hosts.iter().enumerate() {
+        cl.set_program(
+            h,
+            Box::new(ReduceNode {
+                me: i,
+                p,
+                mode,
+                active,
+                peers: hosts.clone(),
+                leaf: host_leaf[i],
+                vector: reduce_vector(i),
+                round: 0,
+                got_result: None,
+                done: false,
+            }),
+        );
+    }
+
+    let report = cl.run();
+
+    // Validate against the scalar reference.
+    let want = reference_sum(p);
+    let check_slice = |node: usize, got: &[u8]| {
+        let slice = (VECTOR_BYTES / p).max(4);
+        let lo = match mode {
+            Mode::ReduceToOne | Mode::ToAll => 0,
+            Mode::Distributed => (node * slice).min(VECTOR_BYTES - slice),
+        };
+        assert_eq!(
+            got,
+            &want[lo..lo + got.len()],
+            "node {node} got a wrong result"
+        );
+    };
+    for (i, &h) in hosts.iter().enumerate() {
+        let program = cl.take_program(h).expect("program");
+        let node = program
+            .as_any()
+            .and_then(|a| a.downcast_ref::<ReduceNode>())
+            .expect("reduce node");
+        match mode {
+            Mode::ReduceToOne => {
+                if i == 0 {
+                    check_slice(0, node.got_result.as_deref().expect("node 0 result"));
+                }
+            }
+            Mode::Distributed | Mode::ToAll => {
+                check_slice(i, node.got_result.as_deref().expect("result"));
+            }
+        }
+    }
+
+    ReduceRun {
+        p,
+        active,
+        latency: report.finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_to_one_correct_small() {
+        for p in [2usize, 4, 8] {
+            let n = run(Mode::ReduceToOne, false, p);
+            let a = run(Mode::ReduceToOne, true, p);
+            assert!(n.latency > SimTime::ZERO);
+            assert!(a.latency > SimTime::ZERO, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn distributed_correct_small() {
+        for p in [2usize, 4, 8] {
+            run(Mode::Distributed, false, p);
+            run(Mode::Distributed, true, p);
+        }
+    }
+
+    #[test]
+    fn active_beats_normal_at_scale() {
+        let n = run(Mode::ReduceToOne, false, 32);
+        let a = run(Mode::ReduceToOne, true, 32);
+        assert!(
+            a.latency < n.latency,
+            "active {} vs normal {}",
+            a.latency,
+            n.latency
+        );
+    }
+
+    #[test]
+    fn reduce_to_all_every_node_gets_full_vector() {
+        for p in [2usize, 4, 8, 16] {
+            let n = run(Mode::ToAll, false, p);
+            let a = run(Mode::ToAll, true, p);
+            assert!(n.latency > SimTime::ZERO);
+            assert!(a.latency > SimTime::ZERO, "p = {p}");
+        }
+        // Replication in the switches beats the host-side binomial
+        // broadcast once the tree has real fan-out.
+        let n = run(Mode::ToAll, false, 16);
+        let a = run(Mode::ToAll, true, 16);
+        assert!(a.latency < n.latency, "{} vs {}", a.latency, n.latency);
+    }
+
+    #[test]
+    fn multi_switch_tree_works() {
+        // 16 nodes → 2 leaf switches + root.
+        let a = run(Mode::ReduceToOne, true, 16);
+        assert!(a.latency > SimTime::ZERO);
+        let d = run(Mode::Distributed, true, 16);
+        assert!(d.latency > SimTime::ZERO);
+    }
+}

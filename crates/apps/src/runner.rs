@@ -1,0 +1,187 @@
+//! The four standard configurations and shared run plumbing.
+//!
+//! §5 evaluates every benchmark in four configurations: `normal`
+//! (host-only, synchronous I/O), `normal+pref` (two outstanding I/O
+//! requests), `active` (host + switch handler) and `active+pref`.
+
+use asan_core::cluster::{Cluster, ClusterConfig};
+use asan_net::topo::{SwitchSpec, TopologyBuilder};
+use asan_net::{LinkConfig, NodeId};
+use asan_sim::stats::TimeBreakdown;
+use asan_sim::SimTime;
+
+/// One of the paper's four standard configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Host only, one outstanding I/O request.
+    Normal,
+    /// Host only, two outstanding I/O requests.
+    NormalPref,
+    /// Active switch, one outstanding I/O request.
+    Active,
+    /// Active switch, two outstanding I/O requests.
+    ActivePref,
+}
+
+impl Variant {
+    /// All four, in the paper's figure order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Normal,
+        Variant::NormalPref,
+        Variant::Active,
+        Variant::ActivePref,
+    ];
+
+    /// Whether the switch runs handlers in this configuration.
+    pub fn is_active(self) -> bool {
+        matches!(self, Variant::Active | Variant::ActivePref)
+    }
+
+    /// Number of outstanding I/O requests the host keeps in flight.
+    pub fn outstanding(self) -> u64 {
+        match self {
+            Variant::Normal | Variant::Active => 1,
+            Variant::NormalPref | Variant::ActivePref => 2,
+        }
+    }
+
+    /// The figure label used in the paper ("normal", "normal+pref", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Normal => "normal",
+            Variant::NormalPref => "normal+pref",
+            Variant::Active => "active",
+            Variant::ActivePref => "active+pref",
+        }
+    }
+
+    /// The breakdown-figure label prefix ("n", "n+p", "a", "a+p").
+    pub fn short(self) -> &'static str {
+        match self {
+            Variant::Normal => "n",
+            Variant::NormalPref => "n+p",
+            Variant::Active => "a",
+            Variant::ActivePref => "a+p",
+        }
+    }
+}
+
+/// The single-switch cluster every single-host benchmark runs on:
+/// `hosts` compute nodes and `tcas` storage nodes on one switch.
+pub fn standard_cluster(
+    hosts: usize,
+    tcas: usize,
+    cfg: ClusterConfig,
+) -> (Cluster, Vec<NodeId>, Vec<NodeId>, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch(SwitchSpec::paper());
+    let hs: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
+    let ts: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
+    for &h in &hs {
+        b.connect(h, sw, LinkConfig::paper());
+    }
+    for &t in &ts {
+        b.connect(t, sw, LinkConfig::paper());
+    }
+    (Cluster::new(b, cfg), hs, ts, sw)
+}
+
+/// Result of one benchmark run in one configuration, with everything
+/// the paper's two figures per application need.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Which configuration ran.
+    pub variant: Variant,
+    /// Application-level execution time.
+    pub exec: SimTime,
+    /// Host CPU breakdown (averaged over hosts for multi-node apps).
+    pub host_breakdown: TimeBreakdown,
+    /// Switch CPU breakdowns (one per switch CPU; empty for normal runs).
+    pub switch_breakdowns: Vec<TimeBreakdown>,
+    /// Host payload traffic in+out, summed over hosts (bytes).
+    pub host_traffic: u64,
+    /// Mean host utilization, the paper's `(1 − idle)/exec`.
+    pub host_utilization: f64,
+    /// Bytes carried by the fabric, summed over every link hop.
+    pub link_bytes: u64,
+    /// Application-specific correctness artifact (match count, digest…)
+    /// for validation against a pure-Rust reference.
+    pub artifact: u64,
+}
+
+impl AppRun {
+    /// Assembles an [`AppRun`] from a finished cluster report.
+    pub fn from_report(
+        variant: Variant,
+        report: &asan_core::cluster::RunReport,
+        exec: SimTime,
+        artifact: u64,
+    ) -> AppRun {
+        let exec_span = exec.since(asan_sim::SimTime::ZERO);
+        let n = report.hosts.len().max(1) as u64;
+        let host_breakdown = report
+            .hosts
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, h| acc.merged(&h.breakdown));
+        let mut host_breakdown = TimeBreakdown {
+            busy: host_breakdown.busy / n,
+            stall: host_breakdown.stall / n,
+            idle: host_breakdown.idle / n,
+        };
+        // The app-level execution time may extend past the last host's
+        // finish (e.g. Tar's archive drain); the host idles until then.
+        host_breakdown.pad_idle_to(exec_span);
+        let switch_breakdowns: Vec<TimeBreakdown> = if variant.is_active() {
+            report
+                .switches
+                .iter()
+                .flat_map(|s| s.cpu_breakdowns.iter().copied())
+                .map(|mut b| {
+                    b.pad_idle_to(exec_span);
+                    b
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        AppRun {
+            variant,
+            exec,
+            host_utilization: host_breakdown.utilization(),
+            host_breakdown,
+            switch_breakdowns,
+            host_traffic: report.total_host_payload(),
+            link_bytes: report.link_bytes,
+            artifact,
+        }
+    }
+}
+
+/// The standard 4-variant sweep of a benchmark.
+pub fn sweep(run: impl Fn(Variant) -> AppRun) -> Vec<AppRun> {
+    Variant::ALL.iter().map(|&v| run(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_properties() {
+        assert!(!Variant::Normal.is_active());
+        assert!(Variant::ActivePref.is_active());
+        assert_eq!(Variant::Normal.outstanding(), 1);
+        assert_eq!(Variant::NormalPref.outstanding(), 2);
+        assert_eq!(Variant::Active.label(), "active");
+        assert_eq!(Variant::ActivePref.short(), "a+p");
+        assert_eq!(Variant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn standard_cluster_builds() {
+        let (cl, hs, ts, sw) = standard_cluster(2, 1, ClusterConfig::paper());
+        assert_eq!(hs.len(), 2);
+        assert_eq!(ts.len(), 1);
+        assert!(cl.switch(sw).is_some());
+    }
+}

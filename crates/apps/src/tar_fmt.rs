@@ -1,0 +1,114 @@
+//! POSIX ustar header blocks.
+//!
+//! The Tar benchmark's host side "generates a header for each input
+//! file" (§5); we build real 512-byte ustar headers (the format GNU tar
+//! `-cf` writes), checksum and all, so the archive assembled in the
+//! simulation is byte-correct.
+
+/// Size of a tar header block.
+pub const BLOCK: usize = 512;
+
+/// Builds the 512-byte ustar header for a regular file.
+///
+/// # Panics
+///
+/// Panics if `name` exceeds the 100-byte ustar name field.
+pub fn ustar_header(name: &str, size: u64, mtime: u64) -> [u8; BLOCK] {
+    assert!(name.len() < 100, "name too long for ustar");
+    let mut h = [0u8; BLOCK];
+    h[..name.len()].copy_from_slice(name.as_bytes());
+    write_octal(&mut h[100..108], 0o644); // mode
+    write_octal(&mut h[108..116], 0); // uid
+    write_octal(&mut h[116..124], 0); // gid
+    write_octal12(&mut h[124..136], size);
+    write_octal12(&mut h[136..148], mtime);
+    h[156] = b'0'; // typeflag: regular file
+    h[257..262].copy_from_slice(b"ustar");
+    h[263..265].copy_from_slice(b"00");
+    // Checksum: sum of all bytes with the checksum field as spaces.
+    h[148..156].copy_from_slice(b"        ");
+    let sum: u32 = h.iter().map(|&b| b as u32).sum();
+    let chk = format!("{sum:06o}\0 ");
+    h[148..156].copy_from_slice(chk.as_bytes());
+    h
+}
+
+fn write_octal(field: &mut [u8], v: u64) {
+    let s = format!("{v:0w$o}\0", w = field.len() - 1);
+    field.copy_from_slice(s.as_bytes());
+}
+
+fn write_octal12(field: &mut [u8], v: u64) {
+    let s = format!("{v:011o}\0");
+    field.copy_from_slice(s.as_bytes());
+}
+
+/// Number of 512-byte data blocks a file of `size` occupies in a tar
+/// stream (content is zero-padded to a block boundary).
+pub fn data_blocks(size: u64) -> u64 {
+    size.div_ceil(BLOCK as u64)
+}
+
+/// Total archive size for files of the given sizes: one header block
+/// plus padded data per file, plus the two terminating zero blocks.
+pub fn archive_size(sizes: &[u64]) -> u64 {
+    let body: u64 = sizes
+        .iter()
+        .map(|&s| (1 + data_blocks(s)) * BLOCK as u64)
+        .sum();
+    body + 2 * BLOCK as u64
+}
+
+/// Validates a header block's checksum.
+pub fn checksum_ok(h: &[u8; BLOCK]) -> bool {
+    let stored = &h[148..156];
+    let parsed = stored
+        .iter()
+        .take_while(|&&b| b != 0 && b != b' ')
+        .fold(0u32, |acc, &b| acc * 8 + (b - b'0') as u32);
+    let mut copy = *h;
+    copy[148..156].copy_from_slice(b"        ");
+    let sum: u32 = copy.iter().map(|&b| b as u32).sum();
+    sum == parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fields_roundtrip() {
+        let h = ustar_header("dir/file.bin", 123456, 1_000_000_000);
+        assert_eq!(&h[..12], b"dir/file.bin");
+        assert_eq!(h[12], 0);
+        assert_eq!(&h[257..262], b"ustar");
+        assert_eq!(h[156], b'0');
+        // Size field: 123456 = 0o361100.
+        assert_eq!(&h[124..136], b"00000361100\0");
+    }
+
+    #[test]
+    fn checksum_validates() {
+        let h = ustar_header("a", 1, 0);
+        assert!(checksum_ok(&h));
+        let mut broken = h;
+        broken[0] = b'b';
+        assert!(!checksum_ok(&broken));
+    }
+
+    #[test]
+    fn archive_size_matches_tar_layout() {
+        // Two files: 1 byte (1 data block) and 1024 bytes (2 blocks).
+        let total = archive_size(&[1, 1024]);
+        assert_eq!(total, (1 + 1 + 1 + 2 + 2) * 512);
+        assert_eq!(data_blocks(0), 0);
+        assert_eq!(data_blocks(512), 1);
+        assert_eq!(data_blocks(513), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "name too long")]
+    fn long_name_rejected() {
+        ustar_header(&"x".repeat(100), 0, 0);
+    }
+}

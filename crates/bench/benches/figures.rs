@@ -1,0 +1,55 @@
+//! Criterion benches: time the simulator itself on scaled-down
+//! configurations of every figure's workload (one group per figure).
+//! The *results* of the figures come from the `repro` binary; these
+//! benches track the cost of producing them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use asan_apps::{grep, hashjoin, md5app, mpeg, psort, reduce, select, tar, Variant};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("fig3_mpeg_active_pref", |b| {
+        let p = mpeg::Params::small();
+        b.iter(|| mpeg::run(Variant::ActivePref, &p))
+    });
+    g.bench_function("fig5_hashjoin_active_pref", |b| {
+        let p = hashjoin::Params::small();
+        b.iter(|| hashjoin::run(Variant::ActivePref, &p))
+    });
+    g.bench_function("fig7_select_active_pref", |b| {
+        let p = select::Params::small();
+        b.iter(|| select::run(Variant::ActivePref, &p))
+    });
+    g.bench_function("fig9_grep_active_pref", |b| {
+        let p = grep::Params::small();
+        b.iter(|| grep::run(Variant::ActivePref, &p))
+    });
+    g.bench_function("fig11_tar_active", |b| {
+        let p = tar::Params::small();
+        b.iter(|| tar::run(Variant::Active, &p))
+    });
+    g.bench_function("fig13_psort_active_pref", |b| {
+        let p = psort::Params::small();
+        b.iter(|| psort::run(Variant::ActivePref, &p))
+    });
+    g.bench_function("fig15_reduce_to_one_16", |b| {
+        b.iter(|| reduce::run(reduce::Mode::ReduceToOne, true, 16))
+    });
+    g.bench_function("fig16_distributed_16", |b| {
+        b.iter(|| reduce::run(reduce::Mode::Distributed, true, 16))
+    });
+    g.bench_function("fig17_md5_4cpu", |b| {
+        let p = md5app::Params {
+            switch_cpus: 4,
+            ..md5app::Params::small()
+        };
+        b.iter(|| md5app::run(Variant::Active, &p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

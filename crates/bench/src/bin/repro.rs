@@ -1,0 +1,392 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--small] <experiment>...
+//!
+//! experiments:
+//!   table1          application & problem-size table
+//!   fig3 fig4       MPEG-filter overall / breakdown
+//!   fig5 fig6       HashJoin overall / breakdown
+//!   fig7 fig8       Select overall / breakdown
+//!   fig9 fig10      Grep overall / breakdown
+//!   fig11 fig12     Tar overall / breakdown
+//!   fig13 fig14     Parallel Sort overall / breakdown
+//!   fig15           Collective Reduce-to-one scaling (2..128 nodes)
+//!   fig16           Collective Distributed Reduce scaling
+//!   fig17           MD5 with 1/2/4 switch CPUs
+//!   table2          reduction semantics check
+//!   ablations       design-choice ablations (valid bits, ATB, D$, clock)
+//!   twolevel        two-level active I/O (active disks + switches, §6)
+//!   multiprog       co-scheduled background job (§7's throughput claim)
+//!   all             everything above
+//! ```
+//!
+//! `--csv` prints machine-readable rows for the overall figures
+//! instead of the formatted tables (for plotting).
+//!
+//! `--small` substitutes the scaled-down test inputs so the whole suite
+//! finishes in seconds (useful for CI smoke runs); omit it to run the
+//! paper's full problem sizes.
+
+use std::env;
+
+use asan_apps::runner::{sweep, AppRun, Variant};
+use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
+use asan_bench::{breakdown_table, overall_csv, overall_table, speedups};
+use asan_core::cluster::ClusterConfig;
+
+struct Scale {
+    small: bool,
+    csv: bool,
+}
+
+impl Scale {
+    fn mpeg(&self) -> mpeg::Params {
+        if self.small {
+            mpeg::Params::small()
+        } else {
+            mpeg::Params::paper()
+        }
+    }
+    fn hashjoin(&self) -> hashjoin::Params {
+        if self.small {
+            hashjoin::Params::small()
+        } else {
+            hashjoin::Params::paper()
+        }
+    }
+    fn select(&self) -> select::Params {
+        if self.small {
+            select::Params::small()
+        } else {
+            select::Params::paper()
+        }
+    }
+    fn grep(&self) -> grep::Params {
+        if self.small {
+            grep::Params::small()
+        } else {
+            grep::Params::paper()
+        }
+    }
+    fn tar(&self) -> tar::Params {
+        if self.small {
+            tar::Params::small()
+        } else {
+            tar::Params::paper()
+        }
+    }
+    fn psort(&self) -> psort::Params {
+        if self.small {
+            psort::Params::small()
+        } else {
+            psort::Params::paper()
+        }
+    }
+    fn md5(&self, cpus: usize) -> md5app::Params {
+        let mut p = if self.small {
+            md5app::Params::small()
+        } else {
+            md5app::Params::paper()
+        };
+        p.switch_cpus = cpus;
+        p
+    }
+    fn reduce_nodes(&self) -> Vec<usize> {
+        if self.small {
+            vec![2, 4, 8, 16]
+        } else {
+            vec![2, 4, 8, 16, 32, 64, 128]
+        }
+    }
+}
+
+fn print_pair(sc: &Scale, name: &str, overall_id: &str, breakdown_id: &str, runs: &[AppRun]) {
+    if sc.csv {
+        print!("{}", overall_csv(overall_id, runs));
+        return;
+    }
+    println!("{}", overall_table(&format!("{overall_id}: {name}"), runs));
+    println!(
+        "{}",
+        breakdown_table(&format!("{breakdown_id}: {name} breakdown"), runs)
+    );
+    let (s, sp) = speedups(runs);
+    println!("headline: active/normal = {s:.2}x, active+pref/normal+pref = {sp:.2}x\n");
+}
+
+fn table1(sc: &Scale) {
+    println!("== Table 1: Applications and Problem Sizes ==");
+    println!("{:<22} {:>20}", "Application", "Input Data Size (B)");
+    println!("{:<22} {:>20}", "MPEG filter", sc.mpeg().video_bytes);
+    let hj = sc.hashjoin();
+    println!("{:<22} {:>9} x {:>8}", "HashJoin", hj.r_bytes, hj.s_bytes);
+    println!("{:<22} {:>20}", "Select", sc.select().table_bytes);
+    println!("{:<22} {:>20}", "Grep", sc.grep().file_bytes);
+    let t = sc.tar();
+    println!("{:<22} {:>20}", "Tar", t.files as u64 * t.file_bytes);
+    println!("{:<22} {:>20}", "Parallel sort", sc.psort().total_bytes);
+    println!("{:<22} {:>20}", "MD5", sc.md5(1).input_bytes);
+    println!("{:<22} {:>20}", "Collective Reduction", 512);
+    println!();
+}
+
+fn fig_reduce(mode: reduce::Mode, id: &str, name: &str, sc: &Scale) {
+    println!("== {id}: {name} ==");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "nodes", "normal (us)", "active (us)", "speedup"
+    );
+    for p in sc.reduce_nodes() {
+        let n = reduce::run(mode, false, p);
+        let a = reduce::run(mode, true, p);
+        let nu = n.latency.as_ns() as f64 / 1000.0;
+        let au = a.latency.as_ns() as f64 / 1000.0;
+        println!("{p:<8} {nu:>14.2} {au:>14.2} {:>10.2}", nu / au);
+    }
+    println!();
+}
+
+fn fig17(sc: &Scale) {
+    println!("== Figure 17: MD5 with multiple switch CPUs ==");
+    let normal = md5app::run(Variant::Normal, &sc.md5(1));
+    let normal_p = md5app::run(Variant::NormalPref, &sc.md5(1));
+    println!("{:<16} {:>12} {:>10}", "config", "exec", "vs normal");
+    let base = normal.exec.as_ps() as f64;
+    let base_p = normal_p.exec.as_ps() as f64;
+    println!(
+        "{:<16} {:>12} {:>10.2}",
+        "normal",
+        format!("{}", normal.exec),
+        1.0
+    );
+    println!(
+        "{:<16} {:>12} {:>10.2}",
+        "normal+pref",
+        format!("{}", normal_p.exec),
+        base / base_p.max(1.0)
+    );
+    for cpus in [1usize, 2, 4] {
+        let a = md5app::run(Variant::Active, &sc.md5(cpus));
+        let ap = md5app::run(Variant::ActivePref, &sc.md5(cpus));
+        println!(
+            "{:<16} {:>12} {:>10.2}",
+            format!("active {cpus}cpu"),
+            format!("{}", a.exec),
+            base / a.exec.as_ps() as f64
+        );
+        println!(
+            "{:<16} {:>12} {:>10.2}",
+            format!("active+p {cpus}cpu"),
+            format!("{}", ap.exec),
+            base_p / ap.exec.as_ps() as f64
+        );
+    }
+    println!();
+}
+
+/// Ablation studies of the design choices DESIGN.md calls out: the
+/// per-line valid bits (overlap), the ATB (flat addressing), the switch
+/// D-cache size (HashJoin's bit-vector), and the host:switch clock
+/// ratio.
+fn ablations(sc: &Scale) {
+    let gp = sc.grep();
+
+    println!("== Ablation A: per-line valid bits (Reduce-to-one, 8 nodes) ==");
+    println!("(latency-bound: overlap lets the combine begin while the");
+    println!(" vector is still arriving — §3's parallelism argument)");
+    let on = reduce::run_with_config(reduce::Mode::ReduceToOne, true, 8, ClusterConfig::paper());
+    let mut cfg = ClusterConfig::paper();
+    cfg.active.valid_bit_overlap = false;
+    let off = reduce::run_with_config(reduce::Mode::ReduceToOne, true, 8, cfg);
+    println!("overlap on : {}", on.latency);
+    println!(
+        "overlap off: {}  (+{:.1}%)",
+        off.latency,
+        (off.latency.as_ps() as f64 / on.latency.as_ps() as f64 - 1.0) * 100.0
+    );
+    println!();
+
+    println!("== Ablation B: ATB vs software translation (Reduce-to-one, 8 nodes) ==");
+    let mut cfg = ClusterConfig::paper();
+    cfg.active.atb_enabled = false;
+    let sw_off = reduce::run_with_config(reduce::Mode::ReduceToOne, true, 8, cfg);
+    println!("ATB on : {}", on.latency);
+    println!(
+        "ATB off: {}  (+{:.1}%)",
+        sw_off.latency,
+        (sw_off.latency.as_ps() as f64 / on.latency.as_ps() as f64 - 1.0) * 100.0
+    );
+    println!();
+
+    println!("== Ablation C: switch D-cache size (HashJoin, active+pref) ==");
+    let jp = sc.hashjoin();
+    for kb in [1u64, 4, 16, 64] {
+        let mut cfg = ClusterConfig::paper_db();
+        cfg.active.cpu.hierarchy.l1d.size_bytes = kb * 1024;
+        let r = hashjoin::run_with_config(Variant::ActivePref, &jp, cfg);
+        println!(
+            "D-cache {kb:>3} KB: exec {}  switch stall {:.1}%",
+            r.exec,
+            r.switch_breakdowns
+                .first()
+                .map_or(0.0, |b| b.stall_fraction() * 100.0)
+        );
+    }
+    println!();
+
+    println!("== Ablation D: switch CPU clock (Grep, active+pref) ==");
+    for mhz in [250u64, 500, 1000, 2000] {
+        let mut cfg = ClusterConfig::paper();
+        cfg.active.cpu.hz = mhz * 1_000_000;
+        cfg.active.cpu.hierarchy.hz = mhz * 1_000_000;
+        let r = grep::run_with_config(Variant::ActivePref, &gp, cfg);
+        println!(
+            "switch {mhz:>4} MHz: exec {}  switch busy {:.1}%",
+            r.exec,
+            r.switch_breakdowns.first().map_or(0.0, |b| {
+                let t = b.total().as_ps().max(1) as f64;
+                b.busy.as_ps() as f64 / t * 100.0
+            })
+        );
+    }
+    println!();
+}
+
+/// §7's throughput claim: a background job soaks up the host cycles
+/// each Grep configuration leaves idle; the makespan shows the effect.
+fn multiprog_exp(sc: &Scale) {
+    println!("== Multiprogrammed server: Grep + background job ==");
+    let p = sc.grep();
+    println!(
+        "{:<14} {:>14} {:>12} {:>14} {:>12}",
+        "bg job", "config", "grep done", "background", "makespan"
+    );
+    for bg_ms in [2u64, 10, 30] {
+        let bg = asan_sim::SimDuration::from_ms(bg_ms);
+        for v in [Variant::NormalPref, Variant::ActivePref] {
+            let r = multiprog::run(v, &p, bg);
+            println!(
+                "{:<14} {:>14} {:>12} {:>14} {:>12}",
+                format!("{bg_ms} ms"),
+                v.label(),
+                format!("{}", r.grep_done),
+                format!("{}", r.background_done),
+                format!("{}", r.makespan),
+            );
+        }
+    }
+    println!();
+}
+
+/// §6's two-level extension: where should the intelligence live?
+fn twolevel(sc: &Scale) {
+    println!("== Two-level active I/O: Select, four intelligence placements ==");
+    println!(
+        "{:<16} {:>12} {:>9} {:>16} {:>14}",
+        "placement", "exec", "speedup", "host bytes", "SAN link bytes"
+    );
+    let p = sc.select();
+    let runs: Vec<twolevel::PlacementRun> = twolevel::Placement::ALL
+        .iter()
+        .map(|&pl| twolevel::run(pl, &p))
+        .collect();
+    let base = runs[0].exec.as_ps() as f64;
+    for r in &runs {
+        println!(
+            "{:<16} {:>12} {:>8.2}x {:>16} {:>14}",
+            r.placement.label(),
+            format!("{}", r.exec),
+            base / r.exec.as_ps() as f64,
+            r.host_traffic,
+            r.san_bytes,
+        );
+    }
+    println!();
+}
+
+fn table2() {
+    println!("== Table 2: Collective Reduction semantics ==");
+    for p in [4usize, 8] {
+        let want = reduce::reference_sum(p);
+        // The simulation validates every delivered lane internally; a
+        // passing run is the semantic check.
+        reduce::run(reduce::Mode::Distributed, true, p);
+        reduce::run(reduce::Mode::ReduceToOne, true, p);
+        reduce::run(reduce::Mode::ToAll, true, p);
+        println!(
+            "p={p}: Distr. Reduce, Reduce-to-one and Reduce-to-all verified \
+             against the scalar reference (lane0 = {})",
+            u32::from_le_bytes(want[0..4].try_into().unwrap())
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let csv = args.iter().any(|a| a == "--csv");
+    let sc = Scale { small, csv };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--small" && *a != "--csv")
+        .map(String::as_str)
+        .collect();
+    let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
+        vec![
+            "table1", "fig3", "fig5", "fig7", "fig9", "fig11", "fig13", "fig15", "fig16", "fig17",
+            "table2",
+        ]
+    } else {
+        wanted
+    };
+
+    for w in wanted {
+        match w {
+            "table1" => table1(&sc),
+            "fig3" | "fig4" => {
+                let runs = sweep(|v| mpeg::run(v, &sc.mpeg()));
+                print_pair(&sc, "MPEG-Filter", "Figure 3", "Figure 4", &runs);
+            }
+            "fig5" | "fig6" => {
+                let runs = sweep(|v| hashjoin::run(v, &sc.hashjoin()));
+                print_pair(&sc, "HashJoin", "Figure 5", "Figure 6", &runs);
+            }
+            "fig7" | "fig8" => {
+                let runs = sweep(|v| select::run(v, &sc.select()));
+                print_pair(&sc, "Select", "Figure 7", "Figure 8", &runs);
+            }
+            "fig9" | "fig10" => {
+                let runs = sweep(|v| grep::run(v, &sc.grep()));
+                print_pair(&sc, "Grep", "Figure 9", "Figure 10", &runs);
+            }
+            "fig11" | "fig12" => {
+                let runs = sweep(|v| tar::run(v, &sc.tar()));
+                print_pair(&sc, "Tar", "Figure 11", "Figure 12", &runs);
+            }
+            "fig13" | "fig14" => {
+                let runs = sweep(|v| psort::run(v, &sc.psort()));
+                print_pair(&sc, "Parallel Sort", "Figure 13", "Figure 14", &runs);
+            }
+            "fig15" => fig_reduce(
+                reduce::Mode::ReduceToOne,
+                "Figure 15",
+                "Collective Reduce-to-one",
+                &sc,
+            ),
+            "fig16" => fig_reduce(
+                reduce::Mode::Distributed,
+                "Figure 16",
+                "Collective Distributed Reduce",
+                &sc,
+            ),
+            "fig17" => fig17(&sc),
+            "table2" => table2(),
+            "ablations" => ablations(&sc),
+            "twolevel" => twolevel(&sc),
+            "multiprog" => multiprog_exp(&sc),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}

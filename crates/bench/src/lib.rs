@@ -1,0 +1,203 @@
+//! Benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! The `repro` binary drives full-size runs and prints the same rows
+//! and series the paper reports; the Criterion benches under
+//! `benches/` time the simulator itself on scaled-down configurations.
+//!
+//! Figures come in pairs per application: an *overall* chart
+//! (execution time normalized to `normal`, host utilization, host I/O
+//! traffic normalized to `normal`) and an execution-time *breakdown*
+//! (CPU busy / cache stall / idle for the host CPU, plus the switch CPU
+//! in the active cases).
+
+use asan_apps::runner::AppRun;
+use asan_apps::Variant;
+
+/// Renders the overall figure (e.g. Figure 3: exec time, host
+/// utilization, host I/O traffic; first row is the normalization base).
+pub fn overall_table(title: &str, runs: &[AppRun]) -> String {
+    let base = runs
+        .iter()
+        .find(|r| r.variant == Variant::Normal)
+        .expect("normal run present");
+    let base_exec = base.exec.as_ps().max(1) as f64;
+    let base_traffic = base.host_traffic.max(1) as f64;
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>10} {:>10} {:>12} {:>10}\n",
+        "config", "exec", "norm.time", "speedup", "host util", "traffic"
+    ));
+    for r in runs {
+        let norm = r.exec.as_ps() as f64 / base_exec;
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>10.3} {:>10.2} {:>11.1}% {:>10.3}\n",
+            r.variant.label(),
+            format!("{}", r.exec),
+            norm,
+            1.0 / norm,
+            r.host_utilization * 100.0,
+            r.host_traffic as f64 / base_traffic,
+        ));
+    }
+    out
+}
+
+/// Renders the breakdown figure (e.g. Figure 4: busy / cache-stall /
+/// idle shares for host and switch CPUs).
+pub fn breakdown_table(title: &str, runs: &[AppRun]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}\n",
+        "cpu", "busy%", "stall%", "idle%", "total"
+    ));
+    for r in runs {
+        let b = &r.host_breakdown;
+        let t = b.total().as_ps().max(1) as f64;
+        out.push_str(&format!(
+            "{:<10} {:>9.1}% {:>9.1}% {:>9.1}% {:>12}\n",
+            format!("{}-HP", r.variant.short()),
+            b.busy.as_ps() as f64 / t * 100.0,
+            b.stall.as_ps() as f64 / t * 100.0,
+            b.idle.as_ps() as f64 / t * 100.0,
+            format!("{}", b.total()),
+        ));
+        for (i, sb) in r.switch_breakdowns.iter().enumerate() {
+            let st = sb.total().as_ps().max(1) as f64;
+            let tag = if r.switch_breakdowns.len() > 1 {
+                format!("{}-SP{}", r.variant.short(), i)
+            } else {
+                format!("{}-SP", r.variant.short())
+            };
+            out.push_str(&format!(
+                "{:<10} {:>9.1}% {:>9.1}% {:>9.1}% {:>12}\n",
+                tag,
+                sb.busy.as_ps() as f64 / st * 100.0,
+                sb.stall.as_ps() as f64 / st * 100.0,
+                sb.idle.as_ps() as f64 / st * 100.0,
+                format!("{}", sb.total()),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders an overall figure as CSV (`experiment,config,exec_ps,
+/// normalized_time,host_utilization,traffic_ratio`), for plotting.
+pub fn overall_csv(experiment: &str, runs: &[AppRun]) -> String {
+    let base = runs
+        .iter()
+        .find(|r| r.variant == Variant::Normal)
+        .expect("normal run present");
+    let base_exec = base.exec.as_ps().max(1) as f64;
+    let base_traffic = base.host_traffic.max(1) as f64;
+    let mut out = String::from(
+        "experiment,config,exec_ps,normalized_time,host_utilization,traffic_ratio
+",
+    );
+    for r in runs {
+        out.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6}
+",
+            experiment,
+            r.variant.label(),
+            r.exec.as_ps(),
+            r.exec.as_ps() as f64 / base_exec,
+            r.host_utilization,
+            r.host_traffic as f64 / base_traffic,
+        ));
+    }
+    out
+}
+
+/// Extracts the headline speedups (active vs normal, active+pref vs
+/// normal+pref) for EXPERIMENTS.md-style summaries.
+pub fn speedups(runs: &[AppRun]) -> (f64, f64) {
+    let get = |v: Variant| {
+        runs.iter()
+            .find(|r| r.variant == v)
+            .expect("variant present")
+            .exec
+            .as_ps() as f64
+    };
+    (
+        get(Variant::Normal) / get(Variant::Active),
+        get(Variant::NormalPref) / get(Variant::ActivePref),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asan_sim::stats::TimeBreakdown;
+    use asan_sim::{SimDuration, SimTime};
+
+    fn fake(variant: Variant, exec_ns: u64, traffic: u64) -> AppRun {
+        AppRun {
+            variant,
+            exec: SimTime::from_ns(exec_ns),
+            host_breakdown: TimeBreakdown {
+                busy: SimDuration::from_ns(exec_ns / 2),
+                stall: SimDuration::from_ns(exec_ns / 4),
+                idle: SimDuration::from_ns(exec_ns / 4),
+            },
+            switch_breakdowns: vec![],
+            host_traffic: traffic,
+            host_utilization: 0.75,
+            link_bytes: 0,
+            artifact: 0,
+        }
+    }
+
+    #[test]
+    fn overall_table_normalizes_to_normal() {
+        let runs = vec![
+            fake(Variant::Normal, 1000, 100),
+            fake(Variant::Active, 500, 25),
+        ];
+        let t = overall_table("Figure X", &runs);
+        assert!(t.contains("Figure X"));
+        assert!(t.contains("normal"));
+        assert!(t.contains("active"));
+        assert!(t.contains("2.00"), "table:\n{t}");
+        assert!(t.contains("0.250"), "traffic ratio:\n{t}");
+    }
+
+    #[test]
+    fn breakdown_table_shows_shares() {
+        let runs = vec![fake(Variant::NormalPref, 1000, 1)];
+        let t = breakdown_table("Figure Y", &runs);
+        assert!(t.contains("n+p-HP"));
+        assert!(t.contains("50.0%"));
+        assert!(t.contains("25.0%"));
+    }
+
+    #[test]
+    fn overall_csv_has_header_and_rows() {
+        let runs = vec![
+            fake(Variant::Normal, 1000, 100),
+            fake(Variant::Active, 500, 25),
+        ];
+        let csv = overall_csv("fig3", &runs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("experiment,config"));
+        assert!(lines[1].starts_with("fig3,normal,1000000,1.000000"));
+        assert!(lines[2].contains("fig3,active,500000,0.500000"));
+    }
+
+    #[test]
+    fn speedups_extracts_ratios() {
+        let runs = vec![
+            fake(Variant::Normal, 1000, 1),
+            fake(Variant::NormalPref, 800, 1),
+            fake(Variant::Active, 500, 1),
+            fake(Variant::ActivePref, 400, 1),
+        ];
+        let (s, sp) = speedups(&runs);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert!((sp - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1814 @@
+//! The whole-system simulator: hosts, HCAs, active switches, TCAs,
+//! disks, and the event loop that ties them together.
+//!
+//! This is the reproduction of the paper's execution environment (§4):
+//! host programs run as real Rust code charging time against detailed
+//! CPU/cache/memory models; I/O requests pay the measured OS costs and
+//! stream off the two-disk SCSI array as per-MTU packet schedules; the
+//! fabric moves packets with cut-through timing; and active messages
+//! invoke switch handlers that process the actual bytes.
+//!
+//! The event loop is deterministic: ties in simulated time break by
+//! insertion order ([`asan_sim::EventQueue`]).
+
+use std::collections::HashMap;
+
+use asan_cpu::{Cpu, CpuConfig};
+use asan_io::{OsCost, Storage, StorageConfig};
+use asan_net::topo::{NodeKind, TopologyBuilder};
+use asan_net::{Fabric, HandlerId, Hca, HcaConfig, NodeId, HEADER_BYTES, MTU};
+use asan_sim::stats::{TimeBreakdown, Traffic};
+use asan_sim::{EventQueue, SimDuration, SimTime};
+
+use crate::active::{ActiveSwitch, ActiveSwitchConfig};
+use crate::handler::{Handler, SwitchIoReq};
+use crate::stats::{
+    CacheSnapshot, ClusterStats, CpuSnapshot, FabricSnapshot, HostSnapshot, StorageSnapshot,
+    SwitchSnapshot,
+};
+
+/// Identifies an I/O request issued by a host program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReqId(pub u64);
+
+/// Identifies a stored file (placed on one TCA's disk array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub usize);
+
+/// Where a read's data should be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// DMA into the issuing host's memory at `addr` (the normal path).
+    HostBuf {
+        /// Physical base address of the host buffer.
+        addr: u64,
+    },
+    /// Stream to `node` as active messages mapped at `base_addr`,
+    /// invoking `handler` per packet (the active path: the host "maps
+    /// the file into memory" on the switch, §2.2).
+    Mapped {
+        /// Destination node (an active switch, usually).
+        node: NodeId,
+        /// Handler invoked per arriving packet.
+        handler: HandlerId,
+        /// Base of the mapped address window.
+        base_addr: u32,
+    },
+}
+
+/// A message as seen by a host program.
+#[derive(Debug, Clone)]
+pub struct HostMsg {
+    /// Sending node.
+    pub src: NodeId,
+    /// Active-handler field, if the sender set one (lets programs
+    /// demultiplex flows).
+    pub handler: Option<HandlerId>,
+    /// Address field of the header.
+    pub addr: u32,
+    /// Real payload bytes.
+    pub data: Vec<u8>,
+    /// Flow sequence number.
+    pub seq: u32,
+}
+
+/// A host-resident application (one per compute node).
+///
+/// Programs are state machines: the cluster calls these hooks in
+/// simulated-time order, and the program charges CPU time through the
+/// [`HostCtx`] as it processes real data.
+pub trait HostProgram {
+    /// Called once at time zero.
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>);
+
+    /// Called when an I/O request previously issued via
+    /// [`HostCtx::read_file`] has fully delivered its data.
+    fn on_io_complete(&mut self, _ctx: &mut HostCtx<'_>, _req: ReqId) {}
+
+    /// Called when a message arrives for this host.
+    fn on_message(&mut self, _ctx: &mut HostCtx<'_>, _msg: &HostMsg) {}
+
+    /// Downcasting hook so benchmarks can read back program state after
+    /// a run (`Some(self)` in implementations that support it).
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+impl std::fmt::Debug for dyn HostProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<host program>")
+    }
+}
+
+/// Metadata of a stored file.
+#[derive(Debug, Clone, Copy)]
+pub struct FileMeta {
+    /// The TCA whose disks hold the file.
+    pub tca: NodeId,
+    /// File length in bytes.
+    pub len: u64,
+    /// Byte offset of the file on the array.
+    pub disk_offset: u64,
+}
+
+#[derive(Debug)]
+enum Effect {
+    Io {
+        req: ReqId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        dest: Dest,
+        issue_at: SimTime,
+    },
+    Send {
+        dst: NodeId,
+        handler: Option<HandlerId>,
+        addr: u32,
+        data: Vec<u8>,
+        ready: SimTime,
+    },
+    Finish,
+}
+
+/// Kernel/OS services available to a host program during a callback.
+#[derive(Debug)]
+pub struct HostCtx<'a> {
+    cpu: &'a mut Cpu,
+    hca: &'a mut Hca,
+    node: NodeId,
+    os: OsCost,
+    files: &'a [FileMeta],
+    next_req: &'a mut u64,
+    effects: Vec<Effect>,
+}
+
+impl HostCtx<'_> {
+    /// This host's node ID.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current local time.
+    pub fn now(&self) -> SimTime {
+        self.cpu.now()
+    }
+
+    /// The CPU model, for charging application work (compute, loads,
+    /// scans over real data).
+    pub fn cpu(&mut self) -> &mut Cpu {
+        self.cpu
+    }
+
+    /// Length of a stored file.
+    pub fn file_len(&self, file: FileId) -> u64 {
+        self.files[file.0].len
+    }
+
+    /// Issues an asynchronous read of `[offset, offset+len)` of `file`,
+    /// delivering to `dest`. Charges the issue share of the OS
+    /// per-request cost now; the completion share (and the per-KB cost
+    /// for host-destined data) is charged when the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the file or is empty.
+    pub fn read_file(&mut self, file: FileId, offset: u64, len: u64, dest: Dest) -> ReqId {
+        let meta = self.files[file.0];
+        assert!(offset + len <= meta.len, "read beyond file end");
+        assert!(len > 0, "zero-length read");
+        // Issue share only; the completion share is charged at
+        // IoComplete. Active (mapped) requests bypass the heavyweight
+        // OS path entirely.
+        match dest {
+            Dest::HostBuf { .. } => self.cpu.charge_fixed_busy(self.os.per_request / 2),
+            Dest::Mapped { .. } => self.cpu.charge_fixed_busy(self.os.active_request),
+        }
+        let req = ReqId(*self.next_req);
+        *self.next_req += 1;
+        self.effects.push(Effect::Io {
+            req,
+            file,
+            offset,
+            len,
+            dest,
+            issue_at: self.cpu.now(),
+        });
+        req
+    }
+
+    /// Sends `data` to `dst` (packetized into MTU packets by the HCA).
+    /// `handler` names the switch handler for active messages, or tags
+    /// the flow for host receivers.
+    pub fn send(&mut self, dst: NodeId, handler: Option<HandlerId>, addr: u32, data: Vec<u8>) {
+        let ready = self.hca.post_send(self.cpu);
+        self.effects.push(Effect::Send {
+            dst,
+            handler,
+            addr,
+            data,
+            ready,
+        });
+    }
+
+    /// Declares this host's program finished.
+    pub fn finish(&mut self) {
+        self.effects.push(Effect::Finish);
+    }
+}
+
+#[derive(Debug)]
+struct HostNode {
+    cpu: Cpu,
+    hca: Hca,
+    program: Option<Box<dyn HostProgram>>,
+    finished_at: Option<SimTime>,
+    payload: Traffic,
+    /// Remaining CPU time of a co-scheduled background job that soaks
+    /// up this host's idle time (the paper's "multi-programmed server"
+    /// scenario: freed host cycles are usable by other tasks).
+    background_left: SimDuration,
+    /// When the background job completed, if it did.
+    background_done: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct TcaNode {
+    storage: Storage,
+    /// Next free byte on the array (files are placed sequentially).
+    alloc_cursor: u64,
+    /// Archive-write aggregation.
+    write_pending: u64,
+    write_cursor: u64,
+    last_write_done: SimTime,
+    write_chunk: u64,
+}
+
+#[derive(Debug)]
+struct IoState {
+    host: NodeId,
+    dest: Dest,
+    remaining: usize,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    Start(NodeId),
+    /// A whole packet finished arriving at a host.
+    PacketToHost {
+        host: NodeId,
+        msg: HostMsg,
+        io_req: Option<ReqId>,
+    },
+    /// An active packet's header reached a switch (payload window given).
+    PacketToSwitch {
+        sw: NodeId,
+        pkt: asan_net::Packet,
+        payload_start: SimTime,
+        payload_end: SimTime,
+    },
+    /// Raw data arrived at a TCA (archive-write stream).
+    PacketToTca {
+        tca: NodeId,
+        bytes: u64,
+    },
+    /// A host-issued I/O request's control packet reached its TCA.
+    IoRequestAtTca {
+        tca: NodeId,
+        req: ReqId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        dest: Dest,
+    },
+    /// A switch-initiated I/O request reached its TCA.
+    SwitchIoAtTca {
+        r: SwitchIoReq,
+    },
+    /// All data of `req` delivered; notify the issuing host.
+    IoComplete {
+        host: NodeId,
+        req: ReqId,
+    },
+    /// The TCA finished injecting a mapped read's data: send the small
+    /// completion notification to the issuing host *now* (deferred so
+    /// the fabric only ever sees causally-ordered sends per link).
+    CompletionNotice {
+        tca: NodeId,
+        host: NodeId,
+        req: ReqId,
+    },
+    /// One MTU packet of a storage read becomes ready at its TCA: inject
+    /// it into the fabric *now*. Deferring each injection to its ready
+    /// time keeps every link's sends causally ordered, so small control
+    /// messages interleave with bulk data instead of queueing behind
+    /// pre-booked future transfers.
+    InjectIoPacket {
+        src: NodeId,
+        dst: NodeId,
+        handler: Option<HandlerId>,
+        addr: u32,
+        payload: Vec<u8>,
+        seq: u32,
+        io_req: Option<ReqId>,
+    },
+}
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Host CPU/cache configuration.
+    pub host_cpu: CpuConfig,
+    /// HCA cost parameters.
+    pub hca: HcaConfig,
+    /// OS I/O overhead constants.
+    pub os: OsCost,
+    /// Storage array per TCA.
+    pub storage: StorageConfig,
+    /// Active-switch configuration (applied to every switch node).
+    pub active: ActiveSwitchConfig,
+    /// Event-count safety limit (deadlock/livelock guard).
+    pub max_events: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        ClusterConfig {
+            host_cpu: CpuConfig::host(),
+            hca: HcaConfig::paper(),
+            os: OsCost::paper(),
+            storage: StorageConfig::paper(),
+            active: ActiveSwitchConfig::paper(),
+            max_events: 80_000_000,
+        }
+    }
+
+    /// The paper's database configuration (scaled host caches, §4).
+    pub fn paper_db() -> Self {
+        ClusterConfig {
+            host_cpu: CpuConfig::host_db(),
+            ..ClusterConfig::paper()
+        }
+    }
+}
+
+/// Per-host results.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// The host's node ID.
+    pub node: NodeId,
+    /// Busy/stall/idle breakdown padded to the run's finish time.
+    pub breakdown: TimeBreakdown,
+    /// Payload bytes in/out of this host.
+    pub payload: Traffic,
+    /// When this host's program finished.
+    pub finished_at: SimTime,
+    /// When the co-scheduled background job finished (`None` if it was
+    /// still unfinished when the run ended, or none was scheduled).
+    pub background_done: Option<SimTime>,
+    /// Background CPU time left unconsumed at the end of the run.
+    pub background_left: SimDuration,
+}
+
+/// Per-switch results.
+#[derive(Debug, Clone)]
+pub struct SwitchReport {
+    /// The switch's node ID.
+    pub node: NodeId,
+    /// Per-CPU breakdowns padded to the run's finish time.
+    pub cpu_breakdowns: Vec<TimeBreakdown>,
+    /// Handler invocations.
+    pub invocations: u64,
+    /// Active payload bytes consumed by handlers.
+    pub bytes_in: u64,
+    /// Payload bytes emitted by handlers.
+    pub bytes_out: u64,
+}
+
+/// Results of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// When the last host program finished.
+    pub finish: SimTime,
+    /// When the last event (including trailing archive writes) drained.
+    pub drain: SimTime,
+    /// Per-host results.
+    pub hosts: Vec<HostReport>,
+    /// Per-switch results.
+    pub switches: Vec<SwitchReport>,
+    /// Bytes carried by the fabric, summed over every link hop.
+    pub link_bytes: u64,
+    /// Events processed (diagnostic).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// The report of host `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host in this run.
+    pub fn host(&self, node: NodeId) -> &HostReport {
+        self.hosts
+            .iter()
+            .find(|h| h.node == node)
+            .expect("not a host node")
+    }
+
+    /// The report of switch `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a switch in this run.
+    pub fn switch(&self, node: NodeId) -> &SwitchReport {
+        self.switches
+            .iter()
+            .find(|s| s.node == node)
+            .expect("not a switch node")
+    }
+
+    /// Mean host utilization (the paper's `(1 − idle)/exec`).
+    pub fn mean_host_utilization(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts
+            .iter()
+            .map(|h| h.breakdown.utilization())
+            .sum::<f64>()
+            / self.hosts.len() as f64
+    }
+
+    /// Total payload traffic in/out across all hosts (the paper's
+    /// "host I/O traffic" metric).
+    pub fn total_host_payload(&self) -> u64 {
+        self.hosts.iter().map(|h| h.payload.total()).sum()
+    }
+}
+
+/// The assembled cluster simulation.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    fabric: Fabric,
+    queue: EventQueue<Event>,
+    hosts: HashMap<NodeId, HostNode>,
+    host_order: Vec<NodeId>,
+    switches: HashMap<NodeId, ActiveSwitch>,
+    switch_order: Vec<NodeId>,
+    /// Optional active engines on TCA nodes: "a two-level active I/O
+    /// system" (§6) — intelligent disks below the active switches.
+    active_tcas: HashMap<NodeId, ActiveSwitch>,
+    tcas: HashMap<NodeId, TcaNode>,
+    files_meta: Vec<FileMeta>,
+    files_data: Vec<Vec<u8>>,
+    reqs: HashMap<ReqId, IoState>,
+    next_req: u64,
+    events: u64,
+}
+
+impl Cluster {
+    /// Builds a cluster over `topo` with the given configuration.
+    /// Every `Host` node gets a CPU + HCA; every `Switch` node gets an
+    /// active switch; every `Tca` node gets a storage array.
+    pub fn new(topo: TopologyBuilder, cfg: ClusterConfig) -> Self {
+        let fabric = topo.build();
+        let mut hosts = HashMap::new();
+        let mut switches = HashMap::new();
+        let mut tcas = HashMap::new();
+        let mut host_order = Vec::new();
+        let mut switch_order = Vec::new();
+        for i in 0..fabric.num_nodes() {
+            let id = NodeId(i as u16);
+            match fabric.kind(id) {
+                NodeKind::Host => {
+                    host_order.push(id);
+                    hosts.insert(
+                        id,
+                        HostNode {
+                            cpu: Cpu::new(cfg.host_cpu.clone()),
+                            hca: Hca::new(cfg.hca),
+                            program: None,
+                            finished_at: None,
+                            payload: Traffic::default(),
+                            background_left: SimDuration::ZERO,
+                            background_done: None,
+                        },
+                    );
+                }
+                NodeKind::Switch => {
+                    switch_order.push(id);
+                    switches.insert(id, ActiveSwitch::new(id, cfg.active.clone()));
+                }
+                NodeKind::Tca => {
+                    tcas.insert(
+                        id,
+                        TcaNode {
+                            storage: Storage::new(cfg.storage),
+                            alloc_cursor: 0,
+                            write_pending: 0,
+                            write_cursor: 1 << 40, // archive region
+                            last_write_done: SimTime::ZERO,
+                            write_chunk: 64 * 1024,
+                        },
+                    );
+                }
+            }
+        }
+        Cluster {
+            cfg,
+            fabric,
+            queue: EventQueue::new(),
+            hosts,
+            host_order,
+            switches,
+            switch_order,
+            active_tcas: HashMap::new(),
+            tcas,
+            files_meta: Vec::new(),
+            files_data: Vec::new(),
+            reqs: HashMap::new(),
+            next_req: 0,
+            events: 0,
+        }
+    }
+
+    /// Stores `data` as a file on `tca`'s array, returning its ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tca` is not a TCA node.
+    pub fn add_file(&mut self, tca: NodeId, data: Vec<u8>) -> FileId {
+        let t = self.tcas.get_mut(&tca).expect("not a TCA node");
+        let id = FileId(self.files_meta.len());
+        self.files_meta.push(FileMeta {
+            tca,
+            len: data.len() as u64,
+            disk_offset: t.alloc_cursor,
+        });
+        // Files are stripe-aligned: they never share a stripe unit but
+        // consecutively-added files stay contiguous on the platters
+        // (as a freshly written file set would be).
+        let stripe = self.cfg.storage.stripe_bytes;
+        t.alloc_cursor += (data.len() as u64).div_ceil(stripe).max(1) * stripe;
+        self.files_data.push(data);
+        id
+    }
+
+    /// Co-schedules `cpu_time` of background computation on host
+    /// `node`: it consumes time the foreground program would otherwise
+    /// spend idle (an OS timeslicing other processes onto the freed
+    /// CPU). The run report shows when it completed — the quantitative
+    /// form of the paper's claim that lower host utilization "allows
+    /// other tasks to be performed concurrently".
+    pub fn set_background_job(&mut self, node: NodeId, cpu_time: SimDuration) {
+        let h = self.hosts.get_mut(&node).expect("not a host node");
+        h.background_left = cpu_time;
+        h.background_done = None;
+    }
+
+    /// Installs `program` on host `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a host or already has a program.
+    pub fn set_program(&mut self, node: NodeId, program: Box<dyn HostProgram>) {
+        let h = self.hosts.get_mut(&node).expect("not a host node");
+        assert!(h.program.is_none(), "program already installed on {node}");
+        h.program = Some(program);
+    }
+
+    /// Registers `handler` under `id` on switch `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a switch.
+    pub fn register_handler(&mut self, node: NodeId, id: HandlerId, handler: Box<dyn Handler>) {
+        self.switches
+            .get_mut(&node)
+            .expect("not a switch node")
+            .register(id, handler);
+    }
+
+    /// Removes a handler after a run so the caller can read back state
+    /// accumulated inside it.
+    pub fn take_handler(&mut self, node: NodeId, id: HandlerId) -> Option<Box<dyn Handler>> {
+        if let Some(sw) = self.switches.get_mut(&node) {
+            return sw.take_handler(id);
+        }
+        self.active_tcas.get_mut(&node)?.take_handler(id)
+    }
+
+    /// Turns the TCA at `node` into an *active disk*: an embedded
+    /// processor (same model as a switch CPU) that can run handlers on
+    /// data as it streams off the array — §6's two-level active I/O.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a TCA.
+    pub fn enable_active_tca(&mut self, node: NodeId, cfg: ActiveSwitchConfig) {
+        assert!(self.tcas.contains_key(&node), "not a TCA node");
+        self.active_tcas.insert(node, ActiveSwitch::new(node, cfg));
+    }
+
+    /// Registers `handler` on an active TCA previously enabled with
+    /// [`enable_active_tca`](Cluster::enable_active_tca).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TCA is not active.
+    pub fn register_tca_handler(&mut self, node: NodeId, id: HandlerId, handler: Box<dyn Handler>) {
+        self.active_tcas
+            .get_mut(&node)
+            .expect("TCA is not active; call enable_active_tca first")
+            .register(id, handler);
+    }
+
+    /// Removes a host's program after a run so the caller can read back
+    /// state accumulated inside it.
+    pub fn take_program(&mut self, node: NodeId) -> Option<Box<dyn HostProgram>> {
+        self.hosts.get_mut(&node)?.program.take()
+    }
+
+    /// The fabric (for traffic inspection).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Snapshots every component's low-level counters (cache misses,
+    /// ATB traffic, disk seeks, credit stalls, …) for diagnosis.
+    pub fn stats(&self) -> ClusterStats {
+        fn cache_snap(c: &asan_mem::Cache) -> CacheSnapshot {
+            CacheSnapshot {
+                accesses: c.stats().accesses(),
+                misses: c.stats().misses.get(),
+                writebacks: c.stats().writebacks.get(),
+            }
+        }
+        fn cpu_snap(cpu: &Cpu) -> CpuSnapshot {
+            let m = cpu.memory();
+            CpuSnapshot {
+                instructions: cpu.instructions(),
+                l1d: cache_snap(m.l1d()),
+                l1i: cache_snap(m.l1i()),
+                l2: m.l2().map(cache_snap),
+                dram_page_hits: m.dram().stats().page_hits.get(),
+                dram_page_misses: m.dram().stats().page_misses.get(),
+            }
+        }
+        let hosts = self
+            .host_order
+            .iter()
+            .map(|id| {
+                let h = &self.hosts[id];
+                HostSnapshot {
+                    node: *id,
+                    cpu: cpu_snap(&h.cpu),
+                    hca_sends: h.hca.sends(),
+                    hca_recvs: h.hca.recvs(),
+                }
+            })
+            .collect();
+        let switches = self
+            .switch_order
+            .iter()
+            .map(|id| {
+                let s = &self.switches[id];
+                SwitchSnapshot {
+                    node: *id,
+                    invocations: s.stats().invocations.get(),
+                    bytes_in: s.stats().bytes_in.get(),
+                    bytes_out: s.stats().bytes_out.get(),
+                    buffer_allocs: s.dba().allocs(),
+                    buffer_waits: s.dba().alloc_waits(),
+                    buffer_peak: s.dba().occupancy().max().unwrap_or(0),
+                    atb_hits: (0..s.config().num_cpus).map(|i| s.atb(i).hits()).sum(),
+                    atb_misses: (0..s.config().num_cpus).map(|i| s.atb(i).misses()).sum(),
+                    cpus: s.cpus().iter().map(cpu_snap).collect(),
+                }
+            })
+            .collect();
+        let mut storage = Vec::new();
+        for i in 0..self.fabric.num_nodes() {
+            let id = NodeId(i as u16);
+            if let Some(t) = self.tcas.get(&id) {
+                storage.push(StorageSnapshot {
+                    node: id,
+                    disk_bytes: t
+                        .storage
+                        .disks()
+                        .iter()
+                        .map(|d| d.stats().bytes.get())
+                        .collect(),
+                    disk_seeks: t
+                        .storage
+                        .disks()
+                        .iter()
+                        .map(|d| d.stats().seeks.get())
+                        .collect(),
+                    bus_bursts: t.storage.bus().stats().bursts.get(),
+                    bus_bytes: t.storage.bus().stats().bytes.get(),
+                });
+            }
+        }
+        ClusterStats {
+            hosts,
+            switches,
+            storage,
+            fabric: FabricSnapshot {
+                link_bytes: self.fabric.total_link_bytes(),
+                credit_stalls: self.fabric.total_credit_stalls(),
+            },
+            events: self.events,
+        }
+    }
+
+    /// The active switch at `node` (for inspection).
+    pub fn switch(&self, node: NodeId) -> Option<&ActiveSwitch> {
+        self.switches.get(&node)
+    }
+
+    /// Runs the simulation to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event limit is exceeded (deadlock/livelock guard).
+    pub fn run(&mut self) -> RunReport {
+        for h in self.host_order.clone() {
+            if self.hosts[&h].program.is_some() {
+                self.queue.push(SimTime::ZERO, Event::Start(h));
+            }
+        }
+        let mut drain = SimTime::ZERO;
+        while let Some((t, ev)) = self.queue.pop() {
+            self.events += 1;
+            if std::env::var_os("ASAN_TRACE").is_some() {
+                eprintln!(
+                    "[ev {}] t={} {:?}",
+                    self.events,
+                    t,
+                    match &ev {
+                        Event::Start(_) => "Start",
+                        Event::PacketToHost { .. } => "PacketToHost",
+                        Event::PacketToSwitch { .. } => "PacketToSwitch",
+                        Event::PacketToTca { .. } => "PacketToTca",
+                        Event::IoRequestAtTca { .. } => "IoRequestAtTca",
+                        Event::SwitchIoAtTca { .. } => "SwitchIoAtTca",
+                        Event::IoComplete { .. } => "IoComplete",
+                        Event::CompletionNotice { .. } => "CompletionNotice",
+                        Event::InjectIoPacket { .. } => "InjectIoPacket",
+                    }
+                );
+            }
+            assert!(
+                self.events <= self.cfg.max_events,
+                "event limit exceeded at {t}: likely a livelock"
+            );
+            drain = drain.max(t);
+            self.handle(t, ev);
+        }
+        // Flush trailing archive writes.
+        for tca in self.tcas.values_mut() {
+            if tca.write_pending > 0 {
+                let done = tca
+                    .storage
+                    .write(tca.write_cursor, tca.write_pending, drain);
+                tca.write_cursor += tca.write_pending;
+                tca.write_pending = 0;
+                tca.last_write_done = tca.last_write_done.max(done);
+            }
+            drain = drain.max(tca.last_write_done);
+        }
+
+        let finish = self
+            .hosts
+            .values()
+            .filter_map(|h| h.finished_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        let finish = if finish == SimTime::ZERO {
+            drain
+        } else {
+            finish
+        };
+
+        let hosts = self
+            .host_order
+            .iter()
+            .map(|&id| {
+                let h = &self.hosts[&id];
+                let mut b = *h.cpu.breakdown();
+                b.pad_idle_to(finish.since(SimTime::ZERO));
+                HostReport {
+                    node: id,
+                    breakdown: b,
+                    payload: h.payload,
+                    finished_at: h.finished_at.unwrap_or(finish),
+                    background_done: h.background_done,
+                    background_left: h.background_left,
+                }
+            })
+            .collect();
+        let switches = self
+            .switch_order
+            .iter()
+            .map(|&id| {
+                let s = &self.switches[&id];
+                let mut bs = s.cpu_breakdowns();
+                for b in &mut bs {
+                    b.pad_idle_to(finish.since(SimTime::ZERO));
+                }
+                SwitchReport {
+                    node: id,
+                    cpu_breakdowns: bs,
+                    invocations: s.stats().invocations.get(),
+                    bytes_in: s.stats().bytes_in.get(),
+                    bytes_out: s.stats().bytes_out.get(),
+                }
+            })
+            .collect();
+        RunReport {
+            finish,
+            drain: drain.max(finish),
+            hosts,
+            switches,
+            link_bytes: self.fabric.total_link_bytes(),
+            events: self.events,
+        }
+    }
+
+    fn handle(&mut self, t: SimTime, ev: Event) {
+        match ev {
+            Event::Start(h) => {
+                self.call_host(h, t, None, None);
+            }
+            Event::PacketToHost { host, msg, io_req } => {
+                let bytes = msg.data.len() as u64;
+                let node = self.hosts.get_mut(&host).expect("host exists");
+                node.payload.record_in(bytes);
+                match io_req {
+                    Some(req) => {
+                        // DMA of request data: no per-packet CPU cost.
+                        let done = {
+                            let st = self.reqs.get_mut(&req).expect("live request");
+                            st.remaining -= 1;
+                            st.remaining == 0
+                        };
+                        if done {
+                            let lat = node.hca.config().recv_latency;
+                            self.queue.push(t + lat, Event::IoComplete { host, req });
+                        }
+                    }
+                    None => {
+                        self.call_host(host, t, None, Some(msg));
+                    }
+                }
+            }
+            Event::PacketToSwitch {
+                sw,
+                pkt,
+                payload_start,
+                payload_end,
+            } => {
+                let engine = self
+                    .switches
+                    .get_mut(&sw)
+                    .or_else(|| self.active_tcas.get_mut(&sw))
+                    .expect("active engine exists");
+                let result = engine.dispatch(&pkt, t, payload_start, payload_end);
+                for m in result.outbox {
+                    let wire = (m.data.len() + HEADER_BYTES) as u64;
+                    let d = self.fabric.transmit(wire, sw, m.dst, m.ready);
+                    self.deliver(
+                        sw,
+                        m.dst,
+                        m.handler,
+                        m.addr,
+                        m.data,
+                        pkt.header.seq,
+                        d,
+                        None,
+                    );
+                }
+                for r in result.io_reqs {
+                    if r.tca == sw {
+                        // An active TCA requesting its own disks: the
+                        // request never leaves the node.
+                        self.queue.push(r.ready, Event::SwitchIoAtTca { r });
+                    } else {
+                        let wire = (HEADER_BYTES * 2) as u64;
+                        let d = self.fabric.transmit(wire, sw, r.tca, r.ready);
+                        self.queue.push(d.arrival, Event::SwitchIoAtTca { r });
+                    }
+                }
+            }
+            Event::PacketToTca { tca, bytes } => {
+                let node = self.tcas.get_mut(&tca).expect("tca exists");
+                node.write_pending += bytes;
+                if node.write_pending >= node.write_chunk {
+                    let done = node.storage.write(node.write_cursor, node.write_pending, t);
+                    node.write_cursor += node.write_pending;
+                    node.write_pending = 0;
+                    node.last_write_done = node.last_write_done.max(done);
+                }
+            }
+            Event::IoRequestAtTca {
+                tca,
+                req,
+                file,
+                offset,
+                len,
+                dest,
+            } => {
+                self.start_storage_read(tca, req, file, offset, len, dest, t);
+            }
+            Event::SwitchIoAtTca { r } => {
+                self.start_switch_read(&r, t);
+            }
+            Event::InjectIoPacket {
+                src,
+                dst,
+                handler,
+                addr,
+                payload,
+                seq,
+                io_req,
+            } => {
+                let wire = (payload.len() + HEADER_BYTES) as u64;
+                let d = self.fabric.transmit(wire, src, dst, t);
+                self.deliver(src, dst, handler, addr, payload, seq, d, io_req);
+            }
+            Event::CompletionNotice { tca, host, req } => {
+                let wire = HEADER_BYTES as u64;
+                let d = self.fabric.transmit(wire, tca, host, t);
+                self.queue.push(d.arrival, Event::IoComplete { host, req });
+            }
+            Event::IoComplete { host, req } => {
+                let st = self.reqs.remove(&req).expect("live request");
+                // Completion-side OS cost: the interrupt/copy share, plus
+                // the per-KB cost — only for data that landed in host
+                // memory (active completions are consumed by polling).
+                let (per_req, per_kb) = if matches!(st.dest, Dest::HostBuf { .. }) {
+                    (
+                        self.cfg.os.per_request / 2,
+                        SimDuration::from_ns_f64(
+                            st.bytes as f64 * self.cfg.os.per_kb_ns as f64 / 1024.0,
+                        ),
+                    )
+                } else {
+                    (SimDuration::ZERO, SimDuration::ZERO)
+                };
+                {
+                    let node = self.hosts.get_mut(&host).expect("host exists");
+                    Self::advance_host(node, t);
+                    node.cpu.charge_fixed_busy(per_req + per_kb);
+                }
+                let at = self.hosts[&host].cpu.now();
+                self.call_host(host, at, Some(req), None);
+            }
+        }
+    }
+
+    /// Advances `node`'s CPU to `at`, letting any co-scheduled
+    /// background job consume the gap as busy time before the rest is
+    /// filed as idle.
+    fn advance_host(node: &mut HostNode, at: SimTime) {
+        if at <= node.cpu.now() {
+            return;
+        }
+        if node.background_left > SimDuration::ZERO {
+            let gap = at.since(node.cpu.now());
+            let take = gap.min(node.background_left);
+            node.cpu.busy_until(node.cpu.now() + take);
+            node.background_left -= take;
+            if node.background_left == SimDuration::ZERO {
+                node.background_done = Some(node.cpu.now());
+            }
+        }
+        node.cpu.idle_until(at);
+    }
+
+    /// Invokes a host program hook. `io` = completed request;
+    /// `msg` = arrived message; neither = start.
+    fn call_host(&mut self, host: NodeId, at: SimTime, io: Option<ReqId>, msg: Option<HostMsg>) {
+        let node = self.hosts.get_mut(&host).expect("host exists");
+        if node.finished_at.is_some() {
+            // Finished programs ignore late traffic (e.g. trailing
+            // completion notifications).
+            return;
+        }
+        let mut program = match node.program.take() {
+            Some(p) => p,
+            None => return,
+        };
+        Self::advance_host(node, at);
+        if msg.is_some() {
+            // Poll + consume the completion.
+            let instr = node.hca.config().recv_instr;
+            node.cpu.compute(instr);
+        }
+        let mut ctx = HostCtx {
+            cpu: &mut node.cpu,
+            hca: &mut node.hca,
+            node: host,
+            os: self.cfg.os,
+            files: &self.files_meta,
+            next_req: &mut self.next_req,
+            effects: Vec::new(),
+        };
+        match (io, &msg) {
+            (Some(req), _) => program.on_io_complete(&mut ctx, req),
+            (None, Some(m)) => program.on_message(&mut ctx, m),
+            (None, None) => program.on_start(&mut ctx),
+        }
+        let effects = std::mem::take(&mut ctx.effects);
+        self.hosts.get_mut(&host).expect("host exists").program = Some(program);
+        self.apply_effects(host, effects);
+    }
+
+    fn apply_effects(&mut self, host: NodeId, effects: Vec<Effect>) {
+        for e in effects {
+            match e {
+                Effect::Io {
+                    req,
+                    file,
+                    offset,
+                    len,
+                    dest,
+                    issue_at,
+                } => {
+                    let tca = self.files_meta[file.0].tca;
+                    let wire = (HEADER_BYTES * 2) as u64;
+                    let d = self.fabric.transmit(wire, host, tca, issue_at);
+                    self.reqs.insert(
+                        req,
+                        IoState {
+                            host,
+                            dest,
+                            remaining: usize::MAX, // set when the read starts
+                            bytes: len,
+                        },
+                    );
+                    self.queue.push(
+                        d.arrival,
+                        Event::IoRequestAtTca {
+                            tca,
+                            req,
+                            file,
+                            offset,
+                            len,
+                            dest,
+                        },
+                    );
+                }
+                Effect::Send {
+                    dst,
+                    handler,
+                    addr,
+                    data,
+                    ready,
+                } => {
+                    self.hosts
+                        .get_mut(&host)
+                        .expect("host exists")
+                        .payload
+                        .record_out(data.len() as u64);
+                    // Packetize; each packet is its own fabric transfer.
+                    let chunks: Vec<(usize, usize)> = if data.is_empty() {
+                        vec![(0, 0)]
+                    } else {
+                        (0..data.len())
+                            .step_by(MTU)
+                            .map(|o| (o, (data.len() - o).min(MTU)))
+                            .collect()
+                    };
+                    for (i, (off, clen)) in chunks.into_iter().enumerate() {
+                        let payload = data[off..off + clen].to_vec();
+                        let wire = (clen + HEADER_BYTES) as u64;
+                        let d = self.fabric.transmit(wire, host, dst, ready);
+                        self.deliver(
+                            host,
+                            dst,
+                            handler,
+                            addr.wrapping_add(off as u32),
+                            payload,
+                            i as u32,
+                            d,
+                            None,
+                        );
+                    }
+                }
+                Effect::Finish => {
+                    let node = self.hosts.get_mut(&host).expect("host exists");
+                    node.finished_at = Some(node.cpu.now());
+                }
+            }
+        }
+    }
+
+    /// Schedules the delivery events for one packet already injected
+    /// into the fabric.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        handler: Option<HandlerId>,
+        addr: u32,
+        data: Vec<u8>,
+        seq: u32,
+        d: asan_net::Delivery,
+        io_req: Option<ReqId>,
+    ) {
+        match self.fabric.kind(dst) {
+            NodeKind::Host => {
+                self.queue.push(
+                    d.arrival,
+                    Event::PacketToHost {
+                        host: dst,
+                        msg: HostMsg {
+                            src,
+                            handler,
+                            addr,
+                            data,
+                            seq,
+                        },
+                        io_req,
+                    },
+                );
+            }
+            NodeKind::Switch => {
+                let h = handler.expect("messages to a switch must be active");
+                let len = data.len();
+                let pkt = asan_net::Packet::new(
+                    asan_net::Header {
+                        src,
+                        dst,
+                        len: len as u16,
+                        handler: Some(h),
+                        addr,
+                        seq,
+                    },
+                    data,
+                );
+                self.queue.push(
+                    d.header_at,
+                    Event::PacketToSwitch {
+                        sw: dst,
+                        pkt,
+                        payload_start: d.payload_start,
+                        payload_end: d.arrival,
+                    },
+                );
+            }
+            NodeKind::Tca => {
+                if let Some(h) = handler.filter(|_| self.active_tcas.contains_key(&dst)) {
+                    let len = data.len();
+                    let pkt = asan_net::Packet::new(
+                        asan_net::Header {
+                            src,
+                            dst,
+                            len: len as u16,
+                            handler: Some(h),
+                            addr,
+                            seq,
+                        },
+                        data,
+                    );
+                    self.queue.push(
+                        d.header_at,
+                        Event::PacketToSwitch {
+                            sw: dst,
+                            pkt,
+                            payload_start: d.payload_start,
+                            payload_end: d.arrival,
+                        },
+                    );
+                } else {
+                    self.queue.push(
+                        d.arrival,
+                        Event::PacketToTca {
+                            tca: dst,
+                            bytes: data.len() as u64,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Starts a host-requested storage read at its TCA.
+    #[allow(clippy::too_many_arguments)]
+    fn start_storage_read(
+        &mut self,
+        tca: NodeId,
+        req: ReqId,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        dest: Dest,
+        now: SimTime,
+    ) {
+        let meta = self.files_meta[file.0];
+        let sched = {
+            let node = self.tcas.get_mut(&tca).expect("tca exists");
+            node.storage
+                .read_stream(meta.disk_offset + offset, len, now)
+        };
+        let host = self.reqs[&req].host;
+        let (dst, handler, base_addr) = match dest {
+            Dest::HostBuf { addr } => (host, None, addr as u32),
+            Dest::Mapped {
+                node,
+                handler,
+                base_addr,
+            } => (node, Some(handler), base_addr),
+        };
+        let track_packets = matches!(dest, Dest::HostBuf { .. });
+        if track_packets {
+            if let Some(st) = self.reqs.get_mut(&req) {
+                st.remaining = sched.len();
+            }
+        }
+        let mut cursor = offset as usize;
+        for (i, (&ready, &plen)) in sched
+            .packet_ready
+            .iter()
+            .zip(sched.packet_len.iter())
+            .enumerate()
+        {
+            let plen = plen as usize;
+            let payload = self.files_data[file.0][cursor..cursor + plen].to_vec();
+            cursor += plen;
+            if dst == tca {
+                // Mapped to the TCA's own active engine (an active
+                // disk): no fabric traversal — the buffer fills as the
+                // bus delivers.
+                let h = handler.expect("local TCA delivery is active");
+                let pkt = asan_net::Packet::new(
+                    asan_net::Header {
+                        src: tca,
+                        dst,
+                        len: plen as u16,
+                        handler: Some(h),
+                        addr: base_addr.wrapping_add((i * MTU) as u32),
+                        seq: i as u32,
+                    },
+                    payload,
+                );
+                let window = SimDuration::transfer(plen as u64, 320_000_000);
+                self.queue.push(
+                    ready,
+                    Event::PacketToSwitch {
+                        sw: tca,
+                        pkt,
+                        payload_start: ready - window.min(SimDuration::from_ps(ready.as_ps())),
+                        payload_end: ready,
+                    },
+                );
+                continue;
+            }
+            self.queue.push(
+                ready,
+                Event::InjectIoPacket {
+                    src: tca,
+                    dst,
+                    handler,
+                    addr: base_addr.wrapping_add((i * MTU) as u32),
+                    payload,
+                    seq: i as u32,
+                    io_req: track_packets.then_some(req),
+                },
+            );
+        }
+        // For mapped (active) destinations, the host still needs its
+        // completion notification: a small message from the TCA once the
+        // last data packet has been injected. Deferred via an event so
+        // the link sees it in causal order.
+        if !track_packets {
+            let last_ready = *sched.packet_ready.last().expect("non-empty read");
+            self.queue
+                .push(last_ready, Event::CompletionNotice { tca, host, req });
+        }
+    }
+
+    /// Starts a switch-initiated storage read (Tar): stream a file
+    /// region to any node without host involvement.
+    fn start_switch_read(&mut self, r: &SwitchIoReq, now: SimTime) {
+        let meta = self.files_meta[r.file];
+        assert_eq!(meta.tca, r.tca, "file lives on a different TCA");
+        let sched = {
+            let node = self.tcas.get_mut(&r.tca).expect("tca exists");
+            node.storage
+                .read_stream(meta.disk_offset + r.offset, r.len, now)
+        };
+        let mut cursor = r.offset as usize;
+        for (i, (&ready, &plen)) in sched
+            .packet_ready
+            .iter()
+            .zip(sched.packet_len.iter())
+            .enumerate()
+        {
+            let plen = plen as usize;
+            let payload = self.files_data[r.file][cursor..cursor + plen].to_vec();
+            cursor += plen;
+            self.queue.push(
+                ready,
+                Event::InjectIoPacket {
+                    src: r.tca,
+                    dst: r.deliver_to,
+                    handler: r.deliver_handler,
+                    addr: r.deliver_addr.wrapping_add((i * MTU) as u32),
+                    payload,
+                    seq: i as u32,
+                    io_req: None,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::HandlerCtx;
+    use asan_net::topo::SwitchSpec;
+    use asan_net::LinkConfig;
+
+    fn single_switch(
+        hosts: usize,
+        tcas: usize,
+    ) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch(SwitchSpec::paper());
+        let hs: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
+        let ts: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
+        for &h in &hs {
+            b.connect(h, sw, LinkConfig::paper());
+        }
+        for &t in &ts {
+            b.connect(t, sw, LinkConfig::paper());
+        }
+        (b, hs, ts, sw)
+    }
+
+    /// Reads one block and finishes.
+    struct OneRead {
+        file: FileId,
+        bytes_seen: u64,
+    }
+
+    impl HostProgram for OneRead {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.read_file(self.file, 0, 64 * 1024, Dest::HostBuf { addr: 0x1000_0000 });
+        }
+        fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
+            // Scan the freshly DMA'd block: 64 KB of cold lines.
+            ctx.cpu().touch_lines(0x1000_0000, 64 * 1024, 2, false);
+            self.bytes_seen += 64 * 1024;
+            ctx.finish();
+        }
+    }
+
+    #[test]
+    fn normal_read_flows_end_to_end() {
+        let (topo, hs, ts, _) = single_switch(1, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        let data = vec![0x5A; 64 * 1024];
+        let file = cl.add_file(ts[0], data);
+        cl.set_program(
+            hs[0],
+            Box::new(OneRead {
+                file,
+                bytes_seen: 0,
+            }),
+        );
+        let r = cl.run();
+        // Sequential read from parked heads: ~0.66 ms transfer plus
+        // request/OS/network overheads.
+        let ms = r.finish.as_secs_f64() * 1e3;
+        assert!((0.6..2.5).contains(&ms), "finish = {ms} ms");
+        // All 64 KB arrived at the host.
+        assert_eq!(r.host(hs[0]).payload.bytes_in, 64 * 1024);
+        // Host was mostly idle (I/O wait dominates).
+        assert!(r.host(hs[0]).breakdown.utilization() < 0.2);
+    }
+
+    /// Counts matching bytes in the switch, sends only the count home.
+    struct CountHandler {
+        needle: u8,
+        host: NodeId,
+        count: u64,
+        total: u64,
+        expect: u64,
+    }
+
+    impl Handler for CountHandler {
+        fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+            let data = ctx.payload();
+            ctx.charge_stream(data.len(), 2);
+            self.count += data.iter().filter(|&&b| b == self.needle).count() as u64;
+            self.total += data.len() as u64;
+            if self.total >= self.expect {
+                ctx.send(self.host, None, 0, &self.count.to_le_bytes());
+            }
+        }
+    }
+
+    /// Issues an active read and waits for the handler's result message.
+    struct ActiveCount {
+        file: FileId,
+        sw: NodeId,
+        result: Option<u64>,
+    }
+
+    impl HostProgram for ActiveCount {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            let len = ctx.file_len(self.file);
+            ctx.read_file(
+                self.file,
+                0,
+                len,
+                Dest::Mapped {
+                    node: self.sw,
+                    handler: HandlerId::new(1),
+                    base_addr: 0,
+                },
+            );
+        }
+        fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
+            self.result = Some(u64::from_le_bytes(msg.data[..8].try_into().unwrap()));
+            ctx.finish();
+        }
+    }
+
+    #[test]
+    fn active_read_invokes_handler_and_filters_traffic() {
+        let (topo, hs, ts, sw) = single_switch(1, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        // 64 KB where every 64th byte is 0x7F.
+        let data: Vec<u8> = (0..64 * 1024u32)
+            .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
+            .collect();
+        let _expect_matches = (64 * 1024 / 64) as u64;
+        let file = cl.add_file(ts[0], data);
+        cl.register_handler(
+            sw,
+            HandlerId::new(1),
+            Box::new(CountHandler {
+                needle: 0x7F,
+                host: hs[0],
+                count: 0,
+                total: 0,
+                expect: 64 * 1024,
+            }),
+        );
+        cl.set_program(
+            hs[0],
+            Box::new(ActiveCount {
+                file,
+                sw,
+                result: None,
+            }),
+        );
+        let r = cl.run();
+        // The handler computed the real answer.
+        // (Retrieve via the switch stats and the program's own state is
+        // gone; check through traffic instead.)
+        assert_eq!(r.switch(sw).bytes_in, 64 * 1024);
+        // Only the 8-byte count (plus the completion header) reached the
+        // host: traffic reduced by ~8000x.
+        assert!(r.host(hs[0]).payload.bytes_in <= 16);
+        // The switch CPU did the work.
+        assert_eq!(r.switch(sw).invocations, 128);
+    }
+
+    /// Two hosts exchange a message.
+    struct Pinger {
+        peer: NodeId,
+    }
+    impl HostProgram for Pinger {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.send(self.peer, None, 0, vec![1u8; 100]);
+            ctx.finish();
+        }
+    }
+    struct Ponger {
+        got: usize,
+    }
+    impl HostProgram for Ponger {
+        fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
+        fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
+            self.got += msg.data.len();
+            ctx.finish();
+        }
+    }
+
+    #[test]
+    fn host_to_host_messaging() {
+        let (topo, hs, _, _) = single_switch(2, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] }));
+        cl.set_program(hs[1], Box::new(Ponger { got: 0 }));
+        let r = cl.run();
+        assert_eq!(r.host(hs[0]).payload.bytes_out, 100);
+        assert_eq!(r.host(hs[1]).payload.bytes_in, 100);
+        // Message latency: HCA software + adapter latency both ways +
+        // 2 hops + routing ≈ under ten microseconds.
+        assert!(r.finish.as_ns() < 15_000, "finish = {}", r.finish);
+    }
+
+    #[test]
+    fn non_active_traffic_unaffected_by_busy_switch_cpu() {
+        // Ping-pong latency with and without a storming active flow from
+        // another host must be identical up to link contention on
+        // disjoint ports — the active hardware is off the datapath.
+        let (topo, hs, _, _sw) = single_switch(3, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] }));
+        cl.set_program(hs[1], Box::new(Ponger { got: 0 }));
+        let r = cl.run();
+        let t_quiet = r.host(hs[1]).finished_at;
+
+        // Same again, but host 2 hammers the switch CPU with actives.
+        struct Storm {
+            sw: NodeId,
+        }
+        impl HostProgram for Storm {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                for i in 0..20u32 {
+                    ctx.send(self.sw, Some(HandlerId::new(9)), i * 512, vec![0; 512]);
+                }
+                ctx.finish();
+            }
+        }
+        struct Burn;
+        impl Handler for Burn {
+            fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+                ctx.compute(100_000);
+            }
+        }
+        let (topo2, hs2, _, sw2) = single_switch(3, 1);
+        let mut cl2 = Cluster::new(topo2, ClusterConfig::paper());
+        cl2.register_handler(sw2, HandlerId::new(9), Box::new(Burn));
+        cl2.set_program(hs2[0], Box::new(Pinger { peer: hs2[1] }));
+        cl2.set_program(hs2[1], Box::new(Ponger { got: 0 }));
+        cl2.set_program(hs2[2], Box::new(Storm { sw: sw2 }));
+        let r2 = cl2.run();
+        let t_stormy = r2.host(hs2[1]).finished_at;
+        assert_eq!(t_quiet, t_stormy, "active load perturbed non-active path");
+    }
+
+    #[test]
+    fn prefetch_two_outstanding_overlaps_io() {
+        // Reading 8 blocks serially vs with 2 outstanding requests: the
+        // prefetched run must be faster.
+        struct Serial {
+            file: FileId,
+            next: u64,
+            blocks: u64,
+        }
+        impl HostProgram for Serial {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.read_file(self.file, 0, 65536, Dest::HostBuf { addr: 0x1000_0000 });
+                self.next = 1;
+            }
+            fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
+                ctx.cpu().touch_lines(0x1000_0000, 65536, 4, false);
+                if self.next < self.blocks {
+                    ctx.read_file(
+                        self.file,
+                        self.next * 65536,
+                        65536,
+                        Dest::HostBuf { addr: 0x1000_0000 },
+                    );
+                    self.next += 1;
+                } else {
+                    ctx.finish();
+                }
+            }
+        }
+        struct Pref {
+            file: FileId,
+            issued: u64,
+            done: u64,
+            blocks: u64,
+        }
+        impl HostProgram for Pref {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                for i in 0..2.min(self.blocks) {
+                    ctx.read_file(
+                        self.file,
+                        i * 65536,
+                        65536,
+                        Dest::HostBuf { addr: 0x1000_0000 },
+                    );
+                    self.issued += 1;
+                }
+            }
+            fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
+                ctx.cpu().touch_lines(0x1000_0000, 65536, 4, false);
+                self.done += 1;
+                if self.issued < self.blocks {
+                    ctx.read_file(
+                        self.file,
+                        self.issued * 65536,
+                        65536,
+                        Dest::HostBuf { addr: 0x1000_0000 },
+                    );
+                    self.issued += 1;
+                } else if self.done == self.blocks {
+                    ctx.finish();
+                }
+            }
+        }
+        let mk = |prog: bool| {
+            let (topo, hs, ts, _) = single_switch(1, 1);
+            let mut cl = Cluster::new(topo, ClusterConfig::paper());
+            let file = cl.add_file(ts[0], vec![7; 8 * 65536]);
+            if prog {
+                cl.set_program(
+                    hs[0],
+                    Box::new(Pref {
+                        file,
+                        issued: 0,
+                        done: 0,
+                        blocks: 8,
+                    }),
+                );
+            } else {
+                cl.set_program(
+                    hs[0],
+                    Box::new(Serial {
+                        file,
+                        next: 0,
+                        blocks: 8,
+                    }),
+                );
+            }
+            cl.run().finish
+        };
+        let serial = mk(false);
+        let pref = mk(true);
+        assert!(
+            pref < serial,
+            "prefetch ({pref}) should beat serial ({serial})"
+        );
+    }
+
+    #[test]
+    fn active_tca_filters_before_the_network() {
+        // The same counting handler, but installed on the TCA: the SAN
+        // only ever carries the handler's output.
+        let (topo, hs, ts, _sw) = single_switch(1, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        let data: Vec<u8> = (0..32 * 1024u32)
+            .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
+            .collect();
+        let file = cl.add_file(ts[0], data);
+        cl.enable_active_tca(ts[0], crate::active::ActiveSwitchConfig::paper());
+        cl.register_tca_handler(
+            ts[0],
+            HandlerId::new(1),
+            Box::new(CountHandler {
+                needle: 0x7F,
+                host: hs[0],
+                count: 0,
+                total: 0,
+                expect: 32 * 1024,
+            }),
+        );
+        cl.set_program(
+            hs[0],
+            Box::new(ActiveCount {
+                file,
+                sw: ts[0], // mapped straight to the TCA's own engine
+                result: None,
+            }),
+        );
+        let r = cl.run();
+        // Only the 8-byte count crossed the fabric toward the host.
+        assert!(r.host(hs[0]).payload.bytes_in <= 16);
+        // The raw 32 KB never entered the SAN: link bytes are tiny.
+        assert!(
+            r.link_bytes < 4096,
+            "SAN carried {} B despite disk-side filtering",
+            r.link_bytes
+        );
+    }
+
+    #[test]
+    fn background_job_consumes_idle_time() {
+        let (topo, hs, ts, _) = single_switch(1, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        let file = cl.add_file(ts[0], vec![0x5A; 64 * 1024]);
+        cl.set_program(
+            hs[0],
+            Box::new(OneRead {
+                file,
+                bytes_seen: 0,
+            }),
+        );
+        // A 100 us job fits easily inside the ~700 us of I/O wait.
+        cl.set_background_job(hs[0], SimDuration::from_us(100));
+        let r = cl.run();
+        let h = r.host(hs[0]);
+        assert!(h.background_done.is_some(), "job did not finish");
+        assert!(h.background_done.unwrap() <= h.finished_at);
+        assert_eq!(h.background_left, SimDuration::ZERO);
+        // The job's time shows up as busy, not idle.
+        assert!(h.breakdown.busy >= SimDuration::from_us(100));
+    }
+
+    #[test]
+    fn stats_snapshot_counts_real_work() {
+        let (topo, hs, ts, sw) = single_switch(1, 1);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        let file = cl.add_file(ts[0], vec![0x11; 64 * 1024]);
+        cl.register_handler(
+            sw,
+            HandlerId::new(1),
+            Box::new(CountHandler {
+                needle: 0x11,
+                host: hs[0],
+                count: 0,
+                total: 0,
+                expect: 64 * 1024,
+            }),
+        );
+        cl.set_program(
+            hs[0],
+            Box::new(ActiveCount {
+                file,
+                sw,
+                result: None,
+            }),
+        );
+        cl.run();
+        let st = cl.stats();
+        assert_eq!(st.switches.len(), 1);
+        assert_eq!(st.switches[0].invocations, 128);
+        assert_eq!(st.switches[0].bytes_in, 64 * 1024);
+        assert!(st.switches[0].atb_hits > 0);
+        assert_eq!(st.storage.len(), 1);
+        assert_eq!(
+            st.storage[0].disk_bytes.iter().sum::<u64>(),
+            64 * 1024,
+            "disks served the whole file"
+        );
+        assert!(st.fabric.link_bytes > 64 * 1024);
+        assert!(st.events > 0);
+        // Display renders without panicking and mentions the switch.
+        assert!(st.to_string().contains("invocations"));
+    }
+
+    #[test]
+    fn tar_style_switch_initiated_read_bypasses_host() {
+        // A handler that, on a trigger message, pulls a file from the
+        // TCA straight to an archive TCA.
+        struct TarHandler {
+            tca: NodeId,
+            archive: NodeId,
+            file: usize,
+            len: u64,
+        }
+        impl Handler for TarHandler {
+            fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+                let _ = ctx.payload();
+                ctx.request_disk_read(self.tca, self.file, 0, self.len, self.archive, None, 0);
+            }
+        }
+        struct Trigger {
+            sw: NodeId,
+        }
+        impl HostProgram for Trigger {
+            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+                ctx.send(self.sw, Some(HandlerId::new(2)), 0, vec![0u8; 64]);
+                ctx.finish();
+            }
+        }
+        let (topo, hs, ts, sw) = single_switch(1, 2);
+        let mut cl = Cluster::new(topo, ClusterConfig::paper());
+        let file = cl.add_file(ts[0], vec![9u8; 256 * 1024]);
+        cl.register_handler(
+            sw,
+            HandlerId::new(2),
+            Box::new(TarHandler {
+                tca: ts[0],
+                archive: ts[1],
+                file: file.0,
+                len: 256 * 1024,
+            }),
+        );
+        cl.set_program(hs[0], Box::new(Trigger { sw }));
+        let r = cl.run();
+        // Host saw only its trigger message out; the 256 KB went
+        // disk → switch-request → disk → archive without touching it.
+        assert_eq!(r.host(hs[0]).payload.bytes_in, 0);
+        assert_eq!(r.host(hs[0]).payload.bytes_out, 64);
+        // The drain time includes the archive write completing.
+        assert!(r.drain > r.finish);
+    }
+}

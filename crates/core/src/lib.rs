@@ -1,0 +1,42 @@
+//! The paper's contribution: the active I/O switch architecture and the
+//! cluster simulator that evaluates it.
+//!
+//! *Active I/O Switches in System Area Networks* (Ming Hao & Mark
+//! Heinrich, HPCA 2003) adds a small amount of hardware to a
+//! conventional SAN switch — data buffers with per-line valid bits, a
+//! buffer administrator, an address translation buffer, a jump table,
+//! dispatch and send units, and 1–4 embedded 500 MHz processors — so the
+//! switch can run application-level *handlers* on messages flowing
+//! through it.
+//!
+//! * [`buffer`], [`dba`], [`atb`] — the on-chip staging hardware;
+//! * [`handler`] — the stream-based programming model (§2);
+//! * [`active`] — the assembled active switch and its dispatch unit (§3);
+//! * [`cluster`] — the whole-system simulator (§4): hosts, HCAs,
+//!   active switches, TCAs, SCSI, disks, and the event loop tying them
+//!   together, with the paper's metrics (execution time, host
+//!   utilization, host I/O traffic, busy/stall/idle breakdowns).
+//!
+//! # Example
+//!
+//! ```
+//! use asan_core::active::{ActiveSwitch, ActiveSwitchConfig};
+//! use asan_net::NodeId;
+//!
+//! let sw = ActiveSwitch::new(NodeId(0), ActiveSwitchConfig::paper());
+//! assert_eq!(sw.config().num_cpus, 1);
+//! ```
+
+pub mod active;
+pub mod atb;
+pub mod buffer;
+pub mod cluster;
+pub mod dba;
+pub mod handler;
+pub mod stats;
+
+pub use active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
+pub use atb::Atb;
+pub use buffer::{BufId, DataBuffer, BUFFER_BYTES};
+pub use dba::BufferAdmin;
+pub use handler::{Handler, HandlerCtx, MsgInfo, OutMsg, SwitchIoReq};

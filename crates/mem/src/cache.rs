@@ -1,0 +1,445 @@
+//! Generic set-associative cache timing model.
+//!
+//! Write-back, write-allocate, true-LRU replacement. This is a *timing*
+//! model: it tracks tags, dirtiness and recency, not data (data lives in
+//! the applications themselves). It is used for the host L1I/L1D/L2 and
+//! the switch CPU's 4 KB I-cache and 1 KB D-cache.
+
+use asan_sim::stats::Counter;
+
+/// Configuration of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Human-readable name used in statistics dumps (e.g. `"L1D"`).
+    pub name: &'static str,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `line_bytes * assoc`, or line size not a power of two).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(self.assoc > 0, "associativity must be positive");
+        let set_bytes = self.line_bytes * self.assoc as u64;
+        assert!(
+            self.size_bytes.is_multiple_of(set_bytes) && self.size_bytes > 0,
+            "cache size {} not divisible by way size {}",
+            self.size_bytes,
+            set_bytes
+        );
+        self.size_bytes / set_bytes
+    }
+
+    /// The paper's host L1 instruction cache: 32 KB, 2-way.
+    pub fn host_l1i() -> Self {
+        CacheConfig {
+            name: "L1I",
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 2,
+        }
+    }
+
+    /// The paper's host L1 data cache: 32 KB, 2-way.
+    pub fn host_l1d() -> Self {
+        CacheConfig {
+            name: "L1D",
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            assoc: 2,
+        }
+    }
+
+    /// The paper's host unified L2: 512 KB, 2-way, 128 B lines.
+    pub fn host_l2() -> Self {
+        CacheConfig {
+            name: "L2",
+            size_bytes: 512 * 1024,
+            line_bytes: 128,
+            assoc: 2,
+        }
+    }
+
+    /// Database-scaled host L1D (8 KB) used for HashJoin/Select (§4).
+    pub fn host_l1d_db() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            ..CacheConfig::host_l1d()
+        }
+    }
+
+    /// Database-scaled host L2 (64 KB) used for HashJoin/Select (§4).
+    pub fn host_l2_db() -> Self {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ..CacheConfig::host_l2()
+        }
+    }
+
+    /// The switch CPU's 4 KB 2-way I-cache with 64 B lines (§4).
+    pub fn switch_icache() -> Self {
+        CacheConfig {
+            name: "SP-I",
+            size_bytes: 4 * 1024,
+            line_bytes: 64,
+            assoc: 2,
+        }
+    }
+
+    /// The switch CPU's 1 KB 2-way D-cache with 32 B lines (§4).
+    pub fn switch_dcache() -> Self {
+        CacheConfig {
+            name: "SP-D",
+            size_bytes: 1024,
+            line_bytes: 32,
+            assoc: 2,
+        }
+    }
+}
+
+/// Kind of access presented to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A demand load (or instruction fetch).
+    Read,
+    /// A store; allocates on miss (write-allocate) and dirties the line.
+    Write,
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// If a dirty line was evicted to make room, its base address
+    /// (the caller charges the write-back to the next level).
+    pub writeback: Option<u64>,
+}
+
+/// Per-cache hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: Counter,
+    /// Demand accesses that missed.
+    pub misses: Counter,
+    /// Dirty evictions.
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    /// Miss ratio over all accesses (0 when never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses.get() as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Recency stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU
+/// replacement.
+///
+/// # Example
+///
+/// ```
+/// use asan_mem::cache::{Cache, CacheConfig, AccessKind};
+/// let mut c = Cache::new(CacheConfig::host_l1d());
+/// assert!(!c.access(0x1000, AccessKind::Read).hit);  // cold miss
+/// assert!(c.access(0x1000, AccessKind::Read).hit);   // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stamp: u64,
+    stats: CacheStats,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see
+    /// [`CacheConfig::num_sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        assert!(num_sets.is_power_of_two(), "set count must be 2^k");
+        let sets = vec![vec![Line::default(); cfg.assoc]; num_sets as usize];
+        let line_shift = cfg.line_bytes.trailing_zeros();
+        Cache {
+            set_mask: num_sets - 1,
+            line_shift,
+            cfg,
+            sets,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit/miss statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Line base address containing `addr`.
+    #[inline]
+    pub fn line_base(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// Presents an access; returns whether it hit and any dirty eviction.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        let (set_idx, tag) = self.index(addr);
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = stamp;
+            if kind == AccessKind::Write {
+                line.dirty = true;
+            }
+            self.stats.hits.inc();
+            return AccessOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses.inc();
+        // Choose victim: an invalid way if one exists, else true LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("assoc > 0");
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks.inc();
+            let victim_line = (victim.tag << self.set_mask.count_ones()) | set_idx as u64;
+            Some(victim_line << self.line_shift)
+        } else {
+            None
+        };
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = kind == AccessKind::Write;
+        victim.lru = stamp;
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` if present, returning
+    /// whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        for l in &mut self.sets[set_idx] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                return std::mem::take(&mut l.dirty);
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (e.g. between benchmark configurations).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16 B lines = 128 B.
+        Cache::new(CacheConfig {
+            name: "tiny",
+            size_bytes: 128,
+            line_bytes: 16,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_of_paper_configs() {
+        assert_eq!(CacheConfig::host_l1d().num_sets(), 256);
+        assert_eq!(CacheConfig::host_l2().num_sets(), 2048);
+        assert_eq!(CacheConfig::host_l1d_db().num_sets(), 64);
+        assert_eq!(CacheConfig::host_l2_db().num_sets(), 256);
+        assert_eq!(CacheConfig::switch_icache().num_sets(), 32);
+        assert_eq!(CacheConfig::switch_dcache().num_sets(), 16);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, AccessKind::Read).hit);
+        assert!(c.access(0x40, AccessKind::Read).hit);
+        assert!(c.access(0x4F, AccessKind::Read).hit); // same line
+        assert!(!c.access(0x50, AccessKind::Read).hit); // next line
+        assert_eq!(c.stats().hits.get(), 2);
+        assert_eq!(c.stats().misses.get(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with addr bits [5:4] == 0: 0x00, 0x80, 0x100...
+        c.access(0x000, AccessKind::Read);
+        c.access(0x080, AccessKind::Read);
+        c.access(0x000, AccessKind::Read); // refresh 0x000
+        c.access(0x100, AccessKind::Read); // evicts 0x080
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x080));
+        assert!(c.probe(0x100));
+    }
+
+    #[test]
+    fn writeback_reported_with_correct_address() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Write);
+        c.access(0x080, AccessKind::Read);
+        // Next distinct line in set 0 evicts dirty 0x000.
+        let out = c.access(0x100, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Read);
+        c.access(0x080, AccessKind::Read);
+        let out = c.access(0x100, AccessKind::Read);
+        assert_eq!(out.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_dirties_line() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Read);
+        c.access(0x000, AccessKind::Write); // hit, dirties
+        c.access(0x080, AccessKind::Read);
+        let out = c.access(0x100, AccessKind::Read);
+        assert_eq!(out.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = tiny();
+        c.access(0x40, AccessKind::Write);
+        assert!(c.invalidate(0x40));
+        assert!(!c.probe(0x40));
+        c.access(0x40, AccessKind::Read);
+        assert!(!c.invalidate(0x40));
+        assert!(!c.invalidate(0x40)); // already gone
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        for a in (0..128).step_by(16) {
+            c.access(a, AccessKind::Read);
+        }
+        c.flush();
+        for a in (0..128).step_by(16) {
+            assert!(!c.probe(a));
+        }
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0x000, AccessKind::Read);
+        c.access(0x080, AccessKind::Read);
+        let before_hits = c.stats().hits.get();
+        assert!(c.probe(0x000));
+        assert_eq!(c.stats().hits.get(), before_hits);
+        // LRU untouched by probe: 0x000 is still the LRU victim.
+        c.access(0x100, AccessKind::Read);
+        assert!(!c.probe(0x000));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        // 16 distinct lines > 8-line capacity: second pass still misses.
+        for pass in 0..2 {
+            for a in (0u64..256).step_by(16) {
+                let out = c.access(a, AccessKind::Read);
+                assert!(!out.hit, "pass {pass} addr {a:#x} unexpectedly hit");
+            }
+        }
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Read);
+        assert!((c.stats().miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(
+            Cache::new(CacheConfig::host_l1i()).stats().miss_ratio(),
+            0.0
+        );
+    }
+}

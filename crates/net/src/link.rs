@@ -1,0 +1,257 @@
+//! Point-to-point link with serialization and credit-based flow control.
+//!
+//! Each network link (§4) runs at 1 GB/s per direction and uses
+//! credit-based flow control: the sender may only inject a packet when
+//! the receiver has a free input buffer. We track the times at which the
+//! receiver drains each in-flight packet; when all credits are consumed,
+//! the next send stalls until the oldest drain completes.
+
+use std::collections::VecDeque;
+
+use asan_sim::stats::Counter;
+use asan_sim::{SimDuration, SimTime};
+
+/// Configuration of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Serialization bandwidth in bytes/second.
+    pub bytes_per_sec: u64,
+    /// Propagation delay (cable + PHY).
+    pub propagation: SimDuration,
+    /// Number of receiver buffers (credits).
+    pub credits: usize,
+}
+
+impl LinkConfig {
+    /// The paper's SAN link: 1 GB/s, short SAN cable, 8 credits
+    /// (half the 16 data buffers of a switch input side).
+    pub fn paper() -> Self {
+        LinkConfig {
+            bytes_per_sec: 1_000_000_000,
+            propagation: SimDuration::from_ns(10),
+            credits: 8,
+        }
+    }
+}
+
+/// Timing of one packet traversal of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkTiming {
+    /// When the first byte left the sender (after credit + serialization
+    /// availability).
+    pub start: SimTime,
+    /// When the header (first 16 bytes) is available at the receiver —
+    /// cut-through forwarding and handler dispatch may begin here.
+    pub header_at: SimTime,
+    /// When the last byte arrived at the receiver.
+    pub done: SimTime,
+}
+
+/// One direction of a network link.
+///
+/// # Example
+///
+/// ```
+/// use asan_net::link::{Link, LinkConfig};
+/// use asan_sim::SimTime;
+/// let mut l = Link::new(LinkConfig::paper());
+/// let t = l.send(528, SimTime::ZERO); // 512 B payload + 16 B header
+/// l.note_drain(t.done);               // receiver consumed it instantly
+/// assert_eq!(t.done.as_ns(), 538);    // 528 ns wire + 10 ns propagation
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    cfg: LinkConfig,
+    busy_until: SimTime,
+    /// Drain times of packets currently occupying receiver buffers.
+    inflight: VecDeque<SimTime>,
+    /// Total bytes carried.
+    bytes: Counter,
+    /// Packets carried.
+    packets: Counter,
+    /// Sends that had to wait for a credit.
+    credit_stalls: Counter,
+    /// Total busy (serializing) time.
+    busy_time: SimDuration,
+}
+
+impl Link {
+    /// Creates an idle link with all credits available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero bandwidth or zero credits.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(cfg.bytes_per_sec > 0, "zero link bandwidth");
+        assert!(cfg.credits > 0, "links need at least one credit");
+        Link {
+            cfg,
+            busy_until: SimTime::ZERO,
+            inflight: VecDeque::new(),
+            bytes: Counter::default(),
+            packets: Counter::default(),
+            credit_stalls: Counter::default(),
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Sends `wire_bytes` (header + payload) that are ready at `ready`.
+    ///
+    /// The send waits for (a) a credit, (b) the previous packet to finish
+    /// serializing; it then occupies the wire for `wire_bytes / bw`.
+    /// Callers **must** later report when the receiver freed the buffer
+    /// via [`note_drain`](Link::note_drain), otherwise credits leak and
+    /// the link eventually stalls forever (deadlock detection in the
+    /// cluster will flag this).
+    pub fn send(&mut self, wire_bytes: u64, ready: SimTime) -> LinkTiming {
+        let mut start = ready.max(self.busy_until);
+        // Credit check: all buffers full ⇒ wait for the oldest drain.
+        if self.inflight.len() >= self.cfg.credits {
+            let oldest = *self.inflight.front().expect("non-empty");
+            if oldest > start {
+                self.credit_stalls.inc();
+                start = oldest;
+            }
+            self.inflight.pop_front();
+        }
+        let serialization = SimDuration::transfer(wire_bytes, self.cfg.bytes_per_sec);
+        let header_ser = SimDuration::transfer(
+            wire_bytes.min(crate::packet::HEADER_BYTES as u64),
+            self.cfg.bytes_per_sec,
+        );
+        let done = start + serialization + self.cfg.propagation;
+        let header_at = start + header_ser + self.cfg.propagation;
+        self.busy_until = start + serialization;
+        self.busy_time += serialization;
+        self.bytes.add(wire_bytes);
+        self.packets.inc();
+        LinkTiming {
+            start,
+            header_at,
+            done,
+        }
+    }
+
+    /// Reports that the receiver freed the buffer of the *oldest*
+    /// undrained packet at time `t` (credits return in FIFO order).
+    pub fn note_drain(&mut self, t: SimTime) {
+        self.inflight.push_back(t);
+    }
+
+    /// Bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Packets carried so far.
+    pub fn packets_carried(&self) -> u64 {
+        self.packets.get()
+    }
+
+    /// Number of sends that stalled waiting for a credit.
+    pub fn credit_stalls(&self) -> u64 {
+        self.credit_stalls.get()
+    }
+
+    /// Total time the wire spent serializing data.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Utilization of the wire over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let t = now.as_ps();
+        if t == 0 {
+            0.0
+        } else {
+            self.busy_time.as_ps() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_drain(l: &mut Link, wire: u64, ready: SimTime) -> LinkTiming {
+        let t = l.send(wire, ready);
+        l.note_drain(t.done);
+        t
+    }
+
+    #[test]
+    fn serialization_time_matches_bandwidth() {
+        let mut l = Link::new(LinkConfig::paper());
+        let t = fast_drain(&mut l, 528, SimTime::ZERO);
+        assert_eq!(t.start, SimTime::ZERO);
+        assert_eq!(t.done.as_ns(), 528 + 10);
+        // Header cut-through point: 16 B + propagation.
+        assert_eq!(t.header_at.as_ns(), 16 + 10);
+    }
+
+    #[test]
+    fn back_to_back_sends_serialize() {
+        let mut l = Link::new(LinkConfig::paper());
+        let a = fast_drain(&mut l, 528, SimTime::ZERO);
+        let b = fast_drain(&mut l, 528, SimTime::ZERO);
+        assert_eq!(b.start, a.done - l.config().propagation);
+        assert_eq!(b.done.since(a.done).as_ns(), 528);
+    }
+
+    #[test]
+    fn credit_exhaustion_stalls_sender() {
+        let cfg = LinkConfig {
+            credits: 2,
+            ..LinkConfig::paper()
+        };
+        let mut l = Link::new(cfg);
+        // Two packets sent, neither drained yet.
+        let a = l.send(528, SimTime::ZERO);
+        let _b = l.send(528, SimTime::ZERO);
+        // Receiver is slow: drains the first at 10 us.
+        let drain0 = SimTime::from_us(10);
+        l.note_drain(drain0);
+        l.note_drain(SimTime::from_us(20));
+        // Third send must wait for the first drain, not just the wire.
+        let c = l.send(528, a.done);
+        assert_eq!(c.start, drain0);
+        assert_eq!(l.credit_stalls(), 1);
+    }
+
+    #[test]
+    fn credits_do_not_stall_when_receiver_keeps_up() {
+        let mut l = Link::new(LinkConfig::paper());
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let timing = fast_drain(&mut l, 528, t);
+            t = timing.done;
+        }
+        assert_eq!(l.credit_stalls(), 0);
+        assert_eq!(l.packets_carried(), 100);
+        assert_eq!(l.bytes_carried(), 52_800);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_fraction() {
+        let mut l = Link::new(LinkConfig::paper());
+        fast_drain(&mut l, 1000, SimTime::ZERO); // busy 1000 ns
+        let u = l.utilization(SimTime::from_us(2));
+        assert!((u - 0.5).abs() < 1e-9, "u = {u}");
+        assert_eq!(
+            Link::new(LinkConfig::paper()).utilization(SimTime::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn small_packet_header_at_equals_done() {
+        let mut l = Link::new(LinkConfig::paper());
+        let t = fast_drain(&mut l, 16, SimTime::ZERO);
+        assert_eq!(t.header_at, t.done);
+    }
+}

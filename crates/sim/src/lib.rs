@@ -1,0 +1,37 @@
+//! Discrete-event simulation kernel for the Active SAN simulator.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — picosecond-resolution simulated time,
+//!   exact for both the 2 GHz host clock (500 ps/cycle) and the 500 MHz
+//!   switch clock (2000 ps/cycle).
+//! * [`EventQueue`] — a deterministic pending-event set. Ties in time are
+//!   broken by insertion sequence number so simulations are reproducible
+//!   bit-for-bit across runs.
+//! * [`rng::SimRng`] — a small, dependency-free, seedable PRNG
+//!   (xoshiro256**) used by all workload generators.
+//! * [`stats`] — counters, accumulators and time-weighted statistics used
+//!   for the paper's metrics (execution time, utilization, traffic).
+//!
+//! # Example
+//!
+//! ```
+//! use asan_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_ns(5), "second");
+//! q.push(SimTime::ZERO + SimDuration::from_ns(1), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, SimTime::from_ns(1));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

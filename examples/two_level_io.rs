@@ -1,0 +1,43 @@
+//! Two-level active I/O: the §6 extension, comparing where the
+//! intelligence lives for a database selection — host, switch, disk
+//! (TCA), or disk + switch.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example two_level_io
+//! ```
+
+use asan_apps::select;
+use asan_apps::twolevel::{run, Placement};
+
+fn main() {
+    let p = select::Params {
+        table_bytes: 8 << 20,
+        ..select::Params::paper()
+    };
+    println!(
+        "Select over {} MB: four placements of the filter\n",
+        p.table_bytes >> 20
+    );
+    println!(
+        "{:<16} {:>12} {:>16} {:>16}",
+        "placement", "exec", "bytes to host", "SAN link bytes"
+    );
+    for pl in Placement::ALL {
+        let r = run(pl, &p);
+        println!(
+            "{:<16} {:>12} {:>16} {:>16}",
+            r.placement.label(),
+            format!("{}", r.exec),
+            r.host_traffic,
+            r.san_bytes
+        );
+    }
+    println!(
+        "\nEach level of offload halves what the level above must carry:\n\
+         the active disk spares the SAN, the switch aggregation stage\n\
+         spares the host entirely (8 bytes: the count). All four runs\n\
+         verified the same match count against a pure-Rust reference."
+    );
+}

@@ -1,0 +1,191 @@
+//! Failure-injection and back-pressure tests: the system must degrade
+//! gracefully (or fail loudly and precisely) when pushed past its
+//! resource limits.
+
+use asan_core::active::{ActiveSwitch, ActiveSwitchConfig};
+use asan_core::cluster::{Cluster, ClusterConfig, HostCtx, HostProgram};
+use asan_core::handler::{Handler, HandlerCtx};
+use asan_net::topo::{SwitchSpec, TopologyBuilder};
+use asan_net::{HandlerId, Header, LinkConfig, NodeId, Packet};
+use asan_sim::{SimDuration, SimTime};
+
+fn single_switch(hosts: usize) -> (TopologyBuilder, Vec<NodeId>, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch(SwitchSpec::paper());
+    let hs: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
+    for &h in &hs {
+        b.connect(h, sw, LinkConfig::paper());
+    }
+    (b, hs, sw)
+}
+
+/// A handler that hoards buffers: the DBA must stall its allocations
+/// rather than hand out overlapping buffers, and the pipeline must
+/// still make forward progress.
+#[test]
+fn buffer_hoarding_backpressures_but_progresses() {
+    struct Hoarder {
+        held: Vec<asan_core::BufId>,
+        invocations: u32,
+    }
+    impl Handler for Hoarder {
+        fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+            let _ = ctx.payload();
+            // Hold up to 12 of the 16 buffers indefinitely.
+            if self.held.len() < 12 {
+                self.held.push(ctx.alloc_buffer());
+            }
+            self.invocations += 1;
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    let mut sw = ActiveSwitch::new(NodeId(0), ActiveSwitchConfig::paper());
+    sw.register(
+        HandlerId::new(1),
+        Box::new(Hoarder {
+            held: Vec::new(),
+            invocations: 0,
+        }),
+    );
+    let mut last_done = SimTime::ZERO;
+    for i in 0..40u32 {
+        let pkt = Packet::new(
+            Header {
+                src: NodeId(1),
+                dst: NodeId(0),
+                len: 512,
+                handler: Some(HandlerId::new(1)),
+                addr: (i % 16) * 512,
+                seq: i,
+            },
+            vec![0; 512],
+        );
+        let t = SimTime::from_us(i as u64 * 2);
+        let r = sw.dispatch(&pkt, t, t, t + SimDuration::from_ns(512));
+        assert!(r.done >= last_done, "time went backwards");
+        last_done = r.done;
+    }
+    // 12 hoarded + in-flight inputs stayed within the file; the
+    // remaining invocations still completed.
+    assert!(sw.dba().alloc_waits() == 0 || sw.dba().occupancy().max().unwrap() <= 16);
+    let h = sw.take_handler(HandlerId::new(1)).unwrap();
+    let hoarder = h
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Hoarder>())
+        .unwrap();
+    assert_eq!(hoarder.invocations, 40, "pipeline stalled permanently");
+}
+
+/// Dispatching a message whose handler was never registered is a
+/// protocol violation and must fail loudly, not drop silently.
+#[test]
+#[should_panic(expected = "no handler registered")]
+fn unregistered_handler_fails_loudly() {
+    let mut sw = ActiveSwitch::new(NodeId(0), ActiveSwitchConfig::paper());
+    let pkt = Packet::new(
+        Header {
+            src: NodeId(1),
+            dst: NodeId(0),
+            len: 0,
+            handler: Some(HandlerId::new(9)),
+            addr: 0,
+            seq: 0,
+        },
+        Vec::new(),
+    );
+    sw.dispatch(&pkt, SimTime::ZERO, SimTime::ZERO, SimTime::ZERO);
+}
+
+/// The event-count guard converts a runaway message loop into a
+/// diagnosable panic instead of an endless simulation.
+#[test]
+#[should_panic(expected = "event limit exceeded")]
+fn livelock_guard_trips() {
+    struct PingPong {
+        peer: NodeId,
+    }
+    impl HostProgram for PingPong {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            ctx.send(self.peer, None, 0, vec![1]);
+        }
+        fn on_message(&mut self, ctx: &mut HostCtx<'_>, _msg: &asan_core::cluster::HostMsg) {
+            // Reply forever: a protocol bug.
+            ctx.send(self.peer, None, 0, vec![1]);
+        }
+    }
+    let (topo, hs, _) = single_switch(2);
+    let mut cfg = ClusterConfig::paper();
+    cfg.max_events = 10_000;
+    let mut cl = Cluster::new(topo, cfg);
+    cl.set_program(hs[0], Box::new(PingPong { peer: hs[1] }));
+    cl.set_program(hs[1], Box::new(PingPong { peer: hs[0] }));
+    cl.run();
+}
+
+/// Reading past a file's end is caught at issue time.
+#[test]
+#[should_panic(expected = "read beyond file end")]
+fn read_past_eof_rejected() {
+    struct BadReader {
+        file: asan_core::cluster::FileId,
+    }
+    impl HostProgram for BadReader {
+        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+            let len = ctx.file_len(self.file);
+            ctx.read_file(
+                self.file,
+                len,
+                1,
+                asan_core::cluster::Dest::HostBuf { addr: 0 },
+            );
+        }
+    }
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch(SwitchSpec::paper());
+    let h = b.add_host();
+    let t = b.add_tca();
+    b.connect(h, sw, LinkConfig::paper());
+    b.connect(t, sw, LinkConfig::paper());
+    let mut cl = Cluster::new(b, ClusterConfig::paper());
+    let file = cl.add_file(t, vec![0u8; 100]);
+    cl.set_program(h, Box::new(BadReader { file }));
+    cl.run();
+}
+
+/// A slow receiver exhausts link credits; the sender stalls but the
+/// fabric stays consistent and every byte is eventually carried.
+#[test]
+fn credit_exhaustion_is_transient() {
+    use asan_net::link::{Link, LinkConfig};
+    let cfg = LinkConfig {
+        credits: 2,
+        ..LinkConfig::paper()
+    };
+    let mut l = Link::new(cfg);
+    // Receiver drains each packet 10 µs after it arrives.
+    let mut drains: Vec<SimTime> = Vec::new();
+    let mut total = 0u64;
+    for i in 0..50u64 {
+        let t = l.send(528, SimTime::from_ns(i * 100));
+        drains.push(t.done + SimDuration::from_us(10));
+        l.note_drain(*drains.last().unwrap());
+        total += 528;
+    }
+    assert_eq!(l.bytes_carried(), total);
+    assert!(l.credit_stalls() > 0, "expected credit pressure");
+    // Throughput degraded to the receiver's drain rate, not to zero.
+    let span = drains.last().unwrap().since(SimTime::ZERO);
+    assert!(span.as_us() >= 10 * 48 / 2, "span = {span}");
+}
+
+/// Zero-length reads are rejected before they corrupt schedules.
+#[test]
+#[should_panic(expected = "zero-length read")]
+fn zero_length_read_rejected() {
+    use asan_io::storage::{Storage, StorageConfig};
+    let mut s = Storage::new(StorageConfig::paper());
+    s.read_stream(0, 0, SimTime::ZERO);
+}

@@ -1,0 +1,374 @@
+//! Property-based tests (proptest) on the simulator's core data
+//! structures and the benchmarks' algorithmic kernels.
+
+use proptest::prelude::*;
+
+use asan_apps::data;
+use asan_apps::dfa::LiteralDfa;
+use asan_apps::md5::{md5, md5_interleaved, Md5};
+use asan_core::atb::Atb;
+use asan_core::buffer::{line_schedule, BufId, DataBuffer};
+use asan_mem::cache::{AccessKind, Cache, CacheConfig};
+use asan_net::{packetize, reassemble, HandlerId, Header, NodeId};
+use asan_sim::{EventQueue, SimTime};
+
+proptest! {
+    /// The event queue is a stable priority queue: popping yields times
+    /// in non-decreasing order, FIFO among equal times.
+    #[test]
+    fn event_queue_is_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), (t, i));
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, (orig, idx))) = q.pop() {
+            prop_assert_eq!(t, SimTime::from_ns(orig));
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated among equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+    }
+
+    /// A cache never reports a hit for a line it has not seen, and
+    /// always hits a line just accessed (temporal safety of LRU).
+    #[test]
+    fn cache_hit_iff_recently_resident(addrs in prop::collection::vec(0u64..(1 << 16), 1..500)) {
+        let mut c = Cache::new(CacheConfig {
+            name: "prop",
+            size_bytes: 1024,
+            line_bytes: 32,
+            assoc: 2,
+        });
+        use std::collections::HashSet;
+        let mut ever: HashSet<u64> = HashSet::new();
+        for &a in &addrs {
+            let line = a / 32;
+            let out = c.access(a, AccessKind::Read);
+            if out.hit {
+                prop_assert!(ever.contains(&line), "hit on never-seen line");
+            }
+            ever.insert(line);
+            // Immediate re-access must hit.
+            prop_assert!(c.access(a, AccessKind::Read).hit);
+        }
+    }
+
+    /// Write-back integrity: every dirty line is either resident or was
+    /// reported as a writeback exactly once.
+    #[test]
+    fn cache_never_loses_dirty_lines(addrs in prop::collection::vec(0u64..(1 << 14), 1..500)) {
+        let mut c = Cache::new(CacheConfig {
+            name: "prop",
+            size_bytes: 512,
+            line_bytes: 32,
+            assoc: 2,
+        });
+        use std::collections::HashSet;
+        let mut dirty: HashSet<u64> = HashSet::new();
+        for &a in &addrs {
+            let line_base = a / 32 * 32;
+            let out = c.access(a, AccessKind::Write);
+            if let Some(wb) = out.writeback {
+                prop_assert!(dirty.remove(&wb), "write-back of non-dirty line {wb:#x}");
+            }
+            dirty.insert(line_base);
+        }
+        // Every remaining dirty line must still be resident.
+        for &d in &dirty {
+            prop_assert!(c.probe(d), "dirty line {d:#x} vanished");
+        }
+    }
+
+    /// Packetize ∘ reassemble is the identity for any payload.
+    #[test]
+    fn packetize_reassemble_roundtrip(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let pkts = packetize(NodeId(1), NodeId(2), Some(HandlerId::new(7)), 0x1000, &data);
+        let back = reassemble(&pkts).expect("in order");
+        prop_assert_eq!(back, data);
+    }
+
+    /// Header encode/decode round-trips for all field values.
+    #[test]
+    fn header_roundtrip(src in any::<u16>(), dst in any::<u16>(), len in 0u16..=512,
+                        hid in prop::option::of(0u8..64), addr in any::<u32>(), seq in any::<u32>()) {
+        let h = Header {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len,
+            handler: hid.map(HandlerId::new),
+            addr,
+            seq,
+        };
+        prop_assert_eq!(Header::decode(&h.encode()).unwrap(), h);
+    }
+
+    /// The ATB translates exactly the mapped windows and deallocation
+    /// frees exactly the windows below the given address.
+    #[test]
+    fn atb_translation_partial_order(windows in prop::collection::vec(0u32..64, 1..16), cut in 0u32..70) {
+        let mut atb = Atb::new();
+        let mut mapped = std::collections::HashMap::new();
+        for (i, &w) in windows.iter().enumerate() {
+            let base = w * 512;
+            let old = atb.map(base, BufId(i as u8));
+            if let Some(_prev) = old {
+                // Direct-mapped conflict replaced an entry.
+                mapped.retain(|&b, _| {
+                    !(b != base && (b / 512) % 16 == (base / 512) % 16)
+                });
+            }
+            mapped.insert(base, BufId(i as u8));
+        }
+        for (&base, &buf) in &mapped {
+            prop_assert_eq!(atb.probe(base + 100), Some((buf, 100)));
+        }
+        let freed = atb.deallocate_below(cut * 512);
+        for (&base, &buf) in &mapped {
+            if base + 512 <= cut * 512 {
+                prop_assert!(freed.contains(&buf));
+                prop_assert_eq!(atb.probe(base), None);
+            } else {
+                prop_assert_eq!(atb.probe(base), Some((buf, 0)));
+            }
+        }
+    }
+
+    /// Data buffer line schedules are monotone and end exactly at the
+    /// last-byte time.
+    #[test]
+    fn line_schedule_monotone(len in 1usize..=512, start in 0u64..1000, span in 1u64..2000) {
+        let s0 = SimTime::from_ns(start);
+        let s1 = SimTime::from_ns(start + span);
+        let sched = line_schedule(len, s0, s1);
+        prop_assert_eq!(sched.len(), len.div_ceil(32));
+        for w in sched.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(*sched.last().unwrap(), s1);
+        // A buffer filled with this schedule reports the same times.
+        let mut b = DataBuffer::new();
+        b.fill(&vec![0xEE; len], &sched);
+        prop_assert_eq!(b.all_valid_at(), Some(s1));
+    }
+
+    /// MD5 incremental updates equal one-shot hashing for any chunking.
+    #[test]
+    fn md5_chunking_invariance(data in prop::collection::vec(any::<u8>(), 0..4096),
+                               cuts in prop::collection::vec(1usize..128, 0..20)) {
+        let oneshot = md5(&data);
+        let mut h = Md5::new();
+        let mut rest: &[u8] = &data;
+        for &c in &cuts {
+            if rest.is_empty() { break; }
+            let take = c.min(rest.len());
+            h.update(&rest[..take]);
+            rest = &rest[take..];
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// K-way interleaved MD5 is deterministic and equals the explicit
+    /// per-chain construction.
+    #[test]
+    fn md5_interleave_matches_manual(data in prop::collection::vec(any::<u8>(), 0..4096), k in 1usize..5) {
+        let unit = 512;
+        let fast = md5_interleaved(&data, k, unit);
+        // Manual: distribute chunks round-robin.
+        let mut chains: Vec<Vec<u8>> = vec![Vec::new(); k];
+        for (i, chunk) in data.chunks(unit).enumerate() {
+            chains[i % k].extend_from_slice(chunk);
+        }
+        let mut outer = Md5::new();
+        for c in chains {
+            outer.update(&md5(&c));
+        }
+        prop_assert_eq!(outer.finalize(), fast);
+    }
+
+    /// The literal DFA finds exactly the occurrences a naive scan finds.
+    #[test]
+    fn dfa_equals_naive(hay in prop::collection::vec(0u8..4, 0..2000)) {
+        let pattern = [1u8, 0, 1];
+        let dfa = LiteralDfa::new(&pattern);
+        let naive = hay.windows(3).filter(|w| *w == pattern).count();
+        prop_assert_eq!(dfa.count(&hay), naive);
+    }
+
+    /// Vector addition is commutative and associative on the reduction
+    /// lanes.
+    #[test]
+    fn vector_add_abelian(a_seed in any::<u64>(), b_seed in any::<u64>()) {
+        let mk = |s: u64| {
+            let mut rng = asan_sim::SimRng::from_seed(s);
+            let mut v = vec![0u8; 512];
+            rng.fill_bytes(&mut v);
+            v
+        };
+        let (a, b) = (mk(a_seed), mk(b_seed));
+        let mut ab = a.clone();
+        data::vector_add(&mut ab, &b);
+        let mut ba = b.clone();
+        data::vector_add(&mut ba, &a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Sort bucketing maps every key to a valid node and respects the
+    /// range order.
+    #[test]
+    fn sort_bucket_valid_and_ordered(keys in prop::collection::vec(prop::array::uniform10(any::<u8>()), 1..200),
+                                     p in 1usize..16) {
+        let mut pairs: Vec<(u16, usize)> = keys
+            .iter()
+            .map(|k| {
+                let b = data::sort_bucket(k, p);
+                prop_assert!(b < p);
+                Ok((u16::from_be_bytes([k[0], k[1]]), b))
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        pairs.sort();
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "bucket order violates key order");
+        }
+    }
+}
+
+proptest! {
+    /// A link conserves serialization time: N equal packets arrive no
+    /// faster than the wire allows, and arrivals are monotone.
+    #[test]
+    fn link_serialization_conserved(n in 1usize..100, wire in 16u64..2000) {
+        use asan_net::link::{Link, LinkConfig};
+        let cfg = LinkConfig::paper();
+        let mut l = Link::new(cfg);
+        let mut last = SimTime::ZERO;
+        for _ in 0..n {
+            let t = l.send(wire, SimTime::ZERO);
+            l.note_drain(t.done);
+            prop_assert!(t.done >= last, "arrival regressed");
+            last = t.done;
+        }
+        let min_time = asan_sim::SimDuration::transfer(wire, cfg.bytes_per_sec) * n as u64;
+        prop_assert!(
+            last >= SimTime::ZERO + min_time,
+            "{n} x {wire} B finished before the wire could carry them"
+        );
+        prop_assert_eq!(l.bytes_carried(), wire * n as u64);
+    }
+
+    /// A storage read's packet schedule covers exactly the requested
+    /// bytes, is monotone, and respects the aggregate media rate.
+    #[test]
+    fn storage_schedule_sound(offset in 0u64..(1 << 20), len in 1u64..(1 << 20)) {
+        use asan_io::storage::{Storage, StorageConfig};
+        let cfg = StorageConfig::paper();
+        let mut s = Storage::new(cfg);
+        let sched = s.read_stream(offset, len, SimTime::ZERO);
+        let total: u64 = sched.packet_len.iter().map(|&l| l as u64).sum();
+        prop_assert_eq!(total, len, "bytes not conserved");
+        for w in sched.packet_ready.windows(2) {
+            prop_assert!(w[0] <= w[1], "schedule not monotone");
+        }
+        // Aggregate rate bound: both disks flat out.
+        let aggregate = cfg.disk.bytes_per_sec * cfg.num_disks as u64;
+        let min = asan_sim::SimDuration::transfer(len / 2, aggregate);
+        prop_assert!(
+            sched.complete >= SimTime::ZERO + min,
+            "faster than the platters"
+        );
+    }
+
+    /// The buffer administrator never exceeds its capacity: at any
+    /// sampled instant the number of live buffers is at most the file
+    /// size, and every allocation eventually succeeds.
+    #[test]
+    fn dba_capacity_respected(ops in prop::collection::vec((1u64..1000, 1u64..500), 1..100)) {
+        use asan_core::dba::BufferAdmin;
+        let mut a = BufferAdmin::new(4);
+        let mut t = SimTime::ZERO;
+        for (gap, hold) in ops {
+            t += asan_sim::SimDuration::from_ns(gap);
+            let (id, granted) = a.alloc(t);
+            prop_assert!(granted >= t);
+            a.release(id, granted + asan_sim::SimDuration::from_ns(hold));
+            prop_assert!(a.busy_count(granted) <= 4);
+        }
+    }
+
+    /// CPU accounting is exact: the busy/stall/idle breakdown always
+    /// sums to the local clock, under any interleaving of operations.
+    #[test]
+    fn cpu_breakdown_conserves_time(ops in prop::collection::vec(0u8..5, 1..200)) {
+        use asan_cpu::{Cpu, CpuConfig};
+        let mut c = Cpu::new(CpuConfig::host());
+        let mut addr = 0x1000_0000u64;
+        for op in ops {
+            match op {
+                0 => c.compute(37),
+                1 => c.load(addr),
+                2 => c.store(addr + 64),
+                3 => c.prefetch(addr + 128),
+                _ => {
+                    let t = c.now() + asan_sim::SimDuration::from_ns(100);
+                    c.idle_until(t);
+                }
+            }
+            addr += 4096;
+        }
+        prop_assert_eq!(c.breakdown().total(), c.now().since(SimTime::ZERO));
+    }
+
+    /// ustar headers always checksum-validate and store the size field
+    /// correctly, for any name and size.
+    #[test]
+    fn ustar_header_valid(name_len in 1usize..99, size in 0u64..(1 << 33)) {
+        use asan_apps::tar_fmt;
+        let name: String = "f".repeat(name_len);
+        let h = tar_fmt::ustar_header(&name, size, 12345);
+        prop_assert!(tar_fmt::checksum_ok(&h));
+        // Parse the octal size field back.
+        let parsed = h[124..135]
+            .iter()
+            .fold(0u64, |acc, &b| acc * 8 + (b - b'0') as u64);
+        prop_assert_eq!(parsed, size);
+    }
+
+    /// The MPEG frame scanner conserves bytes globally under any
+    /// chunking: total segment bytes equal the stream length (up to a
+    /// trailing incomplete header).
+    #[test]
+    fn frame_scanner_conserves_bytes(total in 1000usize..50_000, chunk in 7usize..4096) {
+        use asan_apps::data::{mpeg_stream, FrameScanner};
+        let stream = mpeg_stream(total);
+        let mut sc = FrameScanner::new();
+        let mut covered = 0usize;
+        for c in stream.chunks(chunk) {
+            covered += sc.feed(c).into_iter().map(|(_, n)| n).sum::<usize>();
+        }
+        prop_assert!(covered <= total);
+        prop_assert!(total - covered < 16, "lost more than a header");
+    }
+
+    /// Fabric transmissions are causal: with non-decreasing ready times
+    /// on one flow, arrivals are non-decreasing too.
+    #[test]
+    fn fabric_arrivals_monotone(sizes in prop::collection::vec(16u64..528, 1..100)) {
+        use asan_net::topo::single_switch_cluster;
+        let (mut f, hosts, tcas, _) = single_switch_cluster(1, 1);
+        let mut ready = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (i, w) in sizes.iter().enumerate() {
+            ready += asan_sim::SimDuration::from_ns((i % 7) as u64 * 100);
+            let d = f.transmit(*w, tcas[0], hosts[0], ready);
+            prop_assert!(d.arrival >= last_arrival, "arrival regressed");
+            prop_assert!(d.header_at <= d.arrival);
+            prop_assert!(d.payload_start <= d.arrival);
+            last_arrival = d.arrival;
+        }
+    }
+}
