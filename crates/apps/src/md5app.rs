@@ -212,7 +212,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
     let mut cfg = ClusterConfig::paper();
     cfg.active = ActiveSwitchConfig::with_cpus(p.switch_cpus);
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl.add_file(ts[0], input.as_ref().clone());
+    let file = cl.add_file(ts[0], input.as_ref().clone()).expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -220,7 +220,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             sw,
             MD5_HANDLER,
             Box::new(Md5Handler::new(p.switch_cpus, host, p.input_bytes)),
-        );
+        ).expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveMd5 {
@@ -237,7 +237,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 }),
                 digest: None,
             }),
-        );
+        ).expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -253,10 +253,10 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 hasher: Some(Md5::new()),
                 digest: None,
             }),
-        );
+        ).expect("cluster setup");
     }
 
-    let report = cl.run();
+    let report = cl.run().expect("simulation completes");
     let got = if variant.is_active() {
         cl.take_program(host)
             .expect("program")

@@ -353,7 +353,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
 
     let (mut cl, hs, ts, sw) = standard_cluster(p.nodes, p.nodes, ClusterConfig::paper());
     let files: Vec<_> = (0..p.nodes)
-        .map(|i| cl.add_file(ts[i], shares[i].clone()))
+        .map(|i| cl.add_file(ts[i], shares[i].clone()).expect("cluster setup"))
         .collect();
     let share_bytes = per_node * SORT_RECORD as u64;
 
@@ -366,7 +366,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 hs.clone(),
                 share_bytes * p.nodes as u64,
             )),
-        );
+        ).expect("cluster setup");
         for i in 0..p.nodes {
             cl.set_program(
                 hs[i],
@@ -387,7 +387,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                     eof: false,
                     read_done: false,
                 }),
-            );
+            ).expect("cluster setup");
         }
     } else {
         for i in 0..p.nodes {
@@ -416,11 +416,11 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                     sent_eof: false,
                     eofs_seen: 0,
                 }),
-            );
+            ).expect("cluster setup");
         }
     }
 
-    let report = cl.run();
+    let report = cl.run().expect("simulation completes");
     // Validate per-node counts.
     let mut total_received = 0u64;
     for i in 0..p.nodes {

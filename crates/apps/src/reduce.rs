@@ -441,6 +441,8 @@ pub struct ReduceRun {
     pub active: bool,
     /// Completion latency (all receivers have their result).
     pub latency: SimTime,
+    /// Fault-injection counters (all zero without an armed plan).
+    pub faults: asan_sim::faults::FaultStats,
 }
 
 /// Runs one collective reduction, validating the result against the
@@ -487,7 +489,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                     host_children.get(&sw).cloned().unwrap_or_default(),
                     switch_children.get(&sw).cloned().unwrap_or_default(),
                 ));
-                cl.register_handler(sw, REDUCE_HANDLER, handler);
+                cl.register_handler(sw, REDUCE_HANDLER, handler).expect("cluster setup");
                 if mode == Mode::ToAll {
                     // The broadcast arrives under its own handler ID;
                     // share the state via a second registration of a
@@ -503,7 +505,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                             host_children.get(&sw).cloned().unwrap_or_default(),
                             switch_children.get(&sw).cloned().unwrap_or_default(),
                         )),
-                    );
+                    ).expect("cluster setup");
                 }
             }
         }
@@ -525,10 +527,10 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                 got_result: None,
                 done: false,
             }),
-        );
+        ).expect("cluster setup");
     }
 
-    let report = cl.run();
+    let report = cl.run().expect("simulation completes");
 
     // Validate against the scalar reference.
     let want = reference_sum(p);
@@ -566,6 +568,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
         p,
         active,
         latency: report.finish,
+        faults: cl.fault_stats(),
     }
 }
 

@@ -254,14 +254,20 @@ impl HostProgram for ActiveSelect {
 ///
 /// Panics if the simulated result disagrees with the reference.
 pub fn run(variant: Variant, p: &Params) -> AppRun {
+    run_with_config(variant, p, ClusterConfig::paper_db())
+}
+
+/// [`run`] with an explicit cluster configuration (used by the fault
+/// injection experiments to attach a [`asan_sim::faults::FaultPlan`]).
+pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppRun {
     let table = Arc::new(data::db_table(
         p.table_bytes as usize,
         p.record_bytes as usize,
         "select-table",
     ));
     let want = reference_count(&table, p);
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, ClusterConfig::paper_db());
-    let file = cl.add_file(ts[0], table.as_ref().clone());
+    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
+    let file = cl.add_file(ts[0], table.as_ref().clone()).expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -269,7 +275,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             sw,
             SELECT_HANDLER,
             Box::new(SelectHandler::new(p.clone(), host, p.table_bytes)),
-        );
+        ).expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveSelect {
@@ -288,7 +294,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 records_in: 0,
                 final_count: None,
             }),
-        );
+        ).expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -305,10 +311,10 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 matches: 0,
                 buf_base: 0x1000_0000,
             }),
-        );
+        ).expect("cluster setup");
     }
 
-    let report = cl.run();
+    let report = cl.run().expect("simulation completes");
     // Validate the computed answer against the pure-Rust reference.
     let got = if variant.is_active() {
         let program = cl.take_program(host).expect("program installed");

@@ -225,14 +225,14 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
     let (mut cl, hs, ts, sw) = standard_cluster(1, 2, ClusterConfig::paper());
     let files: Vec<FileId> = contents
         .iter()
-        .map(|c| cl.add_file(ts[0], c.clone()))
+        .map(|c| cl.add_file(ts[0], c.clone()).expect("cluster setup"))
         .collect();
     let host = hs[0];
     let archive = ts[1];
     let contents = Arc::new(contents);
 
     if variant.is_active() {
-        cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive)));
+        cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive))).expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveTar {
@@ -241,7 +241,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 sw,
                 archive,
             }),
-        );
+        ).expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -255,10 +255,10 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 reader: None,
                 sent: 0,
             }),
-        );
+        ).expect("cluster setup");
     }
 
-    let report = cl.run();
+    let report = cl.run().expect("simulation completes");
     let streamed = if variant.is_active() {
         let handler = cl.take_handler(sw, TAR_HANDLER).expect("handler");
         let h = handler

@@ -1,55 +1,60 @@
-//! Criterion benches: time the simulator itself on scaled-down
-//! configurations of every figure's workload (one group per figure).
-//! The *results* of the figures come from the `repro` binary; these
-//! benches track the cost of producing them.
+//! Wall-clock benches: time the simulator itself on scaled-down
+//! configurations of every figure's workload. The *results* of the
+//! figures come from the `repro` binary; these benches track the cost
+//! of producing them. Plain `main()` harness — no external deps.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use asan_apps::{grep, hashjoin, md5app, mpeg, psort, reduce, select, tar, Variant};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warm-up, then the timed batch.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("{name:<32} {per:>12.2?}/iter  ({iters} iters)");
+}
 
-    g.bench_function("fig3_mpeg_active_pref", |b| {
+fn main() {
+    println!("== figures: simulator cost per scaled-down workload ==");
+    bench("fig3_mpeg_active_pref", 5, || {
         let p = mpeg::Params::small();
-        b.iter(|| mpeg::run(Variant::ActivePref, &p))
+        mpeg::run(Variant::ActivePref, &p);
     });
-    g.bench_function("fig5_hashjoin_active_pref", |b| {
+    bench("fig5_hashjoin_active_pref", 5, || {
         let p = hashjoin::Params::small();
-        b.iter(|| hashjoin::run(Variant::ActivePref, &p))
+        hashjoin::run(Variant::ActivePref, &p);
     });
-    g.bench_function("fig7_select_active_pref", |b| {
+    bench("fig7_select_active_pref", 5, || {
         let p = select::Params::small();
-        b.iter(|| select::run(Variant::ActivePref, &p))
+        select::run(Variant::ActivePref, &p);
     });
-    g.bench_function("fig9_grep_active_pref", |b| {
+    bench("fig9_grep_active_pref", 5, || {
         let p = grep::Params::small();
-        b.iter(|| grep::run(Variant::ActivePref, &p))
+        grep::run(Variant::ActivePref, &p);
     });
-    g.bench_function("fig11_tar_active", |b| {
+    bench("fig11_tar_active", 5, || {
         let p = tar::Params::small();
-        b.iter(|| tar::run(Variant::Active, &p))
+        tar::run(Variant::Active, &p);
     });
-    g.bench_function("fig13_psort_active_pref", |b| {
+    bench("fig13_psort_active_pref", 5, || {
         let p = psort::Params::small();
-        b.iter(|| psort::run(Variant::ActivePref, &p))
+        psort::run(Variant::ActivePref, &p);
     });
-    g.bench_function("fig15_reduce_to_one_16", |b| {
-        b.iter(|| reduce::run(reduce::Mode::ReduceToOne, true, 16))
+    bench("fig15_reduce_to_one_16", 5, || {
+        reduce::run(reduce::Mode::ReduceToOne, true, 16);
     });
-    g.bench_function("fig16_distributed_16", |b| {
-        b.iter(|| reduce::run(reduce::Mode::Distributed, true, 16))
+    bench("fig16_distributed_16", 5, || {
+        reduce::run(reduce::Mode::Distributed, true, 16);
     });
-    g.bench_function("fig17_md5_4cpu", |b| {
+    bench("fig17_md5_4cpu", 5, || {
         let p = md5app::Params {
             switch_cpus: 4,
             ..md5app::Params::small()
         };
-        b.iter(|| md5app::run(Variant::Active, &p))
+        md5app::run(Variant::Active, &p);
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -18,6 +18,8 @@
 //!   ablations       design-choice ablations (valid bits, ATB, D$, clock)
 //!   twolevel        two-level active I/O (active disks + switches, §6)
 //!   multiprog       co-scheduled background job (§7's throughput claim)
+//!   chaos           benchmarks under seeded fault injection
+//!   chaos-digest    deterministic fault-run digest (CI runs it twice)
 //!   all             everything above
 //! ```
 //!
@@ -33,7 +35,12 @@ use std::env;
 use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{breakdown_table, overall_csv, overall_table, speedups};
-use asan_core::cluster::ClusterConfig;
+use asan_core::cluster::{
+    Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId,
+};
+use asan_net::topo::{SwitchSpec, TopologyBuilder};
+use asan_net::LinkConfig;
+use asan_sim::faults::{FaultPlan, HandlerTrap};
 
 struct Scale {
     small: bool,
@@ -305,6 +312,128 @@ fn twolevel(sc: &Scale) {
     println!();
 }
 
+/// Robustness: the benchmarks complete — and still validate — under the
+/// seeded chaos fault plan (packet corruption + drops on the storage
+/// data plane, soft disk errors, latency spikes).
+fn chaos(sc: &Scale) {
+    println!("== Chaos: benchmarks under seeded fault injection ==");
+    println!("(FaultPlan::chaos — 1% corrupt, 0.5% drop, 2% disk error, 1% spike)");
+    println!(
+        "{:<14} {:>14} {:>14} {:>10} {:>9}",
+        "app", "clean", "chaos", "overhead", "artifact"
+    );
+    let apps: [(&str, Box<dyn Fn(ClusterConfig) -> AppRun>); 3] = [
+        ("Grep", {
+            let p = sc.grep();
+            Box::new(move |cfg| grep::run_with_config(Variant::ActivePref, &p, cfg))
+        }),
+        ("Select", {
+            let p = sc.select();
+            Box::new(move |cfg| select::run_with_config(Variant::ActivePref, &p, cfg))
+        }),
+        ("HashJoin", {
+            let p = sc.hashjoin();
+            Box::new(move |cfg| hashjoin::run_with_config(Variant::ActivePref, &p, cfg))
+        }),
+    ];
+    for (name, run) in &apps {
+        let base = if *name == "HashJoin" {
+            ClusterConfig::paper_db()
+        } else {
+            ClusterConfig::paper()
+        };
+        let clean = run(base.clone());
+        let mut cfg = base;
+        cfg.faults = Some(FaultPlan::chaos(0xC4A05));
+        let faulted = run(cfg);
+        assert_eq!(
+            clean.artifact, faulted.artifact,
+            "{name}: fault recovery changed the result"
+        );
+        println!(
+            "{:<14} {:>14} {:>14} {:>9.1}% {:>9}",
+            name,
+            format!("{}", clean.exec),
+            format!("{}", faulted.exec),
+            (faulted.exec.as_ps() as f64 / clean.exec.as_ps().max(1) as f64 - 1.0) * 100.0,
+            "ok",
+        );
+    }
+
+    // The collective reduction sends host-generated vectors (reliable
+    // traffic), so its fault mode is the handler trap: every switch
+    // combine engine traps and migrates to a host fallback.
+    let clean = reduce::run_with_config(reduce::Mode::ReduceToOne, true, 8, ClusterConfig::paper());
+    let mut cfg = ClusterConfig::paper();
+    let mut plan = FaultPlan::quiet(0xC4A05);
+    plan.handler_traps.push(HandlerTrap {
+        node: None,
+        handler: reduce::REDUCE_HANDLER.as_u8(),
+        at_invocation: 2,
+    });
+    cfg.faults = Some(plan);
+    let trapped = reduce::run_with_config(reduce::Mode::ReduceToOne, true, 8, cfg);
+    println!(
+        "{:<14} {:>14} {:>14} {:>9.1}% {:>9}",
+        "Reduce (trap)",
+        format!("{}", clean.latency),
+        format!("{}", trapped.latency),
+        (trapped.latency.as_ps() as f64 / clean.latency.as_ps().max(1) as f64 - 1.0) * 100.0,
+        "ok",
+    );
+    println!(
+        "traps fired: {} | fallback packets: {}",
+        trapped.faults.handler_trap.degraded, trapped.faults.fallback_packets
+    );
+    println!();
+}
+
+/// Reads one region into host memory and finishes.
+struct OneRead {
+    file: FileId,
+    len: u64,
+}
+impl HostProgram for OneRead {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.read_file(self.file, 0, self.len, Dest::HostBuf { addr: 0x1000_0000 });
+    }
+    fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
+        ctx.finish();
+    }
+}
+
+/// CI determinism probe: one storage read under a dense fault plan,
+/// reduced to the canonical stats digest. Same binary + same seed must
+/// print the same digest on every run and every machine; the CI job
+/// runs this twice and fails on a mismatch.
+fn chaos_digest() {
+    const FILE_BYTES: u64 = 256 * 1024;
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch(SwitchSpec::paper());
+    let host = b.add_host();
+    let tca = b.add_tca();
+    b.connect(host, sw, LinkConfig::paper());
+    b.connect(tca, sw, LinkConfig::paper());
+
+    let mut cfg = ClusterConfig::paper();
+    let mut plan = FaultPlan::chaos(0xD16E57);
+    plan.packet_corrupt_prob = 0.05;
+    plan.packet_drop_prob = 0.02;
+    cfg.faults = Some(plan);
+
+    let mut cl = Cluster::new(b, cfg);
+    let data: Vec<u8> = (0..FILE_BYTES).map(|i| (i % 251) as u8).collect();
+    let file = cl.add_file(tca, data).expect("add file");
+    cl.set_program(host, Box::new(OneRead { file, len: FILE_BYTES }))
+        .expect("program");
+    let report = cl.run().expect("chaos run recovers from every injected fault");
+
+    let stats = cl.stats();
+    println!("chaos-digest: {:016x}", stats.digest());
+    println!("finish: {}  events: {}", report.finish, report.events);
+    println!("{}", cl.fault_stats());
+}
+
 fn table2() {
     println!("== Table 2: Collective Reduction semantics ==");
     for p in [4usize, 8] {
@@ -336,7 +465,7 @@ fn main() {
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
             "table1", "fig3", "fig5", "fig7", "fig9", "fig11", "fig13", "fig15", "fig16", "fig17",
-            "table2",
+            "table2", "chaos",
         ]
     } else {
         wanted
@@ -384,6 +513,8 @@ fn main() {
             "fig17" => fig17(&sc),
             "table2" => table2(),
             "ablations" => ablations(&sc),
+            "chaos" => chaos(&sc),
+            "chaos-digest" => chaos_digest(),
             "twolevel" => twolevel(&sc),
             "multiprog" => multiprog_exp(&sc),
             other => eprintln!("unknown experiment: {other}"),

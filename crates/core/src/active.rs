@@ -212,6 +212,17 @@ impl ActiveSwitch {
         self.jump[id.as_u8() as usize].take()
     }
 
+    /// Seizes `count` data buffers from the start of the run, releasing
+    /// them at `until` — injected DBA exhaustion that forces later
+    /// dispatches through the allocation-stall path. Always leaves at
+    /// least one buffer free so the pipeline cannot deadlock.
+    pub fn seize_buffers(&mut self, count: usize, until: SimTime) {
+        for _ in 0..count.min(self.cfg.num_buffers.saturating_sub(1)) {
+            let (buf, granted) = self.dba.alloc(SimTime::ZERO);
+            self.dba.release(buf, until.max(granted));
+        }
+    }
+
     /// Dispatches an arriving active message.
     ///
     /// * `header_at` — when the header reached the switch (dispatch can

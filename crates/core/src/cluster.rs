@@ -11,16 +11,18 @@
 //! The event loop is deterministic: ties in simulated time break by
 //! insertion order ([`asan_sim::EventQueue`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use asan_cpu::{Cpu, CpuConfig};
 use asan_io::{OsCost, Storage, StorageConfig};
 use asan_net::topo::{NodeKind, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, Hca, HcaConfig, NodeId, HEADER_BYTES, MTU};
+use asan_sim::faults::{DiskFate, FaultInjector, FaultPlan, FaultStats, PacketFate};
 use asan_sim::stats::{TimeBreakdown, Traffic};
 use asan_sim::{EventQueue, SimDuration, SimTime};
 
-use crate::active::{ActiveSwitch, ActiveSwitchConfig};
+use crate::active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
+use crate::error::SimError;
 use crate::handler::{Handler, SwitchIoReq};
 use crate::stats::{
     CacheSnapshot, ClusterStats, CpuSnapshot, FabricSnapshot, HostSnapshot, StorageSnapshot,
@@ -251,6 +253,34 @@ struct IoState {
     dest: Dest,
     remaining: usize,
     bytes: u64,
+    /// The TCA serving this request.
+    tca: NodeId,
+    /// The file being read.
+    file: FileId,
+    /// File-relative byte offset of the read.
+    offset: u64,
+    /// Per-sequence-number delivery flags (populated when the storage
+    /// read schedule is known; only under an armed fault plan).
+    got: Vec<bool>,
+    /// Per-sequence-number payload lengths, for buffer-cache re-reads
+    /// on retransmission.
+    lens: Vec<u32>,
+    /// First fault category seen per sequence number (0 = none,
+    /// 1 = corrupt, 2 = drop) — attributes eventual recovery.
+    faulted: Vec<u8>,
+    /// End-to-end timeout attempts so far.
+    attempt: u32,
+    /// Current (exponentially backed-off) timeout.
+    timeout: SimDuration,
+}
+
+/// Per-request reorder buffer for mapped flows under fault injection:
+/// a stream handler must see its packets in sequence order, so late
+/// retransmits park arrivals here until the gap fills.
+#[derive(Debug, Default)]
+struct FlowState {
+    next_seq: u32,
+    buffered: BTreeMap<u32, asan_net::Packet>,
 }
 
 #[derive(Debug)]
@@ -263,18 +293,28 @@ enum Event {
         io_req: Option<ReqId>,
     },
     /// An active packet's header reached a switch (payload window given).
+    /// `io_req` is set for mapped storage data under a fault plan, which
+    /// is tracked per sequence number and delivered in order.
     PacketToSwitch {
         sw: NodeId,
         pkt: asan_net::Packet,
         payload_start: SimTime,
         payload_end: SimTime,
+        io_req: Option<ReqId>,
+    },
+    /// A packet for a trapped handler reached the fallback host and is
+    /// dispatched on its software engine.
+    FallbackDispatch {
+        sw: NodeId,
+        pkt: asan_net::Packet,
     },
     /// Raw data arrived at a TCA (archive-write stream).
     PacketToTca {
         tca: NodeId,
         bytes: u64,
     },
-    /// A host-issued I/O request's control packet reached its TCA.
+    /// A host-issued I/O request's control packet reached its TCA (or a
+    /// soft-errored disk attempt is being retried).
     IoRequestAtTca {
         tca: NodeId,
         req: ReqId,
@@ -282,10 +322,12 @@ enum Event {
         offset: u64,
         len: u64,
         dest: Dest,
+        attempt: u32,
     },
     /// A switch-initiated I/O request reached its TCA.
     SwitchIoAtTca {
         r: SwitchIoReq,
+        attempt: u32,
     },
     /// All data of `req` delivered; notify the issuing host.
     IoComplete {
@@ -314,6 +356,18 @@ enum Event {
         seq: u32,
         io_req: Option<ReqId>,
     },
+    /// Retransmit packet `seq` of `req` from the TCA's buffer cache
+    /// (NAK- or timeout-driven).
+    Retransmit {
+        req: ReqId,
+        seq: u32,
+    },
+    /// End-to-end watchdog for `req`; stale timers carry an old
+    /// `attempt` and are ignored.
+    RequestTimeout {
+        req: ReqId,
+        attempt: u32,
+    },
 }
 
 /// Configuration of a [`Cluster`].
@@ -331,6 +385,9 @@ pub struct ClusterConfig {
     pub active: ActiveSwitchConfig,
     /// Event-count safety limit (deadlock/livelock guard).
     pub max_events: u64,
+    /// Deterministic fault plan, if any. `None` (the default) runs the
+    /// simulator exactly as before faults existed.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -343,6 +400,7 @@ impl ClusterConfig {
             storage: StorageConfig::paper(),
             active: ActiveSwitchConfig::paper(),
             max_events: 80_000_000,
+            faults: None,
         }
     }
 
@@ -408,26 +466,28 @@ pub struct RunReport {
 impl RunReport {
     /// The report of host `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not a host in this run.
-    pub fn host(&self, node: NodeId) -> &HostReport {
+    /// Returns [`SimError::NotAHost`] if `node` is not a host in this
+    /// run.
+    pub fn host(&self, node: NodeId) -> Result<&HostReport, SimError> {
         self.hosts
             .iter()
             .find(|h| h.node == node)
-            .expect("not a host node")
+            .ok_or(SimError::NotAHost(node))
     }
 
     /// The report of switch `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not a switch in this run.
-    pub fn switch(&self, node: NodeId) -> &SwitchReport {
+    /// Returns [`SimError::NotASwitch`] if `node` is not a switch in
+    /// this run.
+    pub fn switch(&self, node: NodeId) -> Result<&SwitchReport, SimError> {
         self.switches
             .iter()
             .find(|s| s.node == node)
-            .expect("not a switch node")
+            .ok_or(SimError::NotASwitch(node))
     }
 
     /// Mean host utilization (the paper's `(1 − idle)/exec`).
@@ -468,6 +528,19 @@ pub struct Cluster {
     reqs: HashMap<ReqId, IoState>,
     next_req: u64,
     events: u64,
+    /// Armed fault injector (None ⇒ the pre-fault simulator, bit for
+    /// bit).
+    injector: Option<FaultInjector>,
+    /// `(switch, handler)` pairs whose jump-table entry was disabled by
+    /// a trap; their streams route to the fallback host.
+    trapped: HashSet<(NodeId, HandlerId)>,
+    /// Host-side software engines holding migrated handlers, keyed by
+    /// the original switch so handler state stays per-switch.
+    fallback_engines: HashMap<NodeId, ActiveSwitch>,
+    /// The host that runs fallback engines (lowest-numbered host).
+    fallback_host: Option<NodeId>,
+    /// Reorder buffers for mapped flows under faults.
+    flows: HashMap<ReqId, FlowState>,
 }
 
 impl Cluster {
@@ -518,6 +591,7 @@ impl Cluster {
                 }
             }
         }
+        let injector = cfg.faults.clone().map(FaultInjector::new);
         Cluster {
             cfg,
             fabric,
@@ -533,16 +607,21 @@ impl Cluster {
             reqs: HashMap::new(),
             next_req: 0,
             events: 0,
+            injector,
+            trapped: HashSet::new(),
+            fallback_engines: HashMap::new(),
+            fallback_host: None,
+            flows: HashMap::new(),
         }
     }
 
     /// Stores `data` as a file on `tca`'s array, returning its ID.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tca` is not a TCA node.
-    pub fn add_file(&mut self, tca: NodeId, data: Vec<u8>) -> FileId {
-        let t = self.tcas.get_mut(&tca).expect("not a TCA node");
+    /// Returns [`SimError::NotATca`] if `tca` is not a TCA node.
+    pub fn add_file(&mut self, tca: NodeId, data: Vec<u8>) -> Result<FileId, SimError> {
+        let t = self.tcas.get_mut(&tca).ok_or(SimError::NotATca(tca))?;
         let id = FileId(self.files_meta.len());
         self.files_meta.push(FileMeta {
             tca,
@@ -555,7 +634,7 @@ impl Cluster {
         let stripe = self.cfg.storage.stripe_bytes;
         t.alloc_cursor += (data.len() as u64).div_ceil(stripe).max(1) * stripe;
         self.files_data.push(data);
-        id
+        Ok(id)
     }
 
     /// Co-schedules `cpu_time` of background computation on host
@@ -564,67 +643,112 @@ impl Cluster {
     /// CPU). The run report shows when it completed — the quantitative
     /// form of the paper's claim that lower host utilization "allows
     /// other tasks to be performed concurrently".
-    pub fn set_background_job(&mut self, node: NodeId, cpu_time: SimDuration) {
-        let h = self.hosts.get_mut(&node).expect("not a host node");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotAHost`] if `node` is not a host.
+    pub fn set_background_job(
+        &mut self,
+        node: NodeId,
+        cpu_time: SimDuration,
+    ) -> Result<(), SimError> {
+        let h = self.hosts.get_mut(&node).ok_or(SimError::NotAHost(node))?;
         h.background_left = cpu_time;
         h.background_done = None;
+        Ok(())
     }
 
     /// Installs `program` on host `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not a host or already has a program.
-    pub fn set_program(&mut self, node: NodeId, program: Box<dyn HostProgram>) {
-        let h = self.hosts.get_mut(&node).expect("not a host node");
-        assert!(h.program.is_none(), "program already installed on {node}");
+    /// Returns [`SimError::NotAHost`] if `node` is not a host, and
+    /// [`SimError::ProgramAlreadyInstalled`] if it already has a
+    /// program.
+    pub fn set_program(
+        &mut self,
+        node: NodeId,
+        program: Box<dyn HostProgram>,
+    ) -> Result<(), SimError> {
+        let h = self.hosts.get_mut(&node).ok_or(SimError::NotAHost(node))?;
+        if h.program.is_some() {
+            return Err(SimError::ProgramAlreadyInstalled(node));
+        }
         h.program = Some(program);
+        Ok(())
     }
 
     /// Registers `handler` under `id` on switch `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not a switch.
-    pub fn register_handler(&mut self, node: NodeId, id: HandlerId, handler: Box<dyn Handler>) {
+    /// Returns [`SimError::NotASwitch`] if `node` is not a switch.
+    pub fn register_handler(
+        &mut self,
+        node: NodeId,
+        id: HandlerId,
+        handler: Box<dyn Handler>,
+    ) -> Result<(), SimError> {
         self.switches
             .get_mut(&node)
-            .expect("not a switch node")
+            .ok_or(SimError::NotASwitch(node))?
             .register(id, handler);
+        Ok(())
     }
 
     /// Removes a handler after a run so the caller can read back state
-    /// accumulated inside it.
+    /// accumulated inside it. Searches the original engine first, then
+    /// any host-side fallback engine a trap migrated it to.
     pub fn take_handler(&mut self, node: NodeId, id: HandlerId) -> Option<Box<dyn Handler>> {
-        if let Some(sw) = self.switches.get_mut(&node) {
-            return sw.take_handler(id);
+        if let Some(h) = self.switches.get_mut(&node).and_then(|s| s.take_handler(id)) {
+            return Some(h);
         }
-        self.active_tcas.get_mut(&node)?.take_handler(id)
+        if let Some(h) = self
+            .active_tcas
+            .get_mut(&node)
+            .and_then(|e| e.take_handler(id))
+        {
+            return Some(h);
+        }
+        self.fallback_engines.get_mut(&node)?.take_handler(id)
     }
 
     /// Turns the TCA at `node` into an *active disk*: an embedded
     /// processor (same model as a switch CPU) that can run handlers on
     /// data as it streams off the array — §6's two-level active I/O.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is not a TCA.
-    pub fn enable_active_tca(&mut self, node: NodeId, cfg: ActiveSwitchConfig) {
-        assert!(self.tcas.contains_key(&node), "not a TCA node");
+    /// Returns [`SimError::NotATca`] if `node` is not a TCA.
+    pub fn enable_active_tca(
+        &mut self,
+        node: NodeId,
+        cfg: ActiveSwitchConfig,
+    ) -> Result<(), SimError> {
+        if !self.tcas.contains_key(&node) {
+            return Err(SimError::NotATca(node));
+        }
         self.active_tcas.insert(node, ActiveSwitch::new(node, cfg));
+        Ok(())
     }
 
     /// Registers `handler` on an active TCA previously enabled with
     /// [`enable_active_tca`](Cluster::enable_active_tca).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the TCA is not active.
-    pub fn register_tca_handler(&mut self, node: NodeId, id: HandlerId, handler: Box<dyn Handler>) {
+    /// Returns [`SimError::TcaNotActive`] if the TCA is not active.
+    pub fn register_tca_handler(
+        &mut self,
+        node: NodeId,
+        id: HandlerId,
+        handler: Box<dyn Handler>,
+    ) -> Result<(), SimError> {
         self.active_tcas
             .get_mut(&node)
-            .expect("TCA is not active; call enable_active_tca first")
+            .ok_or(SimError::TcaNotActive(node))?
             .register(id, handler);
+        Ok(())
     }
 
     /// Removes a host's program after a run so the caller can read back
@@ -677,11 +801,17 @@ impl Cluster {
             .iter()
             .map(|id| {
                 let s = &self.switches[id];
+                // A trapped handler's work continues on a host-side
+                // fallback engine; its counters still belong to this
+                // switch logically.
+                let fb = self.fallback_engines.get(id);
                 SwitchSnapshot {
                     node: *id,
-                    invocations: s.stats().invocations.get(),
-                    bytes_in: s.stats().bytes_in.get(),
-                    bytes_out: s.stats().bytes_out.get(),
+                    invocations: s.stats().invocations.get()
+                        + fb.map_or(0, |f| f.stats().invocations.get()),
+                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
+                    bytes_out: s.stats().bytes_out.get()
+                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
                     buffer_allocs: s.dba().allocs(),
                     buffer_waits: s.dba().alloc_waits(),
                     buffer_peak: s.dba().occupancy().max().unwrap_or(0),
@@ -722,8 +852,15 @@ impl Cluster {
                 link_bytes: self.fabric.total_link_bytes(),
                 credit_stalls: self.fabric.total_credit_stalls(),
             },
+            faults: self.fault_stats(),
             events: self.events,
         }
+    }
+
+    /// The fault counters accumulated so far (all zero when no plan is
+    /// armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.as_ref().map(|i| i.stats).unwrap_or_default()
     }
 
     /// The active switch at `node` (for inspection).
@@ -733,10 +870,38 @@ impl Cluster {
 
     /// Runs the simulation to completion and reports.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event limit is exceeded (deadlock/livelock guard).
-    pub fn run(&mut self) -> RunReport {
+    /// Returns [`SimError::EventLimitExceeded`] if the event-count
+    /// guard trips (deadlock/livelock guard), and
+    /// [`SimError::RetriesExhausted`] if a request's retry budget runs
+    /// out under fault injection.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        // Arm the run-scoped faults of the plan, if any.
+        if let Some(plan) = self.injector.as_ref().map(|i| i.plan().clone()) {
+            for &(from, until) in &plan.link_outages {
+                self.fabric.inject_outage(from, until);
+            }
+            if let Some(credits) = plan.credit_limit {
+                self.fabric.restrict_credits(credits);
+            }
+            if let Some(seize) = plan.buffer_seize {
+                let mut seized = 0u64;
+                for engine in self
+                    .switches
+                    .values_mut()
+                    .chain(self.active_tcas.values_mut())
+                {
+                    seized += seize.count.min(engine.config().num_buffers.saturating_sub(1))
+                        as u64;
+                    engine.seize_buffers(seize.count, seize.release_at);
+                }
+                let s = &mut self.injector.as_mut().expect("armed").stats.buffer_seize;
+                s.injected += seized;
+                s.degraded += seized;
+            }
+            self.fallback_host = self.host_order.iter().copied().min_by_key(|n| n.0);
+        }
         for h in self.host_order.clone() {
             if self.hosts[&h].program.is_some() {
                 self.queue.push(SimTime::ZERO, Event::Start(h));
@@ -754,21 +919,26 @@ impl Cluster {
                         Event::Start(_) => "Start",
                         Event::PacketToHost { .. } => "PacketToHost",
                         Event::PacketToSwitch { .. } => "PacketToSwitch",
+                        Event::FallbackDispatch { .. } => "FallbackDispatch",
                         Event::PacketToTca { .. } => "PacketToTca",
                         Event::IoRequestAtTca { .. } => "IoRequestAtTca",
                         Event::SwitchIoAtTca { .. } => "SwitchIoAtTca",
                         Event::IoComplete { .. } => "IoComplete",
                         Event::CompletionNotice { .. } => "CompletionNotice",
                         Event::InjectIoPacket { .. } => "InjectIoPacket",
+                        Event::Retransmit { .. } => "Retransmit",
+                        Event::RequestTimeout { .. } => "RequestTimeout",
                     }
                 );
             }
-            assert!(
-                self.events <= self.cfg.max_events,
-                "event limit exceeded at {t}: likely a livelock"
-            );
+            if self.events > self.cfg.max_events {
+                return Err(SimError::EventLimitExceeded {
+                    at: t,
+                    limit: self.cfg.max_events,
+                });
+            }
             drain = drain.max(t);
-            self.handle(t, ev);
+            self.handle(t, ev)?;
         }
         // Flush trailing archive writes.
         for tca in self.tcas.values_mut() {
@@ -781,6 +951,14 @@ impl Cluster {
                 tca.last_write_done = tca.last_write_done.max(done);
             }
             drain = drain.max(tca.last_write_done);
+        }
+        // Link-outage accounting: each deferred send hit a down window
+        // (detected by the link layer) and was delayed (degradation).
+        if let Some(inj) = self.injector.as_mut() {
+            let deferrals = self.fabric.total_outage_deferrals();
+            inj.stats.link_outage.injected = inj.plan().link_outages.len() as u64;
+            inj.stats.link_outage.detected = deferrals;
+            inj.stats.link_outage.degraded = deferrals;
         }
 
         let finish = self
@@ -816,6 +994,7 @@ impl Cluster {
             .iter()
             .map(|&id| {
                 let s = &self.switches[&id];
+                let fb = self.fallback_engines.get(&id);
                 let mut bs = s.cpu_breakdowns();
                 for b in &mut bs {
                     b.pad_idle_to(finish.since(SimTime::ZERO));
@@ -823,45 +1002,72 @@ impl Cluster {
                 SwitchReport {
                     node: id,
                     cpu_breakdowns: bs,
-                    invocations: s.stats().invocations.get(),
-                    bytes_in: s.stats().bytes_in.get(),
-                    bytes_out: s.stats().bytes_out.get(),
+                    invocations: s.stats().invocations.get()
+                        + fb.map_or(0, |f| f.stats().invocations.get()),
+                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
+                    bytes_out: s.stats().bytes_out.get()
+                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
                 }
             })
             .collect();
-        RunReport {
+        Ok(RunReport {
             finish,
             drain: drain.max(finish),
             hosts,
             switches,
             link_bytes: self.fabric.total_link_bytes(),
             events: self.events,
-        }
+        })
     }
 
-    fn handle(&mut self, t: SimTime, ev: Event) {
+    fn handle(&mut self, t: SimTime, ev: Event) -> Result<(), SimError> {
         match ev {
             Event::Start(h) => {
                 self.call_host(h, t, None, None);
             }
             Event::PacketToHost { host, msg, io_req } => {
                 let bytes = msg.data.len() as u64;
-                let node = self.hosts.get_mut(&host).expect("host exists");
-                node.payload.record_in(bytes);
+                let seq = msg.seq;
+                let lat = self.hosts[&host].hca.config().recv_latency;
                 match io_req {
                     Some(req) => {
                         // DMA of request data: no per-packet CPU cost.
-                        let done = {
-                            let st = self.reqs.get_mut(&req).expect("live request");
+                        let Some(st) = self.reqs.get_mut(&req) else {
+                            // Late duplicate for a completed request (a
+                            // timeout retransmit racing a NAK one).
+                            return Ok(());
+                        };
+                        let done = if st.got.is_empty() {
                             st.remaining -= 1;
                             st.remaining == 0
+                        } else {
+                            let i = seq as usize;
+                            if st.got[i] {
+                                return Ok(()); // duplicate delivery
+                            }
+                            st.got[i] = true;
+                            let cat = std::mem::take(&mut st.faulted[i]);
+                            let all = st.got.iter().all(|&g| g);
+                            self.note_recovered(cat);
+                            all
                         };
+                        // Only accepted stripes count as host payload:
+                        // the HCA discards duplicates before DMA.
+                        self.hosts
+                            .get_mut(&host)
+                            .expect("host exists")
+                            .payload
+                            .record_in(bytes);
                         if done {
-                            let lat = node.hca.config().recv_latency;
                             self.queue.push(t + lat, Event::IoComplete { host, req });
                         }
                     }
                     None => {
+                        self.hosts
+                            .get_mut(&host)
+                            .expect("host exists")
+                            .payload
+                            .record_in(bytes);
                         self.call_host(host, t, None, Some(msg));
                     }
                 }
@@ -871,38 +1077,22 @@ impl Cluster {
                 pkt,
                 payload_start,
                 payload_end,
-            } => {
-                let engine = self
-                    .switches
+                io_req,
+            } => match io_req {
+                // Mapped storage data under a fault plan: release to
+                // the handler strictly in sequence order.
+                Some(req) => self.mapped_arrival(req, sw, pkt, t),
+                None => self.dispatch_active(sw, &pkt, t, payload_start, payload_end),
+            },
+            Event::FallbackDispatch { sw, pkt } => {
+                let fb = self.fallback_host.expect("fallback host exists");
+                let result = self
+                    .fallback_engines
                     .get_mut(&sw)
-                    .or_else(|| self.active_tcas.get_mut(&sw))
-                    .expect("active engine exists");
-                let result = engine.dispatch(&pkt, t, payload_start, payload_end);
-                for m in result.outbox {
-                    let wire = (m.data.len() + HEADER_BYTES) as u64;
-                    let d = self.fabric.transmit(wire, sw, m.dst, m.ready);
-                    self.deliver(
-                        sw,
-                        m.dst,
-                        m.handler,
-                        m.addr,
-                        m.data,
-                        pkt.header.seq,
-                        d,
-                        None,
-                    );
-                }
-                for r in result.io_reqs {
-                    if r.tca == sw {
-                        // An active TCA requesting its own disks: the
-                        // request never leaves the node.
-                        self.queue.push(r.ready, Event::SwitchIoAtTca { r });
-                    } else {
-                        let wire = (HEADER_BYTES * 2) as u64;
-                        let d = self.fabric.transmit(wire, sw, r.tca, r.ready);
-                        self.queue.push(d.arrival, Event::SwitchIoAtTca { r });
-                    }
-                }
+                    .expect("fallback engine exists")
+                    .dispatch(&pkt, t, t, t);
+                self.injector.as_mut().expect("armed").stats.fallback_packets += 1;
+                self.apply_dispatch_result(sw, fb, pkt.header.seq, result);
             }
             Event::PacketToTca { tca, bytes } => {
                 let node = self.tcas.get_mut(&tca).expect("tca exists");
@@ -921,11 +1111,37 @@ impl Cluster {
                 offset,
                 len,
                 dest,
-            } => {
-                self.start_storage_read(tca, req, file, offset, len, dest, t);
-            }
-            Event::SwitchIoAtTca { r } => {
-                self.start_switch_read(&r, t);
+                attempt,
+            } => match self.disk_attempt(tca, req.0, attempt)? {
+                Some(delay) => {
+                    self.queue.push(
+                        t + delay,
+                        Event::IoRequestAtTca {
+                            tca,
+                            req,
+                            file,
+                            offset,
+                            len,
+                            dest,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+                None => self.start_storage_read(tca, req, file, offset, len, dest, t),
+            },
+            Event::SwitchIoAtTca { r, attempt } => {
+                match self.disk_attempt(r.tca, r.file as u64, attempt)? {
+                    Some(delay) => {
+                        self.queue.push(
+                            t + delay,
+                            Event::SwitchIoAtTca {
+                                r,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    }
+                    None => self.start_switch_read(&r, t),
+                }
             }
             Event::InjectIoPacket {
                 src,
@@ -937,8 +1153,110 @@ impl Cluster {
                 io_req,
             } => {
                 let wire = (payload.len() + HEADER_BYTES) as u64;
+                if let Some(req) = io_req.filter(|_| self.injector.is_some()) {
+                    match self.injector.as_mut().expect("armed").packet_fate() {
+                        PacketFate::Deliver => {}
+                        PacketFate::Corrupt(bit) => {
+                            // The corrupted packet still occupies the
+                            // wire; the receiver's ICRC check rejects it
+                            // on arrival.
+                            let d = self.fabric.transmit(wire, src, dst, t);
+                            let mut pkt = asan_net::Packet::new(
+                                asan_net::Header {
+                                    src,
+                                    dst,
+                                    len: payload.len() as u16,
+                                    handler,
+                                    addr,
+                                    seq,
+                                },
+                                payload,
+                            );
+                            pkt.corrupt_payload_bit(bit);
+                            debug_assert!(!pkt.icrc_ok(), "corruption must break the ICRC");
+                            self.mark_faulted(req, seq, 1);
+                            let inj = self.injector.as_mut().expect("armed");
+                            inj.stats.packet_corrupt.detected += 1;
+                            let nak = inj.plan().nak_retransmit;
+                            let delay = inj.plan().nak_delay;
+                            if nak {
+                                self.queue
+                                    .push(d.arrival + delay, Event::Retransmit { req, seq });
+                            }
+                            return Ok(());
+                        }
+                        PacketFate::Drop => {
+                            // Lost in flight: the wire was consumed, and
+                            // the receiver's sequence-gap NAK (or the
+                            // end-to-end timeout) detects the hole.
+                            let d = self.fabric.transmit(wire, src, dst, t);
+                            self.mark_faulted(req, seq, 2);
+                            let inj = self.injector.as_mut().expect("armed");
+                            inj.stats.packet_drop.detected += 1;
+                            let nak = inj.plan().nak_retransmit;
+                            let delay = inj.plan().nak_delay;
+                            if nak {
+                                self.queue
+                                    .push(d.arrival + delay, Event::Retransmit { req, seq });
+                            }
+                            return Ok(());
+                        }
+                    }
+                }
                 let d = self.fabric.transmit(wire, src, dst, t);
                 self.deliver(src, dst, handler, addr, payload, seq, d, io_req);
+            }
+            Event::Retransmit { req, seq } => {
+                let Some(st) = self.reqs.get(&req) else {
+                    return Ok(());
+                };
+                if st.got.get(seq as usize).copied().unwrap_or(true) {
+                    return Ok(()); // delivered in the meantime
+                }
+                self.retransmit_seq(req, seq, t);
+            }
+            Event::RequestTimeout { req, attempt } => {
+                let max = match self.injector.as_ref() {
+                    Some(i) => i.plan().max_retries,
+                    None => return Ok(()),
+                };
+                let Some(st) = self.reqs.get_mut(&req) else {
+                    return Ok(());
+                };
+                if st.attempt != attempt {
+                    return Ok(()); // superseded by a newer timer
+                }
+                if !st.got.is_empty() && st.got.iter().all(|&g| g) {
+                    return Ok(()); // fully delivered; completion in flight
+                }
+                if attempt >= max {
+                    return Err(SimError::RetriesExhausted {
+                        req: req.0,
+                        attempts: attempt + 1,
+                    });
+                }
+                st.attempt += 1;
+                st.timeout = st.timeout + st.timeout; // exponential backoff
+                let next_attempt = st.attempt;
+                let next_at = t + st.timeout;
+                let missing: Vec<u32> = st
+                    .got
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &g)| !g)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                self.injector.as_mut().expect("armed").stats.timeouts += 1;
+                for seq in missing {
+                    self.retransmit_seq(req, seq, t);
+                }
+                self.queue.push(
+                    next_at,
+                    Event::RequestTimeout {
+                        req,
+                        attempt: next_attempt,
+                    },
+                );
             }
             Event::CompletionNotice { tca, host, req } => {
                 let wire = HEADER_BYTES as u64;
@@ -947,6 +1265,7 @@ impl Cluster {
             }
             Event::IoComplete { host, req } => {
                 let st = self.reqs.remove(&req).expect("live request");
+                self.flows.remove(&req);
                 // Completion-side OS cost: the interrupt/copy share, plus
                 // the per-KB cost — only for data that landed in host
                 // memory (active completions are consumed by polling).
@@ -969,6 +1288,273 @@ impl Cluster {
                 self.call_host(host, at, Some(req), None);
             }
         }
+        Ok(())
+    }
+
+    /// Notes a transparently recovered fault of category `cat`
+    /// (1 = corrupt, 2 = drop): the faulted packet's data has now
+    /// arrived via retransmission.
+    fn note_recovered(&mut self, cat: u8) {
+        if let Some(inj) = self.injector.as_mut() {
+            match cat {
+                1 => inj.stats.packet_corrupt.recovered += 1,
+                2 => inj.stats.packet_drop.recovered += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Records the first fault category seen for `seq` of `req`, for
+    /// recovery attribution.
+    fn mark_faulted(&mut self, req: ReqId, seq: u32, cat: u8) {
+        if let Some(st) = self.reqs.get_mut(&req) {
+            if let Some(f) = st.faulted.get_mut(seq as usize) {
+                if *f == 0 {
+                    *f = cat;
+                }
+            }
+        }
+    }
+
+    /// Decides the fate of one disk request attempt. `Ok(Some(delay))`
+    /// means the attempt soft-errored (controller CRC caught it) and
+    /// must be retried after `delay`; `Ok(None)` means proceed now.
+    fn disk_attempt(
+        &mut self,
+        tca: NodeId,
+        label: u64,
+        attempt: u32,
+    ) -> Result<Option<SimDuration>, SimError> {
+        let fate = match self.injector.as_mut() {
+            Some(inj) => inj.disk_fate(),
+            None => return Ok(None),
+        };
+        match fate {
+            DiskFate::Ok => {
+                if attempt > 0 {
+                    self.injector.as_mut().expect("armed").stats.disk_error.recovered += 1;
+                }
+                Ok(None)
+            }
+            DiskFate::Error => {
+                let inj = self.injector.as_mut().expect("armed");
+                inj.stats.disk_error.detected += 1;
+                if attempt >= inj.plan().max_retries {
+                    return Err(SimError::RetriesExhausted {
+                        req: label,
+                        attempts: attempt + 1,
+                    });
+                }
+                Ok(Some(inj.plan().disk_retry_delay))
+            }
+            DiskFate::Spike => {
+                // The request completes, but the disk pays a full
+                // mechanical reposition first.
+                let inj = self.injector.as_mut().expect("armed");
+                inj.stats.disk_latency.detected += 1;
+                inj.stats.disk_latency.degraded += 1;
+                self.tcas
+                    .get_mut(&tca)
+                    .expect("tca exists")
+                    .storage
+                    .force_seek_next();
+                Ok(None)
+            }
+        }
+    }
+
+    /// One mapped storage data packet arrived at an active engine under
+    /// a fault plan: dedup, recovery accounting, in-order release
+    /// through the reorder buffer, and completion detection.
+    fn mapped_arrival(&mut self, req: ReqId, sw: NodeId, pkt: asan_net::Packet, t: SimTime) {
+        let seq = pkt.header.seq as usize;
+        let Some(st) = self.reqs.get_mut(&req) else {
+            return; // late duplicate after completion
+        };
+        if st.got[seq] {
+            return; // duplicate delivery
+        }
+        st.got[seq] = true;
+        let cat = std::mem::take(&mut st.faulted[seq]);
+        let all = st.got.iter().all(|&g| g);
+        let (host, tca) = (st.host, st.tca);
+        self.note_recovered(cat);
+        let flow = self.flows.entry(req).or_default();
+        flow.buffered.insert(pkt.header.seq, pkt);
+        let mut release = Vec::new();
+        while let Some(p) = flow.buffered.remove(&flow.next_seq) {
+            flow.next_seq += 1;
+            release.push(p);
+        }
+        for p in release {
+            // Store-and-forward under faults: the whole payload is
+            // present by the time the handler runs.
+            self.dispatch_active(sw, &p, t, t, t);
+        }
+        if all {
+            self.flows.remove(&req);
+            self.queue.push(t, Event::CompletionNotice { tca, host, req });
+        }
+    }
+
+    /// Dispatches one active packet on the engine at `sw`, first
+    /// consulting the injector's handler-trap schedule. A trapped
+    /// handler is disabled in the switch's jump table and migrated —
+    /// with its accumulated state — to a software engine on the
+    /// fallback host; the stream's packets then cross the fabric to
+    /// that host (graceful degradation: slower, still correct).
+    fn dispatch_active(
+        &mut self,
+        sw: NodeId,
+        pkt: &asan_net::Packet,
+        t: SimTime,
+        payload_start: SimTime,
+        payload_end: SimTime,
+    ) {
+        if self.injector.is_some() {
+            if let Some(hid) = pkt.header.handler {
+                if self.trapped.contains(&(sw, hid)) {
+                    self.forward_to_fallback(sw, pkt.clone(), t);
+                    return;
+                }
+                let installed = self
+                    .switches
+                    .get(&sw)
+                    .or_else(|| self.active_tcas.get(&sw))
+                    .is_some_and(|e| e.has_handler(hid));
+                if installed
+                    && self
+                        .injector
+                        .as_mut()
+                        .expect("armed")
+                        .should_trap(sw.0, hid.as_u8())
+                {
+                    let handler = self
+                        .switches
+                        .get_mut(&sw)
+                        .or_else(|| self.active_tcas.get_mut(&sw))
+                        .and_then(|e| e.take_handler(hid))
+                        .expect("trapped handler installed");
+                    if !self.fallback_engines.contains_key(&sw) {
+                        // Software demultiplexing on a host CPU: one
+                        // engine, slower dispatch, same handler model.
+                        let mut fcfg = self.cfg.active.clone();
+                        fcfg.cpu = self.cfg.host_cpu.clone();
+                        fcfg.num_cpus = 1;
+                        fcfg.dispatch_cycles = 64;
+                        self.fallback_engines
+                            .insert(sw, ActiveSwitch::new(sw, fcfg));
+                    }
+                    self.fallback_engines
+                        .get_mut(&sw)
+                        .expect("just inserted")
+                        .register(hid, handler);
+                    self.trapped.insert((sw, hid));
+                    self.injector
+                        .as_mut()
+                        .expect("armed")
+                        .stats
+                        .handler_trap
+                        .degraded += 1;
+                    self.forward_to_fallback(sw, pkt.clone(), t);
+                    return;
+                }
+            }
+        }
+        let engine = self
+            .switches
+            .get_mut(&sw)
+            .or_else(|| self.active_tcas.get_mut(&sw))
+            .expect("active engine exists");
+        let result = engine.dispatch(pkt, t, payload_start, payload_end);
+        self.apply_dispatch_result(sw, sw, pkt.header.seq, result);
+    }
+
+    /// Forwards a packet for a trapped handler from its switch to the
+    /// fallback host over the fabric (the measurable cost of
+    /// degradation): one extra wire crossing plus the OS software-demux
+    /// cost of receiving a packet the switch hardware no longer handles.
+    fn forward_to_fallback(&mut self, sw: NodeId, pkt: asan_net::Packet, t: SimTime) {
+        let fb = self.fallback_host.expect("fault plan requires a host");
+        let d = self.fabric.transmit(pkt.wire_bytes(), sw, fb, t);
+        let demux = self.cfg.os.per_request;
+        self.queue
+            .push(d.arrival + demux, Event::FallbackDispatch { sw, pkt });
+    }
+
+    /// Applies a dispatch result: transmits the handler's output
+    /// messages and forwards its disk requests. `origin` names the
+    /// logical engine in delivered messages; `from` is the node the
+    /// bytes physically leave (these differ under host fallback).
+    fn apply_dispatch_result(
+        &mut self,
+        origin: NodeId,
+        from: NodeId,
+        seq: u32,
+        result: DispatchResult,
+    ) {
+        for m in result.outbox {
+            let d = if m.dst == from {
+                // Output for the very node the engine runs on: local.
+                asan_net::Delivery {
+                    header_at: m.ready,
+                    payload_start: m.ready,
+                    arrival: m.ready,
+                    hops: 0,
+                }
+            } else {
+                let wire = (m.data.len() + HEADER_BYTES) as u64;
+                self.fabric.transmit(wire, from, m.dst, m.ready)
+            };
+            self.deliver(origin, m.dst, m.handler, m.addr, m.data, seq, d, None);
+        }
+        for r in result.io_reqs {
+            if r.tca == from {
+                // An active TCA requesting its own disks: the request
+                // never leaves the node.
+                self.queue.push(r.ready, Event::SwitchIoAtTca { r, attempt: 0 });
+            } else {
+                let wire = (HEADER_BYTES * 2) as u64;
+                let d = self.fabric.transmit(wire, from, r.tca, r.ready);
+                self.queue
+                    .push(d.arrival, Event::SwitchIoAtTca { r, attempt: 0 });
+            }
+        }
+    }
+
+    /// Re-injects packet `seq` of `req` from its TCA. The TCA keeps a
+    /// request's transmitted stripes in its buffer cache until the
+    /// request completes, so a retransmission is a memory re-read, not
+    /// a disk I/O — it pays only wire time (plus the NAK/timeout delay
+    /// that scheduled it), and it passes through fault injection again.
+    fn retransmit_seq(&mut self, req: ReqId, seq: u32, now: SimTime) {
+        let st = &self.reqs[&req];
+        let (dst, handler, base_addr) = match st.dest {
+            Dest::HostBuf { addr } => (st.host, None, addr as u32),
+            Dest::Mapped {
+                node,
+                handler,
+                base_addr,
+            } => (node, Some(handler), base_addr),
+        };
+        let prefix: u64 = st.lens[..seq as usize].iter().map(|&l| l as u64).sum();
+        let start = st.offset as usize + prefix as usize;
+        let plen = st.lens[seq as usize] as usize;
+        let payload = self.files_data[st.file.0][start..start + plen].to_vec();
+        let src = st.tca;
+        self.injector.as_mut().expect("armed").stats.retransmits += 1;
+        self.queue.push(
+            now,
+            Event::InjectIoPacket {
+                src,
+                dst,
+                handler,
+                addr: base_addr.wrapping_add(seq.wrapping_mul(MTU as u32)),
+                payload,
+                seq,
+                io_req: Some(req),
+            },
+        );
     }
 
     /// Advances `node`'s CPU to `at`, letting any co-scheduled
@@ -1042,6 +1628,10 @@ impl Cluster {
                     let tca = self.files_meta[file.0].tca;
                     let wire = (HEADER_BYTES * 2) as u64;
                     let d = self.fabric.transmit(wire, host, tca, issue_at);
+                    let timeout = self
+                        .injector
+                        .as_ref()
+                        .map_or(SimDuration::ZERO, |i| i.plan().request_timeout);
                     self.reqs.insert(
                         req,
                         IoState {
@@ -1049,6 +1639,14 @@ impl Cluster {
                             dest,
                             remaining: usize::MAX, // set when the read starts
                             bytes: len,
+                            tca,
+                            file,
+                            offset,
+                            got: Vec::new(),
+                            lens: Vec::new(),
+                            faulted: Vec::new(),
+                            attempt: 0,
+                            timeout,
                         },
                     );
                     self.queue.push(
@@ -1060,8 +1658,22 @@ impl Cluster {
                             offset,
                             len,
                             dest,
+                            attempt: 0,
                         },
                     );
+                    // The end-to-end timeout only guards flows whose
+                    // data actually crosses the fabric (and can
+                    // therefore be dropped): local active-disk
+                    // deliveries are reliable by construction.
+                    let faultable = self.injector.is_some()
+                        && match dest {
+                            Dest::HostBuf { .. } => true,
+                            Dest::Mapped { node, .. } => node != tca,
+                        };
+                    if faultable {
+                        self.queue
+                            .push(issue_at + timeout, Event::RequestTimeout { req, attempt: 0 });
+                    }
                 }
                 Effect::Send {
                     dst,
@@ -1153,15 +1765,32 @@ impl Cluster {
                     },
                     data,
                 );
-                self.queue.push(
-                    d.header_at,
-                    Event::PacketToSwitch {
-                        sw: dst,
-                        pkt,
-                        payload_start: d.payload_start,
-                        payload_end: d.arrival,
-                    },
-                );
+                if io_req.is_some() {
+                    // Faultable storage data: the engine store-and-
+                    // forwards (full payload verified by ICRC before
+                    // dispatch), so everything happens at arrival.
+                    self.queue.push(
+                        d.arrival,
+                        Event::PacketToSwitch {
+                            sw: dst,
+                            pkt,
+                            payload_start: d.arrival,
+                            payload_end: d.arrival,
+                            io_req,
+                        },
+                    );
+                } else {
+                    self.queue.push(
+                        d.header_at,
+                        Event::PacketToSwitch {
+                            sw: dst,
+                            pkt,
+                            payload_start: d.payload_start,
+                            payload_end: d.arrival,
+                            io_req: None,
+                        },
+                    );
+                }
             }
             NodeKind::Tca => {
                 if let Some(h) = handler.filter(|_| self.active_tcas.contains_key(&dst)) {
@@ -1177,15 +1806,29 @@ impl Cluster {
                         },
                         data,
                     );
-                    self.queue.push(
-                        d.header_at,
-                        Event::PacketToSwitch {
-                            sw: dst,
-                            pkt,
-                            payload_start: d.payload_start,
-                            payload_end: d.arrival,
-                        },
-                    );
+                    if io_req.is_some() {
+                        self.queue.push(
+                            d.arrival,
+                            Event::PacketToSwitch {
+                                sw: dst,
+                                pkt,
+                                payload_start: d.arrival,
+                                payload_end: d.arrival,
+                                io_req,
+                            },
+                        );
+                    } else {
+                        self.queue.push(
+                            d.header_at,
+                            Event::PacketToSwitch {
+                                sw: dst,
+                                pkt,
+                                payload_start: d.payload_start,
+                                payload_end: d.arrival,
+                                io_req: None,
+                            },
+                        );
+                    }
                 } else {
                     self.queue.push(
                         d.arrival,
@@ -1227,9 +1870,19 @@ impl Cluster {
             } => (node, Some(handler), base_addr),
         };
         let track_packets = matches!(dest, Dest::HostBuf { .. });
-        if track_packets {
+        // Under an armed fault plan every fabric-crossing data packet is
+        // tracked per sequence number, so drops/corruption can be
+        // detected, retransmitted, and the request completed exactly
+        // once.
+        let faulted_path = self.injector.is_some() && dst != tca;
+        if track_packets || faulted_path {
             if let Some(st) = self.reqs.get_mut(&req) {
                 st.remaining = sched.len();
+                if faulted_path {
+                    st.got = vec![false; sched.len()];
+                    st.faulted = vec![0; sched.len()];
+                    st.lens = sched.packet_len.clone();
+                }
             }
         }
         let mut cursor = offset as usize;
@@ -1266,6 +1919,7 @@ impl Cluster {
                         pkt,
                         payload_start: ready - window.min(SimDuration::from_ps(ready.as_ps())),
                         payload_end: ready,
+                        io_req: None,
                     },
                 );
                 continue;
@@ -1279,15 +1933,17 @@ impl Cluster {
                     addr: base_addr.wrapping_add((i * MTU) as u32),
                     payload,
                     seq: i as u32,
-                    io_req: track_packets.then_some(req),
+                    io_req: (track_packets || faulted_path).then_some(req),
                 },
             );
         }
         // For mapped (active) destinations, the host still needs its
         // completion notification: a small message from the TCA once the
         // last data packet has been injected. Deferred via an event so
-        // the link sees it in causal order.
-        if !track_packets {
+        // the link sees it in causal order. Under a fault plan the
+        // notice instead fires when the last data packet actually
+        // arrives (handled in `mapped_arrival`).
+        if !track_packets && !faulted_path {
             let last_ready = *sched.packet_ready.last().expect("non-empty read");
             self.queue
                 .push(last_ready, Event::CompletionNotice { tca, host, req });
@@ -1377,23 +2033,23 @@ mod tests {
         let (topo, hs, ts, _) = single_switch(1, 1);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
         let data = vec![0x5A; 64 * 1024];
-        let file = cl.add_file(ts[0], data);
+        let file = cl.add_file(ts[0], data).unwrap();
         cl.set_program(
             hs[0],
             Box::new(OneRead {
                 file,
                 bytes_seen: 0,
             }),
-        );
-        let r = cl.run();
+        ).unwrap();
+        let r = cl.run().unwrap();
         // Sequential read from parked heads: ~0.66 ms transfer plus
         // request/OS/network overheads.
         let ms = r.finish.as_secs_f64() * 1e3;
         assert!((0.6..2.5).contains(&ms), "finish = {ms} ms");
         // All 64 KB arrived at the host.
-        assert_eq!(r.host(hs[0]).payload.bytes_in, 64 * 1024);
+        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_in, 64 * 1024);
         // Host was mostly idle (I/O wait dominates).
-        assert!(r.host(hs[0]).breakdown.utilization() < 0.2);
+        assert!(r.host(hs[0]).unwrap().breakdown.utilization() < 0.2);
     }
 
     /// Counts matching bytes in the switch, sends only the count home.
@@ -1453,7 +2109,7 @@ mod tests {
             .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
             .collect();
         let _expect_matches = (64 * 1024 / 64) as u64;
-        let file = cl.add_file(ts[0], data);
+        let file = cl.add_file(ts[0], data).unwrap();
         cl.register_handler(
             sw,
             HandlerId::new(1),
@@ -1464,7 +2120,7 @@ mod tests {
                 total: 0,
                 expect: 64 * 1024,
             }),
-        );
+        ).unwrap();
         cl.set_program(
             hs[0],
             Box::new(ActiveCount {
@@ -1472,17 +2128,17 @@ mod tests {
                 sw,
                 result: None,
             }),
-        );
-        let r = cl.run();
+        ).unwrap();
+        let r = cl.run().unwrap();
         // The handler computed the real answer.
         // (Retrieve via the switch stats and the program's own state is
         // gone; check through traffic instead.)
-        assert_eq!(r.switch(sw).bytes_in, 64 * 1024);
+        assert_eq!(r.switch(sw).unwrap().bytes_in, 64 * 1024);
         // Only the 8-byte count (plus the completion header) reached the
         // host: traffic reduced by ~8000x.
-        assert!(r.host(hs[0]).payload.bytes_in <= 16);
+        assert!(r.host(hs[0]).unwrap().payload.bytes_in <= 16);
         // The switch CPU did the work.
-        assert_eq!(r.switch(sw).invocations, 128);
+        assert_eq!(r.switch(sw).unwrap().invocations, 128);
     }
 
     /// Two hosts exchange a message.
@@ -1510,11 +2166,11 @@ mod tests {
     fn host_to_host_messaging() {
         let (topo, hs, _, _) = single_switch(2, 1);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] }));
-        cl.set_program(hs[1], Box::new(Ponger { got: 0 }));
-        let r = cl.run();
-        assert_eq!(r.host(hs[0]).payload.bytes_out, 100);
-        assert_eq!(r.host(hs[1]).payload.bytes_in, 100);
+        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] })).unwrap();
+        cl.set_program(hs[1], Box::new(Ponger { got: 0 })).unwrap();
+        let r = cl.run().unwrap();
+        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_out, 100);
+        assert_eq!(r.host(hs[1]).unwrap().payload.bytes_in, 100);
         // Message latency: HCA software + adapter latency both ways +
         // 2 hops + routing ≈ under ten microseconds.
         assert!(r.finish.as_ns() < 15_000, "finish = {}", r.finish);
@@ -1527,10 +2183,10 @@ mod tests {
         // disjoint ports — the active hardware is off the datapath.
         let (topo, hs, _, _sw) = single_switch(3, 1);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] }));
-        cl.set_program(hs[1], Box::new(Ponger { got: 0 }));
-        let r = cl.run();
-        let t_quiet = r.host(hs[1]).finished_at;
+        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] })).unwrap();
+        cl.set_program(hs[1], Box::new(Ponger { got: 0 })).unwrap();
+        let r = cl.run().unwrap();
+        let t_quiet = r.host(hs[1]).unwrap().finished_at;
 
         // Same again, but host 2 hammers the switch CPU with actives.
         struct Storm {
@@ -1552,12 +2208,12 @@ mod tests {
         }
         let (topo2, hs2, _, sw2) = single_switch(3, 1);
         let mut cl2 = Cluster::new(topo2, ClusterConfig::paper());
-        cl2.register_handler(sw2, HandlerId::new(9), Box::new(Burn));
-        cl2.set_program(hs2[0], Box::new(Pinger { peer: hs2[1] }));
-        cl2.set_program(hs2[1], Box::new(Ponger { got: 0 }));
-        cl2.set_program(hs2[2], Box::new(Storm { sw: sw2 }));
-        let r2 = cl2.run();
-        let t_stormy = r2.host(hs2[1]).finished_at;
+        cl2.register_handler(sw2, HandlerId::new(9), Box::new(Burn)).unwrap();
+        cl2.set_program(hs2[0], Box::new(Pinger { peer: hs2[1] })).unwrap();
+        cl2.set_program(hs2[1], Box::new(Ponger { got: 0 })).unwrap();
+        cl2.set_program(hs2[2], Box::new(Storm { sw: sw2 })).unwrap();
+        let r2 = cl2.run().unwrap();
+        let t_stormy = r2.host(hs2[1]).unwrap().finished_at;
         assert_eq!(t_quiet, t_stormy, "active load perturbed non-active path");
     }
 
@@ -1627,7 +2283,7 @@ mod tests {
         let mk = |prog: bool| {
             let (topo, hs, ts, _) = single_switch(1, 1);
             let mut cl = Cluster::new(topo, ClusterConfig::paper());
-            let file = cl.add_file(ts[0], vec![7; 8 * 65536]);
+            let file = cl.add_file(ts[0], vec![7; 8 * 65536]).unwrap();
             if prog {
                 cl.set_program(
                     hs[0],
@@ -1637,7 +2293,7 @@ mod tests {
                         done: 0,
                         blocks: 8,
                     }),
-                );
+                ).unwrap();
             } else {
                 cl.set_program(
                     hs[0],
@@ -1646,9 +2302,9 @@ mod tests {
                         next: 0,
                         blocks: 8,
                     }),
-                );
+                ).unwrap();
             }
-            cl.run().finish
+            cl.run().unwrap().finish
         };
         let serial = mk(false);
         let pref = mk(true);
@@ -1667,8 +2323,8 @@ mod tests {
         let data: Vec<u8> = (0..32 * 1024u32)
             .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
             .collect();
-        let file = cl.add_file(ts[0], data);
-        cl.enable_active_tca(ts[0], crate::active::ActiveSwitchConfig::paper());
+        let file = cl.add_file(ts[0], data).unwrap();
+        cl.enable_active_tca(ts[0], crate::active::ActiveSwitchConfig::paper()).unwrap();
         cl.register_tca_handler(
             ts[0],
             HandlerId::new(1),
@@ -1679,7 +2335,7 @@ mod tests {
                 total: 0,
                 expect: 32 * 1024,
             }),
-        );
+        ).unwrap();
         cl.set_program(
             hs[0],
             Box::new(ActiveCount {
@@ -1687,10 +2343,10 @@ mod tests {
                 sw: ts[0], // mapped straight to the TCA's own engine
                 result: None,
             }),
-        );
-        let r = cl.run();
+        ).unwrap();
+        let r = cl.run().unwrap();
         // Only the 8-byte count crossed the fabric toward the host.
-        assert!(r.host(hs[0]).payload.bytes_in <= 16);
+        assert!(r.host(hs[0]).unwrap().payload.bytes_in <= 16);
         // The raw 32 KB never entered the SAN: link bytes are tiny.
         assert!(
             r.link_bytes < 4096,
@@ -1703,18 +2359,18 @@ mod tests {
     fn background_job_consumes_idle_time() {
         let (topo, hs, ts, _) = single_switch(1, 1);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![0x5A; 64 * 1024]);
+        let file = cl.add_file(ts[0], vec![0x5A; 64 * 1024]).unwrap();
         cl.set_program(
             hs[0],
             Box::new(OneRead {
                 file,
                 bytes_seen: 0,
             }),
-        );
+        ).unwrap();
         // A 100 us job fits easily inside the ~700 us of I/O wait.
-        cl.set_background_job(hs[0], SimDuration::from_us(100));
-        let r = cl.run();
-        let h = r.host(hs[0]);
+        cl.set_background_job(hs[0], SimDuration::from_us(100)).unwrap();
+        let r = cl.run().unwrap();
+        let h = r.host(hs[0]).unwrap();
         assert!(h.background_done.is_some(), "job did not finish");
         assert!(h.background_done.unwrap() <= h.finished_at);
         assert_eq!(h.background_left, SimDuration::ZERO);
@@ -1726,7 +2382,7 @@ mod tests {
     fn stats_snapshot_counts_real_work() {
         let (topo, hs, ts, sw) = single_switch(1, 1);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![0x11; 64 * 1024]);
+        let file = cl.add_file(ts[0], vec![0x11; 64 * 1024]).unwrap();
         cl.register_handler(
             sw,
             HandlerId::new(1),
@@ -1737,7 +2393,7 @@ mod tests {
                 total: 0,
                 expect: 64 * 1024,
             }),
-        );
+        ).unwrap();
         cl.set_program(
             hs[0],
             Box::new(ActiveCount {
@@ -1745,8 +2401,8 @@ mod tests {
                 sw,
                 result: None,
             }),
-        );
-        cl.run();
+        ).unwrap();
+        cl.run().unwrap();
         let st = cl.stats();
         assert_eq!(st.switches.len(), 1);
         assert_eq!(st.switches[0].invocations, 128);
@@ -1791,7 +2447,7 @@ mod tests {
         }
         let (topo, hs, ts, sw) = single_switch(1, 2);
         let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![9u8; 256 * 1024]);
+        let file = cl.add_file(ts[0], vec![9u8; 256 * 1024]).unwrap();
         cl.register_handler(
             sw,
             HandlerId::new(2),
@@ -1801,13 +2457,13 @@ mod tests {
                 file: file.0,
                 len: 256 * 1024,
             }),
-        );
-        cl.set_program(hs[0], Box::new(Trigger { sw }));
-        let r = cl.run();
+        ).unwrap();
+        cl.set_program(hs[0], Box::new(Trigger { sw })).unwrap();
+        let r = cl.run().unwrap();
         // Host saw only its trigger message out; the 256 KB went
         // disk → switch-request → disk → archive without touching it.
-        assert_eq!(r.host(hs[0]).payload.bytes_in, 0);
-        assert_eq!(r.host(hs[0]).payload.bytes_out, 64);
+        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_in, 0);
+        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_out, 64);
         // The drain time includes the archive write completing.
         assert!(r.drain > r.finish);
     }

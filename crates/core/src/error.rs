@@ -1,0 +1,87 @@
+//! Structured simulation errors.
+//!
+//! The cluster's public API reports misuse (wrong node kind, duplicate
+//! programs) and resource exhaustion (event-limit livelock guard,
+//! retries exhausted under fault injection) as [`SimError`] values
+//! instead of panicking, so callers get loud, precise, matchable
+//! failures.
+
+use std::fmt;
+
+use asan_net::NodeId;
+use asan_sim::SimTime;
+
+/// A structured error from the cluster simulator's public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The named node is not a host.
+    NotAHost(NodeId),
+    /// The named node is not a switch.
+    NotASwitch(NodeId),
+    /// The named node is not a TCA.
+    NotATca(NodeId),
+    /// The named TCA has no active engine; call `enable_active_tca`
+    /// first.
+    TcaNotActive(NodeId),
+    /// A program is already installed on the named host.
+    ProgramAlreadyInstalled(NodeId),
+    /// The event-count guard tripped: likely a livelock.
+    EventLimitExceeded {
+        /// Simulated time at which the guard tripped.
+        at: SimTime,
+        /// The configured event limit.
+        limit: u64,
+    },
+    /// A request exhausted its retry budget under fault injection.
+    RetriesExhausted {
+        /// The request's id.
+        req: u64,
+        /// Attempts made (including the original).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotAHost(n) => write!(f, "{n} is not a host node"),
+            SimError::NotASwitch(n) => write!(f, "{n} is not a switch node"),
+            SimError::NotATca(n) => write!(f, "{n} is not a TCA node"),
+            SimError::TcaNotActive(n) => {
+                write!(f, "TCA {n} is not active; call enable_active_tca first")
+            }
+            SimError::ProgramAlreadyInstalled(n) => {
+                write!(f, "program already installed on {n}")
+            }
+            SimError::EventLimitExceeded { at, limit } => {
+                write!(f, "event limit {limit} exceeded at {at}: likely a livelock")
+            }
+            SimError::RetriesExhausted { req, attempts } => {
+                write!(f, "request {req} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_node_and_cause() {
+        assert_eq!(SimError::NotAHost(NodeId(4)).to_string(), "n4 is not a host node");
+        assert!(SimError::TcaNotActive(NodeId(2))
+            .to_string()
+            .contains("enable_active_tca"));
+        let e = SimError::EventLimitExceeded {
+            at: SimTime::from_ns(5),
+            limit: 100,
+        };
+        assert!(e.to_string().contains("event limit"));
+        assert!(e.to_string().contains("livelock"));
+        let e = SimError::RetriesExhausted { req: 9, attempts: 3 };
+        assert!(e.to_string().contains("9") && e.to_string().contains("3"));
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`buffer`], [`dba`], [`atb`] — the on-chip staging hardware;
 //! * [`handler`] — the stream-based programming model (§2);
 //! * [`active`] — the assembled active switch and its dispatch unit (§3);
+//! * [`error`] — structured [`SimError`]s for misuse and exhaustion;
 //! * [`cluster`] — the whole-system simulator (§4): hosts, HCAs,
 //!   active switches, TCAs, SCSI, disks, and the event loop tying them
 //!   together, with the paper's metrics (execution time, host
@@ -32,10 +33,12 @@ pub mod atb;
 pub mod buffer;
 pub mod cluster;
 pub mod dba;
+pub mod error;
 pub mod handler;
 pub mod stats;
 
 pub use active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
+pub use error::SimError;
 pub use atb::Atb;
 pub use buffer::{BufId, DataBuffer, BUFFER_BYTES};
 pub use dba::BufferAdmin;

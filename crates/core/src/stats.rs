@@ -11,6 +11,7 @@
 use std::fmt;
 
 use asan_net::NodeId;
+use asan_sim::faults::{fnv1a_fold, FaultStats};
 
 /// Cache counters for one level.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -124,8 +125,61 @@ pub struct ClusterStats {
     pub storage: Vec<StorageSnapshot>,
     /// Fabric totals.
     pub fabric: FabricSnapshot,
+    /// Fault-injection counters (all zero when no plan was armed).
+    pub faults: FaultStats,
     /// Events the simulation processed.
     pub events: u64,
+}
+
+impl ClusterStats {
+    /// FNV-1a digest over every counter in a fixed canonical order.
+    /// Two runs with the same seed and fault plan must produce
+    /// identical digests — the CI determinism check compares exactly
+    /// this value.
+    pub fn digest(&self) -> u64 {
+        let mut h = fnv1a_fold(0xcbf2_9ce4_8422_2325, self.events);
+        let fold_cpu = |h: u64, c: &CpuSnapshot| {
+            let mut h = fnv1a_fold(h, c.instructions);
+            for s in [&c.l1d, &c.l1i].into_iter().chain(c.l2.as_ref()) {
+                h = fnv1a_fold(h, s.accesses);
+                h = fnv1a_fold(h, s.misses);
+                h = fnv1a_fold(h, s.writebacks);
+            }
+            fnv1a_fold(fnv1a_fold(h, c.dram_page_hits), c.dram_page_misses)
+        };
+        for host in &self.hosts {
+            h = fnv1a_fold(h, host.node.0 as u64);
+            h = fold_cpu(h, &host.cpu);
+            h = fnv1a_fold(fnv1a_fold(h, host.hca_sends), host.hca_recvs);
+        }
+        for sw in &self.switches {
+            for v in [
+                sw.node.0 as u64,
+                sw.invocations,
+                sw.bytes_in,
+                sw.bytes_out,
+                sw.buffer_allocs,
+                sw.buffer_waits,
+                sw.buffer_peak,
+                sw.atb_hits,
+                sw.atb_misses,
+            ] {
+                h = fnv1a_fold(h, v);
+            }
+            for c in &sw.cpus {
+                h = fold_cpu(h, c);
+            }
+        }
+        for st in &self.storage {
+            h = fnv1a_fold(h, st.node.0 as u64);
+            for &b in st.disk_bytes.iter().chain(&st.disk_seeks) {
+                h = fnv1a_fold(h, b);
+            }
+            h = fnv1a_fold(fnv1a_fold(h, st.bus_bursts), st.bus_bytes);
+        }
+        h = fnv1a_fold(fnv1a_fold(h, self.fabric.link_bytes), self.fabric.credit_stalls);
+        fnv1a_fold(h, self.faults.digest())
+    }
 }
 
 impl fmt::Display for ClusterStats {
@@ -180,7 +234,8 @@ impl fmt::Display for ClusterStats {
             f,
             "  fabric: {} B over links, {} credit stalls",
             self.fabric.link_bytes, self.fabric.credit_stalls
-        )
+        )?;
+        write!(f, "  faults: {}", self.faults)
     }
 }
 
@@ -255,6 +310,7 @@ mod tests {
                 link_bytes: 1024,
                 credit_stalls: 0,
             },
+            faults: FaultStats::default(),
             events: 42,
         };
         let text = stats.to_string();

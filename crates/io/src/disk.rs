@@ -98,6 +98,10 @@ pub struct Disk {
     head_pos: Option<u64>,
     busy_until: SimTime,
     stats: DiskStats,
+    /// When set, the next request pays full positioning even if
+    /// sequential (injected latency spike: thermal recalibration or a
+    /// sector remap). One-shot; cleared by the next request.
+    force_seek: bool,
 }
 
 impl Disk {
@@ -109,7 +113,14 @@ impl Disk {
             head_pos: Some(0),
             busy_until: SimTime::ZERO,
             stats: DiskStats::default(),
+            force_seek: false,
         }
+    }
+
+    /// Forces the next request to pay full mechanical positioning even
+    /// if it is sequential — an injected latency spike.
+    pub fn force_seek_next(&mut self) {
+        self.force_seek = true;
     }
 
     /// The mechanical parameters.
@@ -131,7 +142,8 @@ impl Disk {
     pub fn read(&mut self, offset: u64, len: u64, now: SimTime) -> DiskXfer {
         assert!(len > 0, "zero-length disk read");
         let start = now.max(self.busy_until);
-        let sequential = self.head_pos == Some(offset);
+        let sequential = self.head_pos == Some(offset) && !self.force_seek;
+        self.force_seek = false;
         let positioning = if sequential {
             SimDuration::ZERO
         } else {
@@ -218,6 +230,21 @@ mod tests {
         let mid = x.byte_ready(25_000_000);
         assert_eq!(mid.since(x.first_byte).as_us(), 500_000);
         assert_eq!(x.byte_ready(x.len), x.complete);
+    }
+
+    #[test]
+    fn forced_seek_spikes_one_request() {
+        let mut d = Disk::new(DiskConfig::paper());
+        let a = d.read(0, 4096, SimTime::ZERO);
+        assert!(a.sequential);
+        d.force_seek_next();
+        // Contiguous, but the injected spike forces positioning.
+        let b = d.read(4096, 4096, a.complete);
+        assert!(!b.sequential);
+        assert_eq!(b.first_byte.since(b.start).as_ns(), 8_000_000);
+        // One-shot: the following contiguous read streams again.
+        let c = d.read(8192, 4096, b.complete);
+        assert!(c.sequential);
     }
 
     #[test]

@@ -102,6 +102,12 @@ impl ScsiBus {
         &self.stats
     }
 
+    /// Holds the bus busy until `until` (models a bus reset/retrain
+    /// after a parity error); later bursts queue behind it.
+    pub fn inject_stall(&mut self, until: SimTime) {
+        self.busy_until = self.busy_until.max(until);
+    }
+
     /// Transfers one burst of `len` bytes whose data is ready at the
     /// initiator at `ready`. The bus is exclusive for
     /// arbitration + selection + data phase.
@@ -161,6 +167,14 @@ mod tests {
         let eff = (100.0 * 4096.0) / t.as_secs_f64();
         assert!(eff < 320e6, "must be below peak");
         assert!(eff > 250e6, "4 KB bursts should still be efficient: {eff}");
+    }
+
+    #[test]
+    fn injected_stall_delays_bursts() {
+        let mut bus = ScsiBus::new(ScsiConfig::ultra320());
+        bus.inject_stall(SimTime::from_us(50));
+        let x = bus.burst(4096, SimTime::ZERO);
+        assert_eq!(x.start, SimTime::from_us(50));
     }
 
     #[test]

@@ -127,6 +127,19 @@ impl Storage {
         &self.bus
     }
 
+    /// Injects a latency spike: every disk's next request pays full
+    /// mechanical positioning even if sequential.
+    pub fn force_seek_next(&mut self) {
+        for d in &mut self.disks {
+            d.force_seek_next();
+        }
+    }
+
+    /// Holds the SCSI bus busy until `until` (injected bus reset).
+    pub fn inject_bus_stall(&mut self, until: SimTime) {
+        self.bus.inject_stall(until);
+    }
+
     /// Streams a read of `len` bytes at logical `offset`, requested at
     /// `now`; returns the per-packet ready schedule at the TCA.
     ///

@@ -73,6 +73,11 @@ pub struct Link {
     credit_stalls: Counter,
     /// Total busy (serializing) time.
     busy_time: SimDuration,
+    /// Injected link-down windows `[from, until)`: sends starting inside
+    /// one are deferred to its end (the PHY retrains, nothing is lost).
+    outages: Vec<(SimTime, SimTime)>,
+    /// Sends deferred by an outage window.
+    outage_deferrals: Counter,
 }
 
 impl Link {
@@ -92,7 +97,31 @@ impl Link {
             packets: Counter::default(),
             credit_stalls: Counter::default(),
             busy_time: SimDuration::ZERO,
+            outages: Vec::new(),
+            outage_deferrals: Counter::default(),
         }
+    }
+
+    /// Injects a transient link-down window: any send whose start falls
+    /// in `[from, until)` is deferred to `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > until`.
+    pub fn inject_outage(&mut self, from: SimTime, until: SimTime) {
+        assert!(from <= until, "outage window ends before it starts");
+        self.outages.push((from, until));
+    }
+
+    /// Tightens the credit limit (models a receiver advertising fewer
+    /// buffers, e.g. after losing some to errors). Cannot raise it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `credits` is zero.
+    pub fn restrict_credits(&mut self, credits: usize) {
+        assert!(credits > 0, "links need at least one credit");
+        self.cfg.credits = self.cfg.credits.min(credits);
     }
 
     /// The link configuration.
@@ -118,6 +147,19 @@ impl Link {
                 start = oldest;
             }
             self.inflight.pop_front();
+        }
+        // Outage windows: keep deferring while the start lands in one
+        // (windows may chain or overlap).
+        loop {
+            let Some(&(_, until)) = self
+                .outages
+                .iter()
+                .find(|&&(from, until)| from <= start && start < until)
+            else {
+                break;
+            };
+            self.outage_deferrals.inc();
+            start = until;
         }
         let serialization = SimDuration::transfer(wire_bytes, self.cfg.bytes_per_sec);
         let header_ser = SimDuration::transfer(
@@ -156,6 +198,11 @@ impl Link {
     /// Number of sends that stalled waiting for a credit.
     pub fn credit_stalls(&self) -> u64 {
         self.credit_stalls.get()
+    }
+
+    /// Number of sends deferred by an injected outage window.
+    pub fn outage_deferrals(&self) -> u64 {
+        self.outage_deferrals.get()
     }
 
     /// Total time the wire spent serializing data.
@@ -253,5 +300,30 @@ mod tests {
         let mut l = Link::new(LinkConfig::paper());
         let t = fast_drain(&mut l, 16, SimTime::ZERO);
         assert_eq!(t.header_at, t.done);
+    }
+
+    #[test]
+    fn outage_window_defers_sends() {
+        let mut l = Link::new(LinkConfig::paper());
+        l.inject_outage(SimTime::from_us(1), SimTime::from_us(3));
+        // Before the window: unaffected.
+        let a = fast_drain(&mut l, 528, SimTime::ZERO);
+        assert_eq!(a.start, SimTime::ZERO);
+        // Inside the window: deferred to its end.
+        let b = fast_drain(&mut l, 528, SimTime::from_us(2));
+        assert_eq!(b.start, SimTime::from_us(3));
+        assert_eq!(l.outage_deferrals(), 1);
+        // After the window: unaffected again.
+        let c = fast_drain(&mut l, 528, SimTime::from_us(10));
+        assert_eq!(c.start, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn restrict_credits_only_tightens() {
+        let mut l = Link::new(LinkConfig::paper());
+        l.restrict_credits(2);
+        assert_eq!(l.config().credits, 2);
+        l.restrict_credits(5); // cannot loosen back up
+        assert_eq!(l.config().credits, 2);
     }
 }

@@ -162,7 +162,41 @@ impl fmt::Display for HeaderError {
 
 impl std::error::Error for HeaderError {}
 
-/// A packet: header plus owned payload bytes.
+/// CRC-32 lookup table (IEEE 802.3 reflected polynomial), built at
+/// compile time so the per-packet ICRC stays cheap.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) over a byte stream, continuing from `crc` (start a new
+/// checksum with `crc = 0`).
+pub fn crc32(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = crc ^ 0xFFFF_FFFF;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// A packet: header plus owned payload bytes, protected end-to-end by
+/// an invariant CRC (ICRC) over header and payload, as in the
+/// InfiniBand Raw packet format.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Wire header.
@@ -170,10 +204,14 @@ pub struct Packet {
     /// Payload (≤ [`MTU`] bytes; real data, actually processed by
     /// handlers and hosts).
     pub payload: Vec<u8>,
+    /// ICRC computed at construction; receivers compare against a
+    /// recomputation to detect in-flight corruption.
+    icrc: u32,
 }
 
 impl Packet {
-    /// Builds a packet, checking the payload fits the MTU.
+    /// Builds a packet, checking the payload fits the MTU, and stamps
+    /// its ICRC.
     ///
     /// # Panics
     ///
@@ -185,7 +223,35 @@ impl Packet {
             payload.len()
         );
         debug_assert_eq!(header.len as usize, payload.len(), "header length mismatch");
-        Packet { header, payload }
+        let icrc = crc32(crc32(0, &header.encode()), &payload);
+        Packet {
+            header,
+            payload,
+            icrc,
+        }
+    }
+
+    /// The ICRC stamped at construction.
+    pub fn icrc(&self) -> u32 {
+        self.icrc
+    }
+
+    /// Whether the packet's contents still match its ICRC.
+    pub fn icrc_ok(&self) -> bool {
+        crc32(crc32(0, &self.header.encode()), &self.payload) == self.icrc
+    }
+
+    /// Simulates in-flight bit corruption: flips payload bit
+    /// `bit % (len * 8)` *without* updating the stored ICRC, so the
+    /// receiver's check fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty payload (nothing to corrupt).
+    pub fn corrupt_payload_bit(&mut self, bit: usize) {
+        assert!(!self.payload.is_empty(), "cannot corrupt an empty payload");
+        let bit = bit % (self.payload.len() * 8);
+        self.payload[bit / 8] ^= 1 << (bit % 8);
     }
 
     /// Total wire size: header plus payload.
@@ -231,17 +297,41 @@ pub fn packetize(
     out
 }
 
+/// Errors from reassembling a packet flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassembleError {
+    /// A packet arrived out of sequence (carries the offending seq).
+    OutOfOrder(u32),
+    /// A packet failed its ICRC check (carries the offending seq).
+    Corrupt(u32),
+}
+
+impl fmt::Display for ReassembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReassembleError::OutOfOrder(s) => write!(f, "packet seq {s} out of order"),
+            ReassembleError::Corrupt(s) => write!(f, "packet seq {s} failed its ICRC check"),
+        }
+    }
+}
+
+impl std::error::Error for ReassembleError {}
+
 /// Reassembles packets of a single flow back into a byte stream,
-/// validating sequence numbers.
+/// validating sequence numbers and each packet's ICRC: corrupted
+/// packets are detected, never silently concatenated.
 ///
 /// # Errors
 ///
-/// Returns the first out-of-order sequence number encountered.
-pub fn reassemble(packets: &[Packet]) -> Result<Vec<u8>, u32> {
+/// Returns the first out-of-order or corrupt sequence number.
+pub fn reassemble(packets: &[Packet]) -> Result<Vec<u8>, ReassembleError> {
     let mut data = Vec::new();
     for (i, p) in packets.iter().enumerate() {
         if p.header.seq != i as u32 {
-            return Err(p.header.seq);
+            return Err(ReassembleError::OutOfOrder(p.header.seq));
+        }
+        if !p.icrc_ok() {
+            return Err(ReassembleError::Corrupt(p.header.seq));
         }
         data.extend_from_slice(&p.payload);
     }
@@ -327,7 +417,23 @@ mod tests {
         let data = vec![0u8; 1024];
         let mut pkts = packetize(NodeId(0), NodeId(1), None, 0, &data);
         pkts.swap(0, 1);
-        assert_eq!(reassemble(&pkts), Err(1));
+        assert_eq!(reassemble(&pkts), Err(ReassembleError::OutOfOrder(1)));
+    }
+
+    #[test]
+    fn reassemble_detects_corruption() {
+        let data: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        let mut pkts = packetize(NodeId(0), NodeId(1), None, 0, &data);
+        assert!(pkts[1].icrc_ok());
+        pkts[1].corrupt_payload_bit(77);
+        assert!(!pkts[1].icrc_ok());
+        assert_eq!(reassemble(&pkts), Err(ReassembleError::Corrupt(1)));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

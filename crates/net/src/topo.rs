@@ -293,6 +293,28 @@ impl Fabric {
     pub fn total_credit_stalls(&self) -> u64 {
         self.links.iter().map(|l| l.credit_stalls()).sum()
     }
+
+    /// Injects a transient link-down window `[from, until)` on every
+    /// link in the fabric (a fabric-wide brown-out; see
+    /// [`Link::inject_outage`]).
+    pub fn inject_outage(&mut self, from: SimTime, until: SimTime) {
+        for l in &mut self.links {
+            l.inject_outage(from, until);
+        }
+    }
+
+    /// Tightens the credit limit on every link (models receivers
+    /// advertising fewer buffers; see [`Link::restrict_credits`]).
+    pub fn restrict_credits(&mut self, credits: usize) {
+        for l in &mut self.links {
+            l.restrict_credits(credits);
+        }
+    }
+
+    /// Total sends deferred by injected outage windows, across links.
+    pub fn total_outage_deferrals(&self) -> u64 {
+        self.links.iter().map(|l| l.outage_deferrals()).sum()
+    }
 }
 
 /// Convenience: the paper's canonical single-switch cluster — `hosts`

@@ -13,6 +13,9 @@
 //!   (xoshiro256**) used by all workload generators.
 //! * [`stats`] — counters, accumulators and time-weighted statistics used
 //!   for the paper's metrics (execution time, utilization, traffic).
+//! * [`faults`] — seeded, deterministic fault plans and the injector
+//!   every layer consults (packet corruption/drop, disk errors, link
+//!   outages, handler traps), with per-fault statistics.
 //!
 //! # Example
 //!
@@ -27,11 +30,13 @@
 //! assert_eq!(t, SimTime::from_ns(1));
 //! ```
 
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

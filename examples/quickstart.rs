@@ -98,7 +98,7 @@ fn main() {
     let mut rng = asan_sim::SimRng::from_label("quickstart");
     let data: Vec<u8> = (0..1 << 20).map(|_| rng.next_u32() as u8).collect();
     let expected: u64 = data.iter().filter(|&&b| b > 191).count() as u64;
-    let file = cluster.add_file(tca, data);
+    let file = cluster.add_file(tca, data).expect("cluster setup");
 
     cluster.register_handler(
         sw,
@@ -110,7 +110,7 @@ fn main() {
             seen: 0,
             expect: 1 << 20,
         }),
-    );
+    ).expect("cluster setup");
     cluster.set_program(
         host,
         Box::new(Driver {
@@ -118,11 +118,11 @@ fn main() {
             sw,
             bytes_in: 0,
         }),
-    );
+    ).expect("cluster setup");
 
-    let report = cluster.run();
+    let report = cluster.run().expect("simulation completes");
     let stats = cluster.stats();
-    let h = report.host(host);
+    let h = report.host(host).expect("node report");
     println!("expected survivors   : {expected}");
     println!("execution time       : {}", report.finish);
     println!(
@@ -135,7 +135,7 @@ fn main() {
     );
     println!(
         "switch handler ran   : {} invocations",
-        report.switch(sw).invocations
+        report.switch(sw).expect("node report").invocations
     );
     println!("\ncomponent counters:\n{stats}");
 }
