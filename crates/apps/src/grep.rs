@@ -283,7 +283,9 @@ fn run_inner(
     assert_eq!(want, p.matches as u64, "generator planted wrong matches");
 
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl.add_file(ts[0], corpus.as_ref().clone()).expect("cluster setup");
+    let file = cl
+        .add_file(ts[0], corpus.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -291,7 +293,8 @@ fn run_inner(
             sw,
             GREP_HANDLER,
             Box::new(GrepHandler::new(p.pattern, host, p.file_bytes)),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveGrep {
@@ -309,7 +312,8 @@ fn run_inner(
                 lines_in: 0,
                 final_count: None,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -327,11 +331,13 @@ fn run_inner(
                 matches: 0,
                 buf_base: 0x1000_0000,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     if background > asan_sim::SimDuration::ZERO {
-        cl.set_background_job(host, background).expect("cluster setup");
+        cl.set_background_job(host, background)
+            .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -355,7 +361,7 @@ fn run_inner(
     let hr = report.host(host).expect("node report");
     let bg = (hr.background_done, hr.background_left);
     (
-        AppRun::from_report(variant, &report, report.finish, got),
+        AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest()),
         bg.0,
         bg.1,
     )

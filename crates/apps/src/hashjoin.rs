@@ -425,14 +425,20 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
     let s = Arc::new(s);
 
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let rf = cl.add_file(ts[0], r.as_ref().clone()).expect("cluster setup");
-    let sf = cl.add_file(ts[0], s.as_ref().clone()).expect("cluster setup");
+    let rf = cl
+        .add_file(ts[0], r.as_ref().clone())
+        .expect("cluster setup");
+    let sf = cl
+        .add_file(ts[0], s.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
 
     let filter = std::rc::Rc::new(std::cell::RefCell::new(JoinFilter::new(p.clone(), host)));
     if variant.is_active() {
-        cl.register_handler(sw, BUILD_HANDLER, Box::new(SharedFilter(filter.clone()))).expect("cluster setup");
-        cl.register_handler(sw, PROBE_HANDLER, Box::new(SharedFilter(filter.clone()))).expect("cluster setup");
+        cl.register_handler(sw, BUILD_HANDLER, Box::new(SharedFilter(filter.clone())))
+            .expect("cluster setup");
+        cl.register_handler(sw, PROBE_HANDLER, Box::new(SharedFilter(filter.clone())))
+            .expect("cluster setup");
         let s_plan = BlockPlan {
             file: sf,
             total: p.s_bytes,
@@ -465,7 +471,8 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
                 bv_pass_reported: None,
                 r_bytes_in: 0,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         let s_plan = BlockPlan {
             file: sf,
@@ -492,7 +499,8 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
                 bv: vec![false; p.bits as usize],
                 st: JoinState::default(),
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -516,7 +524,13 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
     };
     assert_eq!(got_pass, want_pass, "bit-vector pass count mismatch");
     assert_eq!(got_matches, want_matches, "join match count mismatch");
-    AppRun::from_report(variant, &report, report.finish, got_matches)
+    AppRun::from_report(
+        variant,
+        &report,
+        report.finish,
+        got_matches,
+        cl.stats().digest(),
+    )
 }
 
 #[cfg(test)]

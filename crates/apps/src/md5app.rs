@@ -212,7 +212,9 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
     let mut cfg = ClusterConfig::paper();
     cfg.active = ActiveSwitchConfig::with_cpus(p.switch_cpus);
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl.add_file(ts[0], input.as_ref().clone()).expect("cluster setup");
+    let file = cl
+        .add_file(ts[0], input.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -220,7 +222,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             sw,
             MD5_HANDLER,
             Box::new(Md5Handler::new(p.switch_cpus, host, p.input_bytes)),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveMd5 {
@@ -237,7 +240,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 }),
                 digest: None,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -253,7 +257,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 hasher: Some(Md5::new()),
                 digest: None,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -273,7 +278,13 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             .expect("digest computed")
     };
     assert_eq!(got, want, "MD5 digest mismatch");
-    AppRun::from_report(variant, &report, report.finish, digest_tag(&got))
+    AppRun::from_report(
+        variant,
+        &report,
+        report.finish,
+        digest_tag(&got),
+        cl.stats().digest(),
+    )
 }
 
 #[cfg(test)]

@@ -273,7 +273,9 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
     let video = Arc::new(data::mpeg_stream(p.video_bytes as usize));
     let want = reference_i_bytes(&video);
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, ClusterConfig::paper());
-    let file = cl.add_file(ts[0], video.as_ref().clone()).expect("cluster setup");
+    let file = cl
+        .add_file(ts[0], video.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -281,7 +283,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             sw,
             MPEG_HANDLER,
             Box::new(MpegFilter::new(host, p.video_bytes)),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveMpeg {
@@ -299,7 +302,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 i_bytes_in: 0,
                 reported: None,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -316,7 +320,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 i_bytes: 0,
                 buf_base: 0x1000_0000,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -345,7 +350,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         got.abs_diff(want) <= 64,
         "I-byte count mismatch: {got} vs {want}"
     );
-    AppRun::from_report(variant, &report, report.finish, got)
+    AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest())
 }
 
 #[cfg(test)]

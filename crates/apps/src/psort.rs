@@ -353,7 +353,10 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
 
     let (mut cl, hs, ts, sw) = standard_cluster(p.nodes, p.nodes, ClusterConfig::paper());
     let files: Vec<_> = (0..p.nodes)
-        .map(|i| cl.add_file(ts[i], shares[i].clone()).expect("cluster setup"))
+        .map(|i| {
+            cl.add_file(ts[i], shares[i].clone())
+                .expect("cluster setup")
+        })
         .collect();
     let share_bytes = per_node * SORT_RECORD as u64;
 
@@ -366,7 +369,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 hs.clone(),
                 share_bytes * p.nodes as u64,
             )),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
         for i in 0..p.nodes {
             cl.set_program(
                 hs[i],
@@ -387,7 +391,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                     eof: false,
                     read_done: false,
                 }),
-            ).expect("cluster setup");
+            )
+            .expect("cluster setup");
         }
     } else {
         for i in 0..p.nodes {
@@ -416,7 +421,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                     sent_eof: false,
                     eofs_seen: 0,
                 }),
-            ).expect("cluster setup");
+            )
+            .expect("cluster setup");
         }
     }
 
@@ -446,7 +452,13 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         per_node * p.nodes as u64,
         "records not conserved"
     );
-    AppRun::from_report(variant, &report, report.finish, total_received)
+    AppRun::from_report(
+        variant,
+        &report,
+        report.finish,
+        total_received,
+        cl.stats().digest(),
+    )
 }
 
 #[cfg(test)]

@@ -443,6 +443,9 @@ pub struct ReduceRun {
     pub latency: SimTime,
     /// Fault-injection counters (all zero without an armed plan).
     pub faults: asan_sim::faults::FaultStats,
+    /// Canonical cluster-stats digest of the run, for golden-digest
+    /// regression checks.
+    pub stats_digest: u64,
 }
 
 /// Runs one collective reduction, validating the result against the
@@ -489,7 +492,8 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                     host_children.get(&sw).cloned().unwrap_or_default(),
                     switch_children.get(&sw).cloned().unwrap_or_default(),
                 ));
-                cl.register_handler(sw, REDUCE_HANDLER, handler).expect("cluster setup");
+                cl.register_handler(sw, REDUCE_HANDLER, handler)
+                    .expect("cluster setup");
                 if mode == Mode::ToAll {
                     // The broadcast arrives under its own handler ID;
                     // share the state via a second registration of a
@@ -505,7 +509,8 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                             host_children.get(&sw).cloned().unwrap_or_default(),
                             switch_children.get(&sw).cloned().unwrap_or_default(),
                         )),
-                    ).expect("cluster setup");
+                    )
+                    .expect("cluster setup");
                 }
             }
         }
@@ -527,7 +532,8 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                 got_result: None,
                 done: false,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -569,6 +575,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
         active,
         latency: report.finish,
         faults: cl.fault_stats(),
+        stats_digest: cl.stats().digest(),
     }
 }
 

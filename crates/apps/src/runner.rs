@@ -107,6 +107,9 @@ pub struct AppRun {
     /// Application-specific correctness artifact (match count, digest…)
     /// for validation against a pure-Rust reference.
     pub artifact: u64,
+    /// Canonical [`ClusterStats::digest`](asan_core::stats::ClusterStats::digest)
+    /// of the run, for golden-digest regression checks.
+    pub stats_digest: u64,
 }
 
 impl AppRun {
@@ -116,6 +119,7 @@ impl AppRun {
         report: &asan_core::cluster::RunReport,
         exec: SimTime,
         artifact: u64,
+        stats_digest: u64,
     ) -> AppRun {
         let exec_span = exec.since(asan_sim::SimTime::ZERO);
         let n = report.hosts.len().max(1) as u64;
@@ -153,6 +157,7 @@ impl AppRun {
             host_traffic: report.total_host_payload(),
             link_bytes: report.link_bytes,
             artifact,
+            stats_digest,
         }
     }
 }

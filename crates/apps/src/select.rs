@@ -267,7 +267,9 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
     ));
     let want = reference_count(&table, p);
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl.add_file(ts[0], table.as_ref().clone()).expect("cluster setup");
+    let file = cl
+        .add_file(ts[0], table.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
 
     if variant.is_active() {
@@ -275,7 +277,8 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
             sw,
             SELECT_HANDLER,
             Box::new(SelectHandler::new(p.clone(), host, p.table_bytes)),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveSelect {
@@ -294,7 +297,8 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
                 records_in: 0,
                 final_count: None,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -311,7 +315,8 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
                 matches: 0,
                 buf_base: 0x1000_0000,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -339,7 +344,7 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
             .matches
     };
     assert_eq!(got, want, "select match count mismatch");
-    AppRun::from_report(variant, &report, report.finish, got)
+    AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest())
 }
 
 #[cfg(test)]

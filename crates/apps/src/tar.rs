@@ -232,7 +232,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
     let contents = Arc::new(contents);
 
     if variant.is_active() {
-        cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive))).expect("cluster setup");
+        cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive)))
+            .expect("cluster setup");
         cl.set_program(
             host,
             Box::new(ActiveTar {
@@ -241,7 +242,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 sw,
                 archive,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     } else {
         cl.set_program(
             host,
@@ -255,7 +257,8 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
                 reader: None,
                 sent: 0,
             }),
-        ).expect("cluster setup");
+        )
+        .expect("cluster setup");
     }
 
     let report = cl.run().expect("simulation completes");
@@ -271,7 +274,13 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         p.files as u64
     };
     // Tar's execution time is until the archive is fully written.
-    AppRun::from_report(variant, &report, report.drain, streamed)
+    AppRun::from_report(
+        variant,
+        &report,
+        report.drain,
+        streamed,
+        cl.stats().digest(),
+    )
 }
 
 #[cfg(test)]

@@ -200,12 +200,15 @@ pub fn run(placement: Placement, p: &select::Params) -> PlacementRun {
     let want = select::reference_count(&table, p);
 
     let (mut cl, hs, ts, sw) = standard_cluster(1, 1, ClusterConfig::paper_db());
-    let file = cl.add_file(ts[0], table.as_ref().clone()).expect("cluster setup");
+    let file = cl
+        .add_file(ts[0], table.as_ref().clone())
+        .expect("cluster setup");
     let host = hs[0];
     let tca = ts[0];
 
     // The active disk runs the same selection handler the switch would.
-    cl.enable_active_tca(tca, ActiveSwitchConfig::paper()).expect("cluster setup");
+    cl.enable_active_tca(tca, ActiveSwitchConfig::paper())
+        .expect("cluster setup");
     let filter_dest = match placement {
         Placement::ActiveDisk => host,
         Placement::TwoLevel => sw,
@@ -216,13 +219,16 @@ pub fn run(placement: Placement, p: &select::Params) -> PlacementRun {
     } else {
         SelectHandler::new(p.clone(), filter_dest, p.table_bytes)
     };
-    cl.register_tca_handler(tca, SELECT_HANDLER, Box::new(filter)).expect("cluster setup");
+    cl.register_tca_handler(tca, SELECT_HANDLER, Box::new(filter))
+        .expect("cluster setup");
     if placement == Placement::TwoLevel {
         // Record batches arrive under COUNT_HANDLER and the end-of-
         // stream report under DONE_HANDLER; both must update one tally.
         let stage = Shared::new(CountStage::new(p.record_bytes, host));
-        cl.register_handler(sw, COUNT_HANDLER, Box::new(stage.clone())).expect("cluster setup");
-        cl.register_handler(sw, DONE_HANDLER, Box::new(stage)).expect("cluster setup");
+        cl.register_handler(sw, COUNT_HANDLER, Box::new(stage.clone()))
+            .expect("cluster setup");
+        cl.register_handler(sw, DONE_HANDLER, Box::new(stage))
+            .expect("cluster setup");
     }
 
     cl.set_program(
@@ -243,7 +249,8 @@ pub fn run(placement: Placement, p: &select::Params) -> PlacementRun {
             records_in: 0,
             final_count: None,
         }),
-    ).expect("cluster setup");
+    )
+    .expect("cluster setup");
 
     let report = cl.run().expect("simulation completes");
     let program = cl.take_program(host).expect("program");

@@ -20,6 +20,8 @@
 //!   multiprog       co-scheduled background job (§7's throughput claim)
 //!   chaos           benchmarks under seeded fault injection
 //!   chaos-digest    deterministic fault-run digest (CI runs it twice)
+//!   golden          per-benchmark stats digests (normal + active), the
+//!                   golden-digest regression input (tests/golden_digests.txt)
 //!   all             everything above
 //! ```
 //!
@@ -35,9 +37,7 @@ use std::env;
 use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{breakdown_table, overall_csv, overall_table, speedups};
-use asan_core::cluster::{
-    Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId,
-};
+use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::LinkConfig;
 use asan_sim::faults::{FaultPlan, HandlerTrap};
@@ -322,7 +322,8 @@ fn chaos(sc: &Scale) {
         "{:<14} {:>14} {:>14} {:>10} {:>9}",
         "app", "clean", "chaos", "overhead", "artifact"
     );
-    let apps: [(&str, Box<dyn Fn(ClusterConfig) -> AppRun>); 3] = [
+    type ChaosApp = Box<dyn Fn(ClusterConfig) -> AppRun>;
+    let apps: [(&str, ChaosApp); 3] = [
         ("Grep", {
             let p = sc.grep();
             Box::new(move |cfg| grep::run_with_config(Variant::ActivePref, &p, cfg))
@@ -424,14 +425,69 @@ fn chaos_digest() {
     let mut cl = Cluster::new(b, cfg);
     let data: Vec<u8> = (0..FILE_BYTES).map(|i| (i % 251) as u8).collect();
     let file = cl.add_file(tca, data).expect("add file");
-    cl.set_program(host, Box::new(OneRead { file, len: FILE_BYTES }))
-        .expect("program");
-    let report = cl.run().expect("chaos run recovers from every injected fault");
+    cl.set_program(
+        host,
+        Box::new(OneRead {
+            file,
+            len: FILE_BYTES,
+        }),
+    )
+    .expect("program");
+    let report = cl
+        .run()
+        .expect("chaos run recovers from every injected fault");
 
     let stats = cl.stats();
     println!("chaos-digest: {:016x}", stats.digest());
     println!("finish: {}  events: {}", report.finish, report.events);
     println!("{}", cl.fault_stats());
+}
+
+/// Golden digests: every benchmark's canonical `ClusterStats::digest()`
+/// in the `normal` and `active` configurations. The committed
+/// `tests/golden_digests.txt` holds the output of
+/// `repro -- --small golden`; CI regenerates and diffs it, so any
+/// change that silently perturbs simulation results fails loudly.
+fn golden(sc: &Scale) {
+    for (name, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
+        println!(
+            "mpeg {name} {:016x}",
+            mpeg::run(variant, &sc.mpeg()).stats_digest
+        );
+        println!(
+            "hashjoin {name} {:016x}",
+            hashjoin::run(variant, &sc.hashjoin()).stats_digest
+        );
+        println!(
+            "select {name} {:016x}",
+            select::run(variant, &sc.select()).stats_digest
+        );
+        println!(
+            "grep {name} {:016x}",
+            grep::run(variant, &sc.grep()).stats_digest
+        );
+        println!(
+            "tar {name} {:016x}",
+            tar::run(variant, &sc.tar()).stats_digest
+        );
+        println!(
+            "psort {name} {:016x}",
+            psort::run(variant, &sc.psort()).stats_digest
+        );
+        println!(
+            "md5 {name} {:016x}",
+            md5app::run(variant, &sc.md5(1)).stats_digest
+        );
+        let active = variant.is_active();
+        println!(
+            "reduce-to-one {name} {:016x}",
+            reduce::run(reduce::Mode::ReduceToOne, active, 8).stats_digest
+        );
+        println!(
+            "distributed-reduce {name} {:016x}",
+            reduce::run(reduce::Mode::Distributed, active, 8).stats_digest
+        );
+    }
 }
 
 fn table2() {
@@ -515,6 +571,7 @@ fn main() {
             "ablations" => ablations(&sc),
             "chaos" => chaos(&sc),
             "chaos-digest" => chaos_digest(),
+            "golden" => golden(&sc),
             "twolevel" => twolevel(&sc),
             "multiprog" => multiprog_exp(&sc),
             other => eprintln!("unknown experiment: {other}"),

@@ -148,6 +148,7 @@ mod tests {
             host_utilization: 0.75,
             link_bytes: 0,
             artifact: 0,
+            stats_digest: 0,
         }
     }
 

@@ -8,367 +8,36 @@
 //! fabric moves packets with cut-through timing; and active messages
 //! invoke switch handlers that process the actual bytes.
 //!
+//! [`Cluster`] itself is a thin composer: the mechanics live in four
+//! subsystem engines ([`crate::engines`]) that communicate only through
+//! the typed event bus ([`crate::events`]). The cluster builds the
+//! engines, routes each popped [`Event`] to its owner, and assembles
+//! the [`RunReport`] and [`ClusterStats`] afterwards.
+//!
 //! The event loop is deterministic: ties in simulated time break by
-//! insertion order ([`asan_sim::EventQueue`]).
+//! insertion order ([`asan_sim::EventQueue`]), and every engine iterates
+//! its nodes in ascending node order.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
-use asan_cpu::{Cpu, CpuConfig};
-use asan_io::{OsCost, Storage, StorageConfig};
+use asan_cpu::CpuConfig;
+use asan_io::{OsCost, StorageConfig};
 use asan_net::topo::{NodeKind, TopologyBuilder};
-use asan_net::{Fabric, HandlerId, Hca, HcaConfig, NodeId, HEADER_BYTES, MTU};
-use asan_sim::faults::{DiskFate, FaultInjector, FaultPlan, FaultStats, PacketFate};
+use asan_net::{Fabric, HandlerId, HcaConfig, NodeId};
+use asan_sim::faults::{FaultInjector, FaultPlan, FaultStats};
+use asan_sim::sched::{Scheduler, Tracer};
 use asan_sim::stats::{TimeBreakdown, Traffic};
-use asan_sim::{EventQueue, SimDuration, SimTime};
+use asan_sim::{SimDuration, SimTime};
 
-use crate::active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
+use crate::active::{ActiveSwitch, ActiveSwitchConfig};
+use crate::engines::{route, DispatchEngine, Engine, FabricEngine, HostEngine, StorageEngine};
 use crate::error::SimError;
-use crate::handler::{Handler, SwitchIoReq};
-use crate::stats::{
-    CacheSnapshot, ClusterStats, CpuSnapshot, FabricSnapshot, HostSnapshot, StorageSnapshot,
-    SwitchSnapshot,
-};
+use crate::events::{Event, EventBus, FileStore, IoState};
+use crate::handler::Handler;
+use crate::stats::{ClusterStats, FabricSnapshot};
 
-/// Identifies an I/O request issued by a host program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ReqId(pub u64);
-
-/// Identifies a stored file (placed on one TCA's disk array).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct FileId(pub usize);
-
-/// Where a read's data should be delivered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Dest {
-    /// DMA into the issuing host's memory at `addr` (the normal path).
-    HostBuf {
-        /// Physical base address of the host buffer.
-        addr: u64,
-    },
-    /// Stream to `node` as active messages mapped at `base_addr`,
-    /// invoking `handler` per packet (the active path: the host "maps
-    /// the file into memory" on the switch, §2.2).
-    Mapped {
-        /// Destination node (an active switch, usually).
-        node: NodeId,
-        /// Handler invoked per arriving packet.
-        handler: HandlerId,
-        /// Base of the mapped address window.
-        base_addr: u32,
-    },
-}
-
-/// A message as seen by a host program.
-#[derive(Debug, Clone)]
-pub struct HostMsg {
-    /// Sending node.
-    pub src: NodeId,
-    /// Active-handler field, if the sender set one (lets programs
-    /// demultiplex flows).
-    pub handler: Option<HandlerId>,
-    /// Address field of the header.
-    pub addr: u32,
-    /// Real payload bytes.
-    pub data: Vec<u8>,
-    /// Flow sequence number.
-    pub seq: u32,
-}
-
-/// A host-resident application (one per compute node).
-///
-/// Programs are state machines: the cluster calls these hooks in
-/// simulated-time order, and the program charges CPU time through the
-/// [`HostCtx`] as it processes real data.
-pub trait HostProgram {
-    /// Called once at time zero.
-    fn on_start(&mut self, ctx: &mut HostCtx<'_>);
-
-    /// Called when an I/O request previously issued via
-    /// [`HostCtx::read_file`] has fully delivered its data.
-    fn on_io_complete(&mut self, _ctx: &mut HostCtx<'_>, _req: ReqId) {}
-
-    /// Called when a message arrives for this host.
-    fn on_message(&mut self, _ctx: &mut HostCtx<'_>, _msg: &HostMsg) {}
-
-    /// Downcasting hook so benchmarks can read back program state after
-    /// a run (`Some(self)` in implementations that support it).
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        None
-    }
-}
-
-impl std::fmt::Debug for dyn HostProgram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "<host program>")
-    }
-}
-
-/// Metadata of a stored file.
-#[derive(Debug, Clone, Copy)]
-pub struct FileMeta {
-    /// The TCA whose disks hold the file.
-    pub tca: NodeId,
-    /// File length in bytes.
-    pub len: u64,
-    /// Byte offset of the file on the array.
-    pub disk_offset: u64,
-}
-
-#[derive(Debug)]
-enum Effect {
-    Io {
-        req: ReqId,
-        file: FileId,
-        offset: u64,
-        len: u64,
-        dest: Dest,
-        issue_at: SimTime,
-    },
-    Send {
-        dst: NodeId,
-        handler: Option<HandlerId>,
-        addr: u32,
-        data: Vec<u8>,
-        ready: SimTime,
-    },
-    Finish,
-}
-
-/// Kernel/OS services available to a host program during a callback.
-#[derive(Debug)]
-pub struct HostCtx<'a> {
-    cpu: &'a mut Cpu,
-    hca: &'a mut Hca,
-    node: NodeId,
-    os: OsCost,
-    files: &'a [FileMeta],
-    next_req: &'a mut u64,
-    effects: Vec<Effect>,
-}
-
-impl HostCtx<'_> {
-    /// This host's node ID.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Current local time.
-    pub fn now(&self) -> SimTime {
-        self.cpu.now()
-    }
-
-    /// The CPU model, for charging application work (compute, loads,
-    /// scans over real data).
-    pub fn cpu(&mut self) -> &mut Cpu {
-        self.cpu
-    }
-
-    /// Length of a stored file.
-    pub fn file_len(&self, file: FileId) -> u64 {
-        self.files[file.0].len
-    }
-
-    /// Issues an asynchronous read of `[offset, offset+len)` of `file`,
-    /// delivering to `dest`. Charges the issue share of the OS
-    /// per-request cost now; the completion share (and the per-KB cost
-    /// for host-destined data) is charged when the request completes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range exceeds the file or is empty.
-    pub fn read_file(&mut self, file: FileId, offset: u64, len: u64, dest: Dest) -> ReqId {
-        let meta = self.files[file.0];
-        assert!(offset + len <= meta.len, "read beyond file end");
-        assert!(len > 0, "zero-length read");
-        // Issue share only; the completion share is charged at
-        // IoComplete. Active (mapped) requests bypass the heavyweight
-        // OS path entirely.
-        match dest {
-            Dest::HostBuf { .. } => self.cpu.charge_fixed_busy(self.os.per_request / 2),
-            Dest::Mapped { .. } => self.cpu.charge_fixed_busy(self.os.active_request),
-        }
-        let req = ReqId(*self.next_req);
-        *self.next_req += 1;
-        self.effects.push(Effect::Io {
-            req,
-            file,
-            offset,
-            len,
-            dest,
-            issue_at: self.cpu.now(),
-        });
-        req
-    }
-
-    /// Sends `data` to `dst` (packetized into MTU packets by the HCA).
-    /// `handler` names the switch handler for active messages, or tags
-    /// the flow for host receivers.
-    pub fn send(&mut self, dst: NodeId, handler: Option<HandlerId>, addr: u32, data: Vec<u8>) {
-        let ready = self.hca.post_send(self.cpu);
-        self.effects.push(Effect::Send {
-            dst,
-            handler,
-            addr,
-            data,
-            ready,
-        });
-    }
-
-    /// Declares this host's program finished.
-    pub fn finish(&mut self) {
-        self.effects.push(Effect::Finish);
-    }
-}
-
-#[derive(Debug)]
-struct HostNode {
-    cpu: Cpu,
-    hca: Hca,
-    program: Option<Box<dyn HostProgram>>,
-    finished_at: Option<SimTime>,
-    payload: Traffic,
-    /// Remaining CPU time of a co-scheduled background job that soaks
-    /// up this host's idle time (the paper's "multi-programmed server"
-    /// scenario: freed host cycles are usable by other tasks).
-    background_left: SimDuration,
-    /// When the background job completed, if it did.
-    background_done: Option<SimTime>,
-}
-
-#[derive(Debug)]
-struct TcaNode {
-    storage: Storage,
-    /// Next free byte on the array (files are placed sequentially).
-    alloc_cursor: u64,
-    /// Archive-write aggregation.
-    write_pending: u64,
-    write_cursor: u64,
-    last_write_done: SimTime,
-    write_chunk: u64,
-}
-
-#[derive(Debug)]
-struct IoState {
-    host: NodeId,
-    dest: Dest,
-    remaining: usize,
-    bytes: u64,
-    /// The TCA serving this request.
-    tca: NodeId,
-    /// The file being read.
-    file: FileId,
-    /// File-relative byte offset of the read.
-    offset: u64,
-    /// Per-sequence-number delivery flags (populated when the storage
-    /// read schedule is known; only under an armed fault plan).
-    got: Vec<bool>,
-    /// Per-sequence-number payload lengths, for buffer-cache re-reads
-    /// on retransmission.
-    lens: Vec<u32>,
-    /// First fault category seen per sequence number (0 = none,
-    /// 1 = corrupt, 2 = drop) — attributes eventual recovery.
-    faulted: Vec<u8>,
-    /// End-to-end timeout attempts so far.
-    attempt: u32,
-    /// Current (exponentially backed-off) timeout.
-    timeout: SimDuration,
-}
-
-/// Per-request reorder buffer for mapped flows under fault injection:
-/// a stream handler must see its packets in sequence order, so late
-/// retransmits park arrivals here until the gap fills.
-#[derive(Debug, Default)]
-struct FlowState {
-    next_seq: u32,
-    buffered: BTreeMap<u32, asan_net::Packet>,
-}
-
-#[derive(Debug)]
-enum Event {
-    Start(NodeId),
-    /// A whole packet finished arriving at a host.
-    PacketToHost {
-        host: NodeId,
-        msg: HostMsg,
-        io_req: Option<ReqId>,
-    },
-    /// An active packet's header reached a switch (payload window given).
-    /// `io_req` is set for mapped storage data under a fault plan, which
-    /// is tracked per sequence number and delivered in order.
-    PacketToSwitch {
-        sw: NodeId,
-        pkt: asan_net::Packet,
-        payload_start: SimTime,
-        payload_end: SimTime,
-        io_req: Option<ReqId>,
-    },
-    /// A packet for a trapped handler reached the fallback host and is
-    /// dispatched on its software engine.
-    FallbackDispatch {
-        sw: NodeId,
-        pkt: asan_net::Packet,
-    },
-    /// Raw data arrived at a TCA (archive-write stream).
-    PacketToTca {
-        tca: NodeId,
-        bytes: u64,
-    },
-    /// A host-issued I/O request's control packet reached its TCA (or a
-    /// soft-errored disk attempt is being retried).
-    IoRequestAtTca {
-        tca: NodeId,
-        req: ReqId,
-        file: FileId,
-        offset: u64,
-        len: u64,
-        dest: Dest,
-        attempt: u32,
-    },
-    /// A switch-initiated I/O request reached its TCA.
-    SwitchIoAtTca {
-        r: SwitchIoReq,
-        attempt: u32,
-    },
-    /// All data of `req` delivered; notify the issuing host.
-    IoComplete {
-        host: NodeId,
-        req: ReqId,
-    },
-    /// The TCA finished injecting a mapped read's data: send the small
-    /// completion notification to the issuing host *now* (deferred so
-    /// the fabric only ever sees causally-ordered sends per link).
-    CompletionNotice {
-        tca: NodeId,
-        host: NodeId,
-        req: ReqId,
-    },
-    /// One MTU packet of a storage read becomes ready at its TCA: inject
-    /// it into the fabric *now*. Deferring each injection to its ready
-    /// time keeps every link's sends causally ordered, so small control
-    /// messages interleave with bulk data instead of queueing behind
-    /// pre-booked future transfers.
-    InjectIoPacket {
-        src: NodeId,
-        dst: NodeId,
-        handler: Option<HandlerId>,
-        addr: u32,
-        payload: Vec<u8>,
-        seq: u32,
-        io_req: Option<ReqId>,
-    },
-    /// Retransmit packet `seq` of `req` from the TCA's buffer cache
-    /// (NAK- or timeout-driven).
-    Retransmit {
-        req: ReqId,
-        seq: u32,
-    },
-    /// End-to-end watchdog for `req`; stale timers carry an old
-    /// `attempt` and are ignored.
-    RequestTimeout {
-        req: ReqId,
-        attempt: u32,
-    },
-}
+pub use crate::engines::{HostCtx, HostProgram};
+pub use crate::events::{Dest, FileId, FileMeta, HostMsg, ReqId};
 
 /// Configuration of a [`Cluster`].
 #[derive(Debug, Clone)]
@@ -509,38 +178,24 @@ impl RunReport {
     }
 }
 
-/// The assembled cluster simulation.
+/// The assembled cluster simulation: four subsystem engines composed
+/// over one deterministic scheduler.
 #[derive(Debug)]
 pub struct Cluster {
     cfg: ClusterConfig,
     fabric: Fabric,
-    queue: EventQueue<Event>,
-    hosts: HashMap<NodeId, HostNode>,
-    host_order: Vec<NodeId>,
-    switches: HashMap<NodeId, ActiveSwitch>,
-    switch_order: Vec<NodeId>,
-    /// Optional active engines on TCA nodes: "a two-level active I/O
-    /// system" (§6) — intelligent disks below the active switches.
-    active_tcas: HashMap<NodeId, ActiveSwitch>,
-    tcas: HashMap<NodeId, TcaNode>,
-    files_meta: Vec<FileMeta>,
-    files_data: Vec<Vec<u8>>,
+    sched: Scheduler<Event>,
+    host: HostEngine,
+    dispatch: DispatchEngine,
+    storage: StorageEngine,
+    fabric_engine: FabricEngine,
+    files: FileStore,
     reqs: HashMap<ReqId, IoState>,
-    next_req: u64,
-    events: u64,
     /// Armed fault injector (None ⇒ the pre-fault simulator, bit for
     /// bit).
     injector: Option<FaultInjector>,
-    /// `(switch, handler)` pairs whose jump-table entry was disabled by
-    /// a trap; their streams route to the fallback host.
-    trapped: HashSet<(NodeId, HandlerId)>,
-    /// Host-side software engines holding migrated handlers, keyed by
-    /// the original switch so handler state stays per-switch.
-    fallback_engines: HashMap<NodeId, ActiveSwitch>,
-    /// The host that runs fallback engines (lowest-numbered host).
-    fallback_host: Option<NodeId>,
-    /// Reorder buffers for mapped flows under faults.
-    flows: HashMap<ReqId, FlowState>,
+    /// TCA nodes with an active engine, for delivery routing.
+    active_tca_nodes: BTreeSet<NodeId>,
 }
 
 impl Cluster {
@@ -549,69 +204,30 @@ impl Cluster {
     /// active switch; every `Tca` node gets a storage array.
     pub fn new(topo: TopologyBuilder, cfg: ClusterConfig) -> Self {
         let fabric = topo.build();
-        let mut hosts = HashMap::new();
-        let mut switches = HashMap::new();
-        let mut tcas = HashMap::new();
-        let mut host_order = Vec::new();
-        let mut switch_order = Vec::new();
+        let mut host = HostEngine::default();
+        let mut dispatch = DispatchEngine::default();
+        let mut storage = StorageEngine::default();
         for i in 0..fabric.num_nodes() {
             let id = NodeId(i as u16);
             match fabric.kind(id) {
-                NodeKind::Host => {
-                    host_order.push(id);
-                    hosts.insert(
-                        id,
-                        HostNode {
-                            cpu: Cpu::new(cfg.host_cpu.clone()),
-                            hca: Hca::new(cfg.hca),
-                            program: None,
-                            finished_at: None,
-                            payload: Traffic::default(),
-                            background_left: SimDuration::ZERO,
-                            background_done: None,
-                        },
-                    );
-                }
-                NodeKind::Switch => {
-                    switch_order.push(id);
-                    switches.insert(id, ActiveSwitch::new(id, cfg.active.clone()));
-                }
-                NodeKind::Tca => {
-                    tcas.insert(
-                        id,
-                        TcaNode {
-                            storage: Storage::new(cfg.storage),
-                            alloc_cursor: 0,
-                            write_pending: 0,
-                            write_cursor: 1 << 40, // archive region
-                            last_write_done: SimTime::ZERO,
-                            write_chunk: 64 * 1024,
-                        },
-                    );
-                }
+                NodeKind::Host => host.add_host(id, &cfg),
+                NodeKind::Switch => dispatch.add_switch(id, cfg.active.clone()),
+                NodeKind::Tca => storage.add_tca(id, &cfg),
             }
         }
         let injector = cfg.faults.clone().map(FaultInjector::new);
         Cluster {
             cfg,
             fabric,
-            queue: EventQueue::new(),
-            hosts,
-            host_order,
-            switches,
-            switch_order,
-            active_tcas: HashMap::new(),
-            tcas,
-            files_meta: Vec::new(),
-            files_data: Vec::new(),
+            sched: Scheduler::new(),
+            host,
+            dispatch,
+            storage,
+            fabric_engine: FabricEngine,
+            files: FileStore::default(),
             reqs: HashMap::new(),
-            next_req: 0,
-            events: 0,
             injector,
-            trapped: HashSet::new(),
-            fallback_engines: HashMap::new(),
-            fallback_host: None,
-            flows: HashMap::new(),
+            active_tca_nodes: BTreeSet::new(),
         }
     }
 
@@ -621,20 +237,16 @@ impl Cluster {
     ///
     /// Returns [`SimError::NotATca`] if `tca` is not a TCA node.
     pub fn add_file(&mut self, tca: NodeId, data: Vec<u8>) -> Result<FileId, SimError> {
-        let t = self.tcas.get_mut(&tca).ok_or(SimError::NotATca(tca))?;
-        let id = FileId(self.files_meta.len());
-        self.files_meta.push(FileMeta {
-            tca,
-            len: data.len() as u64,
-            disk_offset: t.alloc_cursor,
-        });
-        // Files are stripe-aligned: they never share a stripe unit but
-        // consecutively-added files stay contiguous on the platters
-        // (as a freshly written file set would be).
         let stripe = self.cfg.storage.stripe_bytes;
-        t.alloc_cursor += (data.len() as u64).div_ceil(stripe).max(1) * stripe;
-        self.files_data.push(data);
-        Ok(id)
+        let disk_offset = self.storage.alloc(tca, data.len() as u64, stripe)?;
+        Ok(self.files.push(
+            FileMeta {
+                tca,
+                len: data.len() as u64,
+                disk_offset,
+            },
+            data,
+        ))
     }
 
     /// Co-schedules `cpu_time` of background computation on host
@@ -652,10 +264,7 @@ impl Cluster {
         node: NodeId,
         cpu_time: SimDuration,
     ) -> Result<(), SimError> {
-        let h = self.hosts.get_mut(&node).ok_or(SimError::NotAHost(node))?;
-        h.background_left = cpu_time;
-        h.background_done = None;
-        Ok(())
+        self.host.set_background_job(node, cpu_time)
     }
 
     /// Installs `program` on host `node`.
@@ -670,12 +279,7 @@ impl Cluster {
         node: NodeId,
         program: Box<dyn HostProgram>,
     ) -> Result<(), SimError> {
-        let h = self.hosts.get_mut(&node).ok_or(SimError::NotAHost(node))?;
-        if h.program.is_some() {
-            return Err(SimError::ProgramAlreadyInstalled(node));
-        }
-        h.program = Some(program);
-        Ok(())
+        self.host.set_program(node, program)
     }
 
     /// Registers `handler` under `id` on switch `node`.
@@ -689,28 +293,14 @@ impl Cluster {
         id: HandlerId,
         handler: Box<dyn Handler>,
     ) -> Result<(), SimError> {
-        self.switches
-            .get_mut(&node)
-            .ok_or(SimError::NotASwitch(node))?
-            .register(id, handler);
-        Ok(())
+        self.dispatch.register(node, id, handler)
     }
 
     /// Removes a handler after a run so the caller can read back state
     /// accumulated inside it. Searches the original engine first, then
     /// any host-side fallback engine a trap migrated it to.
     pub fn take_handler(&mut self, node: NodeId, id: HandlerId) -> Option<Box<dyn Handler>> {
-        if let Some(h) = self.switches.get_mut(&node).and_then(|s| s.take_handler(id)) {
-            return Some(h);
-        }
-        if let Some(h) = self
-            .active_tcas
-            .get_mut(&node)
-            .and_then(|e| e.take_handler(id))
-        {
-            return Some(h);
-        }
-        self.fallback_engines.get_mut(&node)?.take_handler(id)
+        self.dispatch.take_handler(node, id)
     }
 
     /// Turns the TCA at `node` into an *active disk*: an embedded
@@ -725,10 +315,11 @@ impl Cluster {
         node: NodeId,
         cfg: ActiveSwitchConfig,
     ) -> Result<(), SimError> {
-        if !self.tcas.contains_key(&node) {
+        if !self.storage.contains(node) {
             return Err(SimError::NotATca(node));
         }
-        self.active_tcas.insert(node, ActiveSwitch::new(node, cfg));
+        self.dispatch.enable_active_tca(node, cfg);
+        self.active_tca_nodes.insert(node);
         Ok(())
     }
 
@@ -744,17 +335,13 @@ impl Cluster {
         id: HandlerId,
         handler: Box<dyn Handler>,
     ) -> Result<(), SimError> {
-        self.active_tcas
-            .get_mut(&node)
-            .ok_or(SimError::TcaNotActive(node))?
-            .register(id, handler);
-        Ok(())
+        self.dispatch.register_tca_handler(node, id, handler)
     }
 
     /// Removes a host's program after a run so the caller can read back
     /// state accumulated inside it.
     pub fn take_program(&mut self, node: NodeId) -> Option<Box<dyn HostProgram>> {
-        self.hosts.get_mut(&node)?.program.take()
+        self.host.take_program(node)
     }
 
     /// The fabric (for traffic inspection).
@@ -765,95 +352,16 @@ impl Cluster {
     /// Snapshots every component's low-level counters (cache misses,
     /// ATB traffic, disk seeks, credit stalls, …) for diagnosis.
     pub fn stats(&self) -> ClusterStats {
-        fn cache_snap(c: &asan_mem::Cache) -> CacheSnapshot {
-            CacheSnapshot {
-                accesses: c.stats().accesses(),
-                misses: c.stats().misses.get(),
-                writebacks: c.stats().writebacks.get(),
-            }
-        }
-        fn cpu_snap(cpu: &Cpu) -> CpuSnapshot {
-            let m = cpu.memory();
-            CpuSnapshot {
-                instructions: cpu.instructions(),
-                l1d: cache_snap(m.l1d()),
-                l1i: cache_snap(m.l1i()),
-                l2: m.l2().map(cache_snap),
-                dram_page_hits: m.dram().stats().page_hits.get(),
-                dram_page_misses: m.dram().stats().page_misses.get(),
-            }
-        }
-        let hosts = self
-            .host_order
-            .iter()
-            .map(|id| {
-                let h = &self.hosts[id];
-                HostSnapshot {
-                    node: *id,
-                    cpu: cpu_snap(&h.cpu),
-                    hca_sends: h.hca.sends(),
-                    hca_recvs: h.hca.recvs(),
-                }
-            })
-            .collect();
-        let switches = self
-            .switch_order
-            .iter()
-            .map(|id| {
-                let s = &self.switches[id];
-                // A trapped handler's work continues on a host-side
-                // fallback engine; its counters still belong to this
-                // switch logically.
-                let fb = self.fallback_engines.get(id);
-                SwitchSnapshot {
-                    node: *id,
-                    invocations: s.stats().invocations.get()
-                        + fb.map_or(0, |f| f.stats().invocations.get()),
-                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
-                    bytes_out: s.stats().bytes_out.get()
-                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
-                    buffer_allocs: s.dba().allocs(),
-                    buffer_waits: s.dba().alloc_waits(),
-                    buffer_peak: s.dba().occupancy().max().unwrap_or(0),
-                    atb_hits: (0..s.config().num_cpus).map(|i| s.atb(i).hits()).sum(),
-                    atb_misses: (0..s.config().num_cpus).map(|i| s.atb(i).misses()).sum(),
-                    cpus: s.cpus().iter().map(cpu_snap).collect(),
-                }
-            })
-            .collect();
-        let mut storage = Vec::new();
-        for i in 0..self.fabric.num_nodes() {
-            let id = NodeId(i as u16);
-            if let Some(t) = self.tcas.get(&id) {
-                storage.push(StorageSnapshot {
-                    node: id,
-                    disk_bytes: t
-                        .storage
-                        .disks()
-                        .iter()
-                        .map(|d| d.stats().bytes.get())
-                        .collect(),
-                    disk_seeks: t
-                        .storage
-                        .disks()
-                        .iter()
-                        .map(|d| d.stats().seeks.get())
-                        .collect(),
-                    bus_bursts: t.storage.bus().stats().bursts.get(),
-                    bus_bytes: t.storage.bus().stats().bytes.get(),
-                });
-            }
-        }
         ClusterStats {
-            hosts,
-            switches,
-            storage,
+            hosts: self.host.snapshots(),
+            switches: self.dispatch.snapshots(),
+            storage: self.storage.snapshots(),
             fabric: FabricSnapshot {
                 link_bytes: self.fabric.total_link_bytes(),
                 credit_stalls: self.fabric.total_credit_stalls(),
             },
             faults: self.fault_stats(),
-            events: self.events,
+            events: self.sched.processed(),
         }
     }
 
@@ -865,7 +373,7 @@ impl Cluster {
 
     /// The active switch at `node` (for inspection).
     pub fn switch(&self, node: NodeId) -> Option<&ActiveSwitch> {
-        self.switches.get(&node)
+        self.dispatch.switch(node)
     }
 
     /// Runs the simulation to completion and reports.
@@ -877,61 +385,23 @@ impl Cluster {
     /// [`SimError::RetriesExhausted`] if a request's retry budget runs
     /// out under fault injection.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        // Resolve the trace switch once per run, not per event.
+        self.sched.set_tracer(Tracer::from_env());
         // Arm the run-scoped faults of the plan, if any.
         if let Some(plan) = self.injector.as_ref().map(|i| i.plan().clone()) {
-            for &(from, until) in &plan.link_outages {
-                self.fabric.inject_outage(from, until);
-            }
-            if let Some(credits) = plan.credit_limit {
-                self.fabric.restrict_credits(credits);
-            }
+            FabricEngine::arm(&plan, &mut self.fabric);
             if let Some(seize) = plan.buffer_seize {
-                let mut seized = 0u64;
-                for engine in self
-                    .switches
-                    .values_mut()
-                    .chain(self.active_tcas.values_mut())
-                {
-                    seized += seize.count.min(engine.config().num_buffers.saturating_sub(1))
-                        as u64;
-                    engine.seize_buffers(seize.count, seize.release_at);
-                }
-                let s = &mut self.injector.as_mut().expect("armed").stats.buffer_seize;
-                s.injected += seized;
-                s.degraded += seized;
+                self.dispatch
+                    .arm_buffer_seize(seize, self.injector.as_mut().expect("armed"));
             }
-            self.fallback_host = self.host_order.iter().copied().min_by_key(|n| n.0);
+            self.dispatch.set_fallback_host(self.host.first_host());
         }
-        for h in self.host_order.clone() {
-            if self.hosts[&h].program.is_some() {
-                self.queue.push(SimTime::ZERO, Event::Start(h));
-            }
+        for h in self.host.nodes_with_programs() {
+            self.sched.push(SimTime::ZERO, Event::Start(h));
         }
         let mut drain = SimTime::ZERO;
-        while let Some((t, ev)) = self.queue.pop() {
-            self.events += 1;
-            if std::env::var_os("ASAN_TRACE").is_some() {
-                eprintln!(
-                    "[ev {}] t={} {:?}",
-                    self.events,
-                    t,
-                    match &ev {
-                        Event::Start(_) => "Start",
-                        Event::PacketToHost { .. } => "PacketToHost",
-                        Event::PacketToSwitch { .. } => "PacketToSwitch",
-                        Event::FallbackDispatch { .. } => "FallbackDispatch",
-                        Event::PacketToTca { .. } => "PacketToTca",
-                        Event::IoRequestAtTca { .. } => "IoRequestAtTca",
-                        Event::SwitchIoAtTca { .. } => "SwitchIoAtTca",
-                        Event::IoComplete { .. } => "IoComplete",
-                        Event::CompletionNotice { .. } => "CompletionNotice",
-                        Event::InjectIoPacket { .. } => "InjectIoPacket",
-                        Event::Retransmit { .. } => "Retransmit",
-                        Event::RequestTimeout { .. } => "RequestTimeout",
-                    }
-                );
-            }
-            if self.events > self.cfg.max_events {
+        while let Some((t, ev)) = self.sched.pop() {
+            if self.sched.processed() > self.cfg.max_events {
                 return Err(SimError::EventLimitExceeded {
                     at: t,
                     limit: self.cfg.max_events,
@@ -941,1530 +411,43 @@ impl Cluster {
             self.handle(t, ev)?;
         }
         // Flush trailing archive writes.
-        for tca in self.tcas.values_mut() {
-            if tca.write_pending > 0 {
-                let done = tca
-                    .storage
-                    .write(tca.write_cursor, tca.write_pending, drain);
-                tca.write_cursor += tca.write_pending;
-                tca.write_pending = 0;
-                tca.last_write_done = tca.last_write_done.max(done);
-            }
-            drain = drain.max(tca.last_write_done);
-        }
-        // Link-outage accounting: each deferred send hit a down window
-        // (detected by the link layer) and was delayed (degradation).
-        if let Some(inj) = self.injector.as_mut() {
-            let deferrals = self.fabric.total_outage_deferrals();
-            inj.stats.link_outage.injected = inj.plan().link_outages.len() as u64;
-            inj.stats.link_outage.detected = deferrals;
-            inj.stats.link_outage.degraded = deferrals;
-        }
+        let drain = self.storage.flush(drain);
+        FabricEngine::outage_accounting(&mut self.injector, &self.fabric);
 
-        let finish = self
-            .hosts
-            .values()
-            .filter_map(|h| h.finished_at)
-            .fold(SimTime::ZERO, SimTime::max);
+        let finish = self.host.finish_time();
         let finish = if finish == SimTime::ZERO {
             drain
         } else {
             finish
         };
-
-        let hosts = self
-            .host_order
-            .iter()
-            .map(|&id| {
-                let h = &self.hosts[&id];
-                let mut b = *h.cpu.breakdown();
-                b.pad_idle_to(finish.since(SimTime::ZERO));
-                HostReport {
-                    node: id,
-                    breakdown: b,
-                    payload: h.payload,
-                    finished_at: h.finished_at.unwrap_or(finish),
-                    background_done: h.background_done,
-                    background_left: h.background_left,
-                }
-            })
-            .collect();
-        let switches = self
-            .switch_order
-            .iter()
-            .map(|&id| {
-                let s = &self.switches[&id];
-                let fb = self.fallback_engines.get(&id);
-                let mut bs = s.cpu_breakdowns();
-                for b in &mut bs {
-                    b.pad_idle_to(finish.since(SimTime::ZERO));
-                }
-                SwitchReport {
-                    node: id,
-                    cpu_breakdowns: bs,
-                    invocations: s.stats().invocations.get()
-                        + fb.map_or(0, |f| f.stats().invocations.get()),
-                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
-                    bytes_out: s.stats().bytes_out.get()
-                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
-                }
-            })
-            .collect();
         Ok(RunReport {
             finish,
             drain: drain.max(finish),
-            hosts,
-            switches,
+            hosts: self.host.reports(finish),
+            switches: self.dispatch.reports(finish),
             link_bytes: self.fabric.total_link_bytes(),
-            events: self.events,
+            events: self.sched.processed(),
         })
     }
 
+    /// Routes one event to the engine that owns it, lending the shared
+    /// services out as an [`EventBus`] for the duration of the event.
     fn handle(&mut self, t: SimTime, ev: Event) -> Result<(), SimError> {
-        match ev {
-            Event::Start(h) => {
-                self.call_host(h, t, None, None);
-            }
-            Event::PacketToHost { host, msg, io_req } => {
-                let bytes = msg.data.len() as u64;
-                let seq = msg.seq;
-                let lat = self.hosts[&host].hca.config().recv_latency;
-                match io_req {
-                    Some(req) => {
-                        // DMA of request data: no per-packet CPU cost.
-                        let Some(st) = self.reqs.get_mut(&req) else {
-                            // Late duplicate for a completed request (a
-                            // timeout retransmit racing a NAK one).
-                            return Ok(());
-                        };
-                        let done = if st.got.is_empty() {
-                            st.remaining -= 1;
-                            st.remaining == 0
-                        } else {
-                            let i = seq as usize;
-                            if st.got[i] {
-                                return Ok(()); // duplicate delivery
-                            }
-                            st.got[i] = true;
-                            let cat = std::mem::take(&mut st.faulted[i]);
-                            let all = st.got.iter().all(|&g| g);
-                            self.note_recovered(cat);
-                            all
-                        };
-                        // Only accepted stripes count as host payload:
-                        // the HCA discards duplicates before DMA.
-                        self.hosts
-                            .get_mut(&host)
-                            .expect("host exists")
-                            .payload
-                            .record_in(bytes);
-                        if done {
-                            self.queue.push(t + lat, Event::IoComplete { host, req });
-                        }
-                    }
-                    None => {
-                        self.hosts
-                            .get_mut(&host)
-                            .expect("host exists")
-                            .payload
-                            .record_in(bytes);
-                        self.call_host(host, t, None, Some(msg));
-                    }
-                }
-            }
-            Event::PacketToSwitch {
-                sw,
-                pkt,
-                payload_start,
-                payload_end,
-                io_req,
-            } => match io_req {
-                // Mapped storage data under a fault plan: release to
-                // the handler strictly in sequence order.
-                Some(req) => self.mapped_arrival(req, sw, pkt, t),
-                None => self.dispatch_active(sw, &pkt, t, payload_start, payload_end),
-            },
-            Event::FallbackDispatch { sw, pkt } => {
-                let fb = self.fallback_host.expect("fallback host exists");
-                let result = self
-                    .fallback_engines
-                    .get_mut(&sw)
-                    .expect("fallback engine exists")
-                    .dispatch(&pkt, t, t, t);
-                self.injector.as_mut().expect("armed").stats.fallback_packets += 1;
-                self.apply_dispatch_result(sw, fb, pkt.header.seq, result);
-            }
-            Event::PacketToTca { tca, bytes } => {
-                let node = self.tcas.get_mut(&tca).expect("tca exists");
-                node.write_pending += bytes;
-                if node.write_pending >= node.write_chunk {
-                    let done = node.storage.write(node.write_cursor, node.write_pending, t);
-                    node.write_cursor += node.write_pending;
-                    node.write_pending = 0;
-                    node.last_write_done = node.last_write_done.max(done);
-                }
-            }
-            Event::IoRequestAtTca {
-                tca,
-                req,
-                file,
-                offset,
-                len,
-                dest,
-                attempt,
-            } => match self.disk_attempt(tca, req.0, attempt)? {
-                Some(delay) => {
-                    self.queue.push(
-                        t + delay,
-                        Event::IoRequestAtTca {
-                            tca,
-                            req,
-                            file,
-                            offset,
-                            len,
-                            dest,
-                            attempt: attempt + 1,
-                        },
-                    );
-                }
-                None => self.start_storage_read(tca, req, file, offset, len, dest, t),
-            },
-            Event::SwitchIoAtTca { r, attempt } => {
-                match self.disk_attempt(r.tca, r.file as u64, attempt)? {
-                    Some(delay) => {
-                        self.queue.push(
-                            t + delay,
-                            Event::SwitchIoAtTca {
-                                r,
-                                attempt: attempt + 1,
-                            },
-                        );
-                    }
-                    None => self.start_switch_read(&r, t),
-                }
-            }
-            Event::InjectIoPacket {
-                src,
-                dst,
-                handler,
-                addr,
-                payload,
-                seq,
-                io_req,
-            } => {
-                let wire = (payload.len() + HEADER_BYTES) as u64;
-                if let Some(req) = io_req.filter(|_| self.injector.is_some()) {
-                    match self.injector.as_mut().expect("armed").packet_fate() {
-                        PacketFate::Deliver => {}
-                        PacketFate::Corrupt(bit) => {
-                            // The corrupted packet still occupies the
-                            // wire; the receiver's ICRC check rejects it
-                            // on arrival.
-                            let d = self.fabric.transmit(wire, src, dst, t);
-                            let mut pkt = asan_net::Packet::new(
-                                asan_net::Header {
-                                    src,
-                                    dst,
-                                    len: payload.len() as u16,
-                                    handler,
-                                    addr,
-                                    seq,
-                                },
-                                payload,
-                            );
-                            pkt.corrupt_payload_bit(bit);
-                            debug_assert!(!pkt.icrc_ok(), "corruption must break the ICRC");
-                            self.mark_faulted(req, seq, 1);
-                            let inj = self.injector.as_mut().expect("armed");
-                            inj.stats.packet_corrupt.detected += 1;
-                            let nak = inj.plan().nak_retransmit;
-                            let delay = inj.plan().nak_delay;
-                            if nak {
-                                self.queue
-                                    .push(d.arrival + delay, Event::Retransmit { req, seq });
-                            }
-                            return Ok(());
-                        }
-                        PacketFate::Drop => {
-                            // Lost in flight: the wire was consumed, and
-                            // the receiver's sequence-gap NAK (or the
-                            // end-to-end timeout) detects the hole.
-                            let d = self.fabric.transmit(wire, src, dst, t);
-                            self.mark_faulted(req, seq, 2);
-                            let inj = self.injector.as_mut().expect("armed");
-                            inj.stats.packet_drop.detected += 1;
-                            let nak = inj.plan().nak_retransmit;
-                            let delay = inj.plan().nak_delay;
-                            if nak {
-                                self.queue
-                                    .push(d.arrival + delay, Event::Retransmit { req, seq });
-                            }
-                            return Ok(());
-                        }
-                    }
-                }
-                let d = self.fabric.transmit(wire, src, dst, t);
-                self.deliver(src, dst, handler, addr, payload, seq, d, io_req);
-            }
-            Event::Retransmit { req, seq } => {
-                let Some(st) = self.reqs.get(&req) else {
-                    return Ok(());
-                };
-                if st.got.get(seq as usize).copied().unwrap_or(true) {
-                    return Ok(()); // delivered in the meantime
-                }
-                self.retransmit_seq(req, seq, t);
-            }
-            Event::RequestTimeout { req, attempt } => {
-                let max = match self.injector.as_ref() {
-                    Some(i) => i.plan().max_retries,
-                    None => return Ok(()),
-                };
-                let Some(st) = self.reqs.get_mut(&req) else {
-                    return Ok(());
-                };
-                if st.attempt != attempt {
-                    return Ok(()); // superseded by a newer timer
-                }
-                if !st.got.is_empty() && st.got.iter().all(|&g| g) {
-                    return Ok(()); // fully delivered; completion in flight
-                }
-                if attempt >= max {
-                    return Err(SimError::RetriesExhausted {
-                        req: req.0,
-                        attempts: attempt + 1,
-                    });
-                }
-                st.attempt += 1;
-                st.timeout = st.timeout + st.timeout; // exponential backoff
-                let next_attempt = st.attempt;
-                let next_at = t + st.timeout;
-                let missing: Vec<u32> = st
-                    .got
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &g)| !g)
-                    .map(|(i, _)| i as u32)
-                    .collect();
-                self.injector.as_mut().expect("armed").stats.timeouts += 1;
-                for seq in missing {
-                    self.retransmit_seq(req, seq, t);
-                }
-                self.queue.push(
-                    next_at,
-                    Event::RequestTimeout {
-                        req,
-                        attempt: next_attempt,
-                    },
-                );
-            }
-            Event::CompletionNotice { tca, host, req } => {
-                let wire = HEADER_BYTES as u64;
-                let d = self.fabric.transmit(wire, tca, host, t);
-                self.queue.push(d.arrival, Event::IoComplete { host, req });
-            }
-            Event::IoComplete { host, req } => {
-                let st = self.reqs.remove(&req).expect("live request");
-                self.flows.remove(&req);
-                // Completion-side OS cost: the interrupt/copy share, plus
-                // the per-KB cost — only for data that landed in host
-                // memory (active completions are consumed by polling).
-                let (per_req, per_kb) = if matches!(st.dest, Dest::HostBuf { .. }) {
-                    (
-                        self.cfg.os.per_request / 2,
-                        SimDuration::from_ns_f64(
-                            st.bytes as f64 * self.cfg.os.per_kb_ns as f64 / 1024.0,
-                        ),
-                    )
-                } else {
-                    (SimDuration::ZERO, SimDuration::ZERO)
-                };
-                {
-                    let node = self.hosts.get_mut(&host).expect("host exists");
-                    Self::advance_host(node, t);
-                    node.cpu.charge_fixed_busy(per_req + per_kb);
-                }
-                let at = self.hosts[&host].cpu.now();
-                self.call_host(host, at, Some(req), None);
-            }
-        }
-        Ok(())
-    }
-
-    /// Notes a transparently recovered fault of category `cat`
-    /// (1 = corrupt, 2 = drop): the faulted packet's data has now
-    /// arrived via retransmission.
-    fn note_recovered(&mut self, cat: u8) {
-        if let Some(inj) = self.injector.as_mut() {
-            match cat {
-                1 => inj.stats.packet_corrupt.recovered += 1,
-                2 => inj.stats.packet_drop.recovered += 1,
-                _ => {}
-            }
-        }
-    }
-
-    /// Records the first fault category seen for `seq` of `req`, for
-    /// recovery attribution.
-    fn mark_faulted(&mut self, req: ReqId, seq: u32, cat: u8) {
-        if let Some(st) = self.reqs.get_mut(&req) {
-            if let Some(f) = st.faulted.get_mut(seq as usize) {
-                if *f == 0 {
-                    *f = cat;
-                }
-            }
-        }
-    }
-
-    /// Decides the fate of one disk request attempt. `Ok(Some(delay))`
-    /// means the attempt soft-errored (controller CRC caught it) and
-    /// must be retried after `delay`; `Ok(None)` means proceed now.
-    fn disk_attempt(
-        &mut self,
-        tca: NodeId,
-        label: u64,
-        attempt: u32,
-    ) -> Result<Option<SimDuration>, SimError> {
-        let fate = match self.injector.as_mut() {
-            Some(inj) => inj.disk_fate(),
-            None => return Ok(None),
+        let mut bus = EventBus {
+            sched: &mut self.sched,
+            fabric: &mut self.fabric,
+            injector: &mut self.injector,
+            reqs: &mut self.reqs,
+            files: &mut self.files,
+            cfg: &self.cfg,
+            active_tca_nodes: &self.active_tca_nodes,
         };
-        match fate {
-            DiskFate::Ok => {
-                if attempt > 0 {
-                    self.injector.as_mut().expect("armed").stats.disk_error.recovered += 1;
-                }
-                Ok(None)
-            }
-            DiskFate::Error => {
-                let inj = self.injector.as_mut().expect("armed");
-                inj.stats.disk_error.detected += 1;
-                if attempt >= inj.plan().max_retries {
-                    return Err(SimError::RetriesExhausted {
-                        req: label,
-                        attempts: attempt + 1,
-                    });
-                }
-                Ok(Some(inj.plan().disk_retry_delay))
-            }
-            DiskFate::Spike => {
-                // The request completes, but the disk pays a full
-                // mechanical reposition first.
-                let inj = self.injector.as_mut().expect("armed");
-                inj.stats.disk_latency.detected += 1;
-                inj.stats.disk_latency.degraded += 1;
-                self.tcas
-                    .get_mut(&tca)
-                    .expect("tca exists")
-                    .storage
-                    .force_seek_next();
-                Ok(None)
-            }
+        use crate::engines::Subsystem;
+        match route(&ev) {
+            Subsystem::Host => self.host.on_event(t, ev, &mut bus),
+            Subsystem::Fabric => self.fabric_engine.on_event(t, ev, &mut bus),
+            Subsystem::Dispatch => self.dispatch.on_event(t, ev, &mut bus),
+            Subsystem::Storage => self.storage.on_event(t, ev, &mut bus),
         }
-    }
-
-    /// One mapped storage data packet arrived at an active engine under
-    /// a fault plan: dedup, recovery accounting, in-order release
-    /// through the reorder buffer, and completion detection.
-    fn mapped_arrival(&mut self, req: ReqId, sw: NodeId, pkt: asan_net::Packet, t: SimTime) {
-        let seq = pkt.header.seq as usize;
-        let Some(st) = self.reqs.get_mut(&req) else {
-            return; // late duplicate after completion
-        };
-        if st.got[seq] {
-            return; // duplicate delivery
-        }
-        st.got[seq] = true;
-        let cat = std::mem::take(&mut st.faulted[seq]);
-        let all = st.got.iter().all(|&g| g);
-        let (host, tca) = (st.host, st.tca);
-        self.note_recovered(cat);
-        let flow = self.flows.entry(req).or_default();
-        flow.buffered.insert(pkt.header.seq, pkt);
-        let mut release = Vec::new();
-        while let Some(p) = flow.buffered.remove(&flow.next_seq) {
-            flow.next_seq += 1;
-            release.push(p);
-        }
-        for p in release {
-            // Store-and-forward under faults: the whole payload is
-            // present by the time the handler runs.
-            self.dispatch_active(sw, &p, t, t, t);
-        }
-        if all {
-            self.flows.remove(&req);
-            self.queue.push(t, Event::CompletionNotice { tca, host, req });
-        }
-    }
-
-    /// Dispatches one active packet on the engine at `sw`, first
-    /// consulting the injector's handler-trap schedule. A trapped
-    /// handler is disabled in the switch's jump table and migrated —
-    /// with its accumulated state — to a software engine on the
-    /// fallback host; the stream's packets then cross the fabric to
-    /// that host (graceful degradation: slower, still correct).
-    fn dispatch_active(
-        &mut self,
-        sw: NodeId,
-        pkt: &asan_net::Packet,
-        t: SimTime,
-        payload_start: SimTime,
-        payload_end: SimTime,
-    ) {
-        if self.injector.is_some() {
-            if let Some(hid) = pkt.header.handler {
-                if self.trapped.contains(&(sw, hid)) {
-                    self.forward_to_fallback(sw, pkt.clone(), t);
-                    return;
-                }
-                let installed = self
-                    .switches
-                    .get(&sw)
-                    .or_else(|| self.active_tcas.get(&sw))
-                    .is_some_and(|e| e.has_handler(hid));
-                if installed
-                    && self
-                        .injector
-                        .as_mut()
-                        .expect("armed")
-                        .should_trap(sw.0, hid.as_u8())
-                {
-                    let handler = self
-                        .switches
-                        .get_mut(&sw)
-                        .or_else(|| self.active_tcas.get_mut(&sw))
-                        .and_then(|e| e.take_handler(hid))
-                        .expect("trapped handler installed");
-                    if !self.fallback_engines.contains_key(&sw) {
-                        // Software demultiplexing on a host CPU: one
-                        // engine, slower dispatch, same handler model.
-                        let mut fcfg = self.cfg.active.clone();
-                        fcfg.cpu = self.cfg.host_cpu.clone();
-                        fcfg.num_cpus = 1;
-                        fcfg.dispatch_cycles = 64;
-                        self.fallback_engines
-                            .insert(sw, ActiveSwitch::new(sw, fcfg));
-                    }
-                    self.fallback_engines
-                        .get_mut(&sw)
-                        .expect("just inserted")
-                        .register(hid, handler);
-                    self.trapped.insert((sw, hid));
-                    self.injector
-                        .as_mut()
-                        .expect("armed")
-                        .stats
-                        .handler_trap
-                        .degraded += 1;
-                    self.forward_to_fallback(sw, pkt.clone(), t);
-                    return;
-                }
-            }
-        }
-        let engine = self
-            .switches
-            .get_mut(&sw)
-            .or_else(|| self.active_tcas.get_mut(&sw))
-            .expect("active engine exists");
-        let result = engine.dispatch(pkt, t, payload_start, payload_end);
-        self.apply_dispatch_result(sw, sw, pkt.header.seq, result);
-    }
-
-    /// Forwards a packet for a trapped handler from its switch to the
-    /// fallback host over the fabric (the measurable cost of
-    /// degradation): one extra wire crossing plus the OS software-demux
-    /// cost of receiving a packet the switch hardware no longer handles.
-    fn forward_to_fallback(&mut self, sw: NodeId, pkt: asan_net::Packet, t: SimTime) {
-        let fb = self.fallback_host.expect("fault plan requires a host");
-        let d = self.fabric.transmit(pkt.wire_bytes(), sw, fb, t);
-        let demux = self.cfg.os.per_request;
-        self.queue
-            .push(d.arrival + demux, Event::FallbackDispatch { sw, pkt });
-    }
-
-    /// Applies a dispatch result: transmits the handler's output
-    /// messages and forwards its disk requests. `origin` names the
-    /// logical engine in delivered messages; `from` is the node the
-    /// bytes physically leave (these differ under host fallback).
-    fn apply_dispatch_result(
-        &mut self,
-        origin: NodeId,
-        from: NodeId,
-        seq: u32,
-        result: DispatchResult,
-    ) {
-        for m in result.outbox {
-            let d = if m.dst == from {
-                // Output for the very node the engine runs on: local.
-                asan_net::Delivery {
-                    header_at: m.ready,
-                    payload_start: m.ready,
-                    arrival: m.ready,
-                    hops: 0,
-                }
-            } else {
-                let wire = (m.data.len() + HEADER_BYTES) as u64;
-                self.fabric.transmit(wire, from, m.dst, m.ready)
-            };
-            self.deliver(origin, m.dst, m.handler, m.addr, m.data, seq, d, None);
-        }
-        for r in result.io_reqs {
-            if r.tca == from {
-                // An active TCA requesting its own disks: the request
-                // never leaves the node.
-                self.queue.push(r.ready, Event::SwitchIoAtTca { r, attempt: 0 });
-            } else {
-                let wire = (HEADER_BYTES * 2) as u64;
-                let d = self.fabric.transmit(wire, from, r.tca, r.ready);
-                self.queue
-                    .push(d.arrival, Event::SwitchIoAtTca { r, attempt: 0 });
-            }
-        }
-    }
-
-    /// Re-injects packet `seq` of `req` from its TCA. The TCA keeps a
-    /// request's transmitted stripes in its buffer cache until the
-    /// request completes, so a retransmission is a memory re-read, not
-    /// a disk I/O — it pays only wire time (plus the NAK/timeout delay
-    /// that scheduled it), and it passes through fault injection again.
-    fn retransmit_seq(&mut self, req: ReqId, seq: u32, now: SimTime) {
-        let st = &self.reqs[&req];
-        let (dst, handler, base_addr) = match st.dest {
-            Dest::HostBuf { addr } => (st.host, None, addr as u32),
-            Dest::Mapped {
-                node,
-                handler,
-                base_addr,
-            } => (node, Some(handler), base_addr),
-        };
-        let prefix: u64 = st.lens[..seq as usize].iter().map(|&l| l as u64).sum();
-        let start = st.offset as usize + prefix as usize;
-        let plen = st.lens[seq as usize] as usize;
-        let payload = self.files_data[st.file.0][start..start + plen].to_vec();
-        let src = st.tca;
-        self.injector.as_mut().expect("armed").stats.retransmits += 1;
-        self.queue.push(
-            now,
-            Event::InjectIoPacket {
-                src,
-                dst,
-                handler,
-                addr: base_addr.wrapping_add(seq.wrapping_mul(MTU as u32)),
-                payload,
-                seq,
-                io_req: Some(req),
-            },
-        );
-    }
-
-    /// Advances `node`'s CPU to `at`, letting any co-scheduled
-    /// background job consume the gap as busy time before the rest is
-    /// filed as idle.
-    fn advance_host(node: &mut HostNode, at: SimTime) {
-        if at <= node.cpu.now() {
-            return;
-        }
-        if node.background_left > SimDuration::ZERO {
-            let gap = at.since(node.cpu.now());
-            let take = gap.min(node.background_left);
-            node.cpu.busy_until(node.cpu.now() + take);
-            node.background_left -= take;
-            if node.background_left == SimDuration::ZERO {
-                node.background_done = Some(node.cpu.now());
-            }
-        }
-        node.cpu.idle_until(at);
-    }
-
-    /// Invokes a host program hook. `io` = completed request;
-    /// `msg` = arrived message; neither = start.
-    fn call_host(&mut self, host: NodeId, at: SimTime, io: Option<ReqId>, msg: Option<HostMsg>) {
-        let node = self.hosts.get_mut(&host).expect("host exists");
-        if node.finished_at.is_some() {
-            // Finished programs ignore late traffic (e.g. trailing
-            // completion notifications).
-            return;
-        }
-        let mut program = match node.program.take() {
-            Some(p) => p,
-            None => return,
-        };
-        Self::advance_host(node, at);
-        if msg.is_some() {
-            // Poll + consume the completion.
-            let instr = node.hca.config().recv_instr;
-            node.cpu.compute(instr);
-        }
-        let mut ctx = HostCtx {
-            cpu: &mut node.cpu,
-            hca: &mut node.hca,
-            node: host,
-            os: self.cfg.os,
-            files: &self.files_meta,
-            next_req: &mut self.next_req,
-            effects: Vec::new(),
-        };
-        match (io, &msg) {
-            (Some(req), _) => program.on_io_complete(&mut ctx, req),
-            (None, Some(m)) => program.on_message(&mut ctx, m),
-            (None, None) => program.on_start(&mut ctx),
-        }
-        let effects = std::mem::take(&mut ctx.effects);
-        self.hosts.get_mut(&host).expect("host exists").program = Some(program);
-        self.apply_effects(host, effects);
-    }
-
-    fn apply_effects(&mut self, host: NodeId, effects: Vec<Effect>) {
-        for e in effects {
-            match e {
-                Effect::Io {
-                    req,
-                    file,
-                    offset,
-                    len,
-                    dest,
-                    issue_at,
-                } => {
-                    let tca = self.files_meta[file.0].tca;
-                    let wire = (HEADER_BYTES * 2) as u64;
-                    let d = self.fabric.transmit(wire, host, tca, issue_at);
-                    let timeout = self
-                        .injector
-                        .as_ref()
-                        .map_or(SimDuration::ZERO, |i| i.plan().request_timeout);
-                    self.reqs.insert(
-                        req,
-                        IoState {
-                            host,
-                            dest,
-                            remaining: usize::MAX, // set when the read starts
-                            bytes: len,
-                            tca,
-                            file,
-                            offset,
-                            got: Vec::new(),
-                            lens: Vec::new(),
-                            faulted: Vec::new(),
-                            attempt: 0,
-                            timeout,
-                        },
-                    );
-                    self.queue.push(
-                        d.arrival,
-                        Event::IoRequestAtTca {
-                            tca,
-                            req,
-                            file,
-                            offset,
-                            len,
-                            dest,
-                            attempt: 0,
-                        },
-                    );
-                    // The end-to-end timeout only guards flows whose
-                    // data actually crosses the fabric (and can
-                    // therefore be dropped): local active-disk
-                    // deliveries are reliable by construction.
-                    let faultable = self.injector.is_some()
-                        && match dest {
-                            Dest::HostBuf { .. } => true,
-                            Dest::Mapped { node, .. } => node != tca,
-                        };
-                    if faultable {
-                        self.queue
-                            .push(issue_at + timeout, Event::RequestTimeout { req, attempt: 0 });
-                    }
-                }
-                Effect::Send {
-                    dst,
-                    handler,
-                    addr,
-                    data,
-                    ready,
-                } => {
-                    self.hosts
-                        .get_mut(&host)
-                        .expect("host exists")
-                        .payload
-                        .record_out(data.len() as u64);
-                    // Packetize; each packet is its own fabric transfer.
-                    let chunks: Vec<(usize, usize)> = if data.is_empty() {
-                        vec![(0, 0)]
-                    } else {
-                        (0..data.len())
-                            .step_by(MTU)
-                            .map(|o| (o, (data.len() - o).min(MTU)))
-                            .collect()
-                    };
-                    for (i, (off, clen)) in chunks.into_iter().enumerate() {
-                        let payload = data[off..off + clen].to_vec();
-                        let wire = (clen + HEADER_BYTES) as u64;
-                        let d = self.fabric.transmit(wire, host, dst, ready);
-                        self.deliver(
-                            host,
-                            dst,
-                            handler,
-                            addr.wrapping_add(off as u32),
-                            payload,
-                            i as u32,
-                            d,
-                            None,
-                        );
-                    }
-                }
-                Effect::Finish => {
-                    let node = self.hosts.get_mut(&host).expect("host exists");
-                    node.finished_at = Some(node.cpu.now());
-                }
-            }
-        }
-    }
-
-    /// Schedules the delivery events for one packet already injected
-    /// into the fabric.
-    #[allow(clippy::too_many_arguments)]
-    fn deliver(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        handler: Option<HandlerId>,
-        addr: u32,
-        data: Vec<u8>,
-        seq: u32,
-        d: asan_net::Delivery,
-        io_req: Option<ReqId>,
-    ) {
-        match self.fabric.kind(dst) {
-            NodeKind::Host => {
-                self.queue.push(
-                    d.arrival,
-                    Event::PacketToHost {
-                        host: dst,
-                        msg: HostMsg {
-                            src,
-                            handler,
-                            addr,
-                            data,
-                            seq,
-                        },
-                        io_req,
-                    },
-                );
-            }
-            NodeKind::Switch => {
-                let h = handler.expect("messages to a switch must be active");
-                let len = data.len();
-                let pkt = asan_net::Packet::new(
-                    asan_net::Header {
-                        src,
-                        dst,
-                        len: len as u16,
-                        handler: Some(h),
-                        addr,
-                        seq,
-                    },
-                    data,
-                );
-                if io_req.is_some() {
-                    // Faultable storage data: the engine store-and-
-                    // forwards (full payload verified by ICRC before
-                    // dispatch), so everything happens at arrival.
-                    self.queue.push(
-                        d.arrival,
-                        Event::PacketToSwitch {
-                            sw: dst,
-                            pkt,
-                            payload_start: d.arrival,
-                            payload_end: d.arrival,
-                            io_req,
-                        },
-                    );
-                } else {
-                    self.queue.push(
-                        d.header_at,
-                        Event::PacketToSwitch {
-                            sw: dst,
-                            pkt,
-                            payload_start: d.payload_start,
-                            payload_end: d.arrival,
-                            io_req: None,
-                        },
-                    );
-                }
-            }
-            NodeKind::Tca => {
-                if let Some(h) = handler.filter(|_| self.active_tcas.contains_key(&dst)) {
-                    let len = data.len();
-                    let pkt = asan_net::Packet::new(
-                        asan_net::Header {
-                            src,
-                            dst,
-                            len: len as u16,
-                            handler: Some(h),
-                            addr,
-                            seq,
-                        },
-                        data,
-                    );
-                    if io_req.is_some() {
-                        self.queue.push(
-                            d.arrival,
-                            Event::PacketToSwitch {
-                                sw: dst,
-                                pkt,
-                                payload_start: d.arrival,
-                                payload_end: d.arrival,
-                                io_req,
-                            },
-                        );
-                    } else {
-                        self.queue.push(
-                            d.header_at,
-                            Event::PacketToSwitch {
-                                sw: dst,
-                                pkt,
-                                payload_start: d.payload_start,
-                                payload_end: d.arrival,
-                                io_req: None,
-                            },
-                        );
-                    }
-                } else {
-                    self.queue.push(
-                        d.arrival,
-                        Event::PacketToTca {
-                            tca: dst,
-                            bytes: data.len() as u64,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    /// Starts a host-requested storage read at its TCA.
-    #[allow(clippy::too_many_arguments)]
-    fn start_storage_read(
-        &mut self,
-        tca: NodeId,
-        req: ReqId,
-        file: FileId,
-        offset: u64,
-        len: u64,
-        dest: Dest,
-        now: SimTime,
-    ) {
-        let meta = self.files_meta[file.0];
-        let sched = {
-            let node = self.tcas.get_mut(&tca).expect("tca exists");
-            node.storage
-                .read_stream(meta.disk_offset + offset, len, now)
-        };
-        let host = self.reqs[&req].host;
-        let (dst, handler, base_addr) = match dest {
-            Dest::HostBuf { addr } => (host, None, addr as u32),
-            Dest::Mapped {
-                node,
-                handler,
-                base_addr,
-            } => (node, Some(handler), base_addr),
-        };
-        let track_packets = matches!(dest, Dest::HostBuf { .. });
-        // Under an armed fault plan every fabric-crossing data packet is
-        // tracked per sequence number, so drops/corruption can be
-        // detected, retransmitted, and the request completed exactly
-        // once.
-        let faulted_path = self.injector.is_some() && dst != tca;
-        if track_packets || faulted_path {
-            if let Some(st) = self.reqs.get_mut(&req) {
-                st.remaining = sched.len();
-                if faulted_path {
-                    st.got = vec![false; sched.len()];
-                    st.faulted = vec![0; sched.len()];
-                    st.lens = sched.packet_len.clone();
-                }
-            }
-        }
-        let mut cursor = offset as usize;
-        for (i, (&ready, &plen)) in sched
-            .packet_ready
-            .iter()
-            .zip(sched.packet_len.iter())
-            .enumerate()
-        {
-            let plen = plen as usize;
-            let payload = self.files_data[file.0][cursor..cursor + plen].to_vec();
-            cursor += plen;
-            if dst == tca {
-                // Mapped to the TCA's own active engine (an active
-                // disk): no fabric traversal — the buffer fills as the
-                // bus delivers.
-                let h = handler.expect("local TCA delivery is active");
-                let pkt = asan_net::Packet::new(
-                    asan_net::Header {
-                        src: tca,
-                        dst,
-                        len: plen as u16,
-                        handler: Some(h),
-                        addr: base_addr.wrapping_add((i * MTU) as u32),
-                        seq: i as u32,
-                    },
-                    payload,
-                );
-                let window = SimDuration::transfer(plen as u64, 320_000_000);
-                self.queue.push(
-                    ready,
-                    Event::PacketToSwitch {
-                        sw: tca,
-                        pkt,
-                        payload_start: ready - window.min(SimDuration::from_ps(ready.as_ps())),
-                        payload_end: ready,
-                        io_req: None,
-                    },
-                );
-                continue;
-            }
-            self.queue.push(
-                ready,
-                Event::InjectIoPacket {
-                    src: tca,
-                    dst,
-                    handler,
-                    addr: base_addr.wrapping_add((i * MTU) as u32),
-                    payload,
-                    seq: i as u32,
-                    io_req: (track_packets || faulted_path).then_some(req),
-                },
-            );
-        }
-        // For mapped (active) destinations, the host still needs its
-        // completion notification: a small message from the TCA once the
-        // last data packet has been injected. Deferred via an event so
-        // the link sees it in causal order. Under a fault plan the
-        // notice instead fires when the last data packet actually
-        // arrives (handled in `mapped_arrival`).
-        if !track_packets && !faulted_path {
-            let last_ready = *sched.packet_ready.last().expect("non-empty read");
-            self.queue
-                .push(last_ready, Event::CompletionNotice { tca, host, req });
-        }
-    }
-
-    /// Starts a switch-initiated storage read (Tar): stream a file
-    /// region to any node without host involvement.
-    fn start_switch_read(&mut self, r: &SwitchIoReq, now: SimTime) {
-        let meta = self.files_meta[r.file];
-        assert_eq!(meta.tca, r.tca, "file lives on a different TCA");
-        let sched = {
-            let node = self.tcas.get_mut(&r.tca).expect("tca exists");
-            node.storage
-                .read_stream(meta.disk_offset + r.offset, r.len, now)
-        };
-        let mut cursor = r.offset as usize;
-        for (i, (&ready, &plen)) in sched
-            .packet_ready
-            .iter()
-            .zip(sched.packet_len.iter())
-            .enumerate()
-        {
-            let plen = plen as usize;
-            let payload = self.files_data[r.file][cursor..cursor + plen].to_vec();
-            cursor += plen;
-            self.queue.push(
-                ready,
-                Event::InjectIoPacket {
-                    src: r.tca,
-                    dst: r.deliver_to,
-                    handler: r.deliver_handler,
-                    addr: r.deliver_addr.wrapping_add((i * MTU) as u32),
-                    payload,
-                    seq: i as u32,
-                    io_req: None,
-                },
-            );
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::handler::HandlerCtx;
-    use asan_net::topo::SwitchSpec;
-    use asan_net::LinkConfig;
-
-    fn single_switch(
-        hosts: usize,
-        tcas: usize,
-    ) -> (TopologyBuilder, Vec<NodeId>, Vec<NodeId>, NodeId) {
-        let mut b = TopologyBuilder::new();
-        let sw = b.add_switch(SwitchSpec::paper());
-        let hs: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
-        let ts: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
-        for &h in &hs {
-            b.connect(h, sw, LinkConfig::paper());
-        }
-        for &t in &ts {
-            b.connect(t, sw, LinkConfig::paper());
-        }
-        (b, hs, ts, sw)
-    }
-
-    /// Reads one block and finishes.
-    struct OneRead {
-        file: FileId,
-        bytes_seen: u64,
-    }
-
-    impl HostProgram for OneRead {
-        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-            ctx.read_file(self.file, 0, 64 * 1024, Dest::HostBuf { addr: 0x1000_0000 });
-        }
-        fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
-            // Scan the freshly DMA'd block: 64 KB of cold lines.
-            ctx.cpu().touch_lines(0x1000_0000, 64 * 1024, 2, false);
-            self.bytes_seen += 64 * 1024;
-            ctx.finish();
-        }
-    }
-
-    #[test]
-    fn normal_read_flows_end_to_end() {
-        let (topo, hs, ts, _) = single_switch(1, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let data = vec![0x5A; 64 * 1024];
-        let file = cl.add_file(ts[0], data).unwrap();
-        cl.set_program(
-            hs[0],
-            Box::new(OneRead {
-                file,
-                bytes_seen: 0,
-            }),
-        ).unwrap();
-        let r = cl.run().unwrap();
-        // Sequential read from parked heads: ~0.66 ms transfer plus
-        // request/OS/network overheads.
-        let ms = r.finish.as_secs_f64() * 1e3;
-        assert!((0.6..2.5).contains(&ms), "finish = {ms} ms");
-        // All 64 KB arrived at the host.
-        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_in, 64 * 1024);
-        // Host was mostly idle (I/O wait dominates).
-        assert!(r.host(hs[0]).unwrap().breakdown.utilization() < 0.2);
-    }
-
-    /// Counts matching bytes in the switch, sends only the count home.
-    struct CountHandler {
-        needle: u8,
-        host: NodeId,
-        count: u64,
-        total: u64,
-        expect: u64,
-    }
-
-    impl Handler for CountHandler {
-        fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
-            let data = ctx.payload();
-            ctx.charge_stream(data.len(), 2);
-            self.count += data.iter().filter(|&&b| b == self.needle).count() as u64;
-            self.total += data.len() as u64;
-            if self.total >= self.expect {
-                ctx.send(self.host, None, 0, &self.count.to_le_bytes());
-            }
-        }
-    }
-
-    /// Issues an active read and waits for the handler's result message.
-    struct ActiveCount {
-        file: FileId,
-        sw: NodeId,
-        result: Option<u64>,
-    }
-
-    impl HostProgram for ActiveCount {
-        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-            let len = ctx.file_len(self.file);
-            ctx.read_file(
-                self.file,
-                0,
-                len,
-                Dest::Mapped {
-                    node: self.sw,
-                    handler: HandlerId::new(1),
-                    base_addr: 0,
-                },
-            );
-        }
-        fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
-            self.result = Some(u64::from_le_bytes(msg.data[..8].try_into().unwrap()));
-            ctx.finish();
-        }
-    }
-
-    #[test]
-    fn active_read_invokes_handler_and_filters_traffic() {
-        let (topo, hs, ts, sw) = single_switch(1, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        // 64 KB where every 64th byte is 0x7F.
-        let data: Vec<u8> = (0..64 * 1024u32)
-            .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
-            .collect();
-        let _expect_matches = (64 * 1024 / 64) as u64;
-        let file = cl.add_file(ts[0], data).unwrap();
-        cl.register_handler(
-            sw,
-            HandlerId::new(1),
-            Box::new(CountHandler {
-                needle: 0x7F,
-                host: hs[0],
-                count: 0,
-                total: 0,
-                expect: 64 * 1024,
-            }),
-        ).unwrap();
-        cl.set_program(
-            hs[0],
-            Box::new(ActiveCount {
-                file,
-                sw,
-                result: None,
-            }),
-        ).unwrap();
-        let r = cl.run().unwrap();
-        // The handler computed the real answer.
-        // (Retrieve via the switch stats and the program's own state is
-        // gone; check through traffic instead.)
-        assert_eq!(r.switch(sw).unwrap().bytes_in, 64 * 1024);
-        // Only the 8-byte count (plus the completion header) reached the
-        // host: traffic reduced by ~8000x.
-        assert!(r.host(hs[0]).unwrap().payload.bytes_in <= 16);
-        // The switch CPU did the work.
-        assert_eq!(r.switch(sw).unwrap().invocations, 128);
-    }
-
-    /// Two hosts exchange a message.
-    struct Pinger {
-        peer: NodeId,
-    }
-    impl HostProgram for Pinger {
-        fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-            ctx.send(self.peer, None, 0, vec![1u8; 100]);
-            ctx.finish();
-        }
-    }
-    struct Ponger {
-        got: usize,
-    }
-    impl HostProgram for Ponger {
-        fn on_start(&mut self, _ctx: &mut HostCtx<'_>) {}
-        fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
-            self.got += msg.data.len();
-            ctx.finish();
-        }
-    }
-
-    #[test]
-    fn host_to_host_messaging() {
-        let (topo, hs, _, _) = single_switch(2, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] })).unwrap();
-        cl.set_program(hs[1], Box::new(Ponger { got: 0 })).unwrap();
-        let r = cl.run().unwrap();
-        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_out, 100);
-        assert_eq!(r.host(hs[1]).unwrap().payload.bytes_in, 100);
-        // Message latency: HCA software + adapter latency both ways +
-        // 2 hops + routing ≈ under ten microseconds.
-        assert!(r.finish.as_ns() < 15_000, "finish = {}", r.finish);
-    }
-
-    #[test]
-    fn non_active_traffic_unaffected_by_busy_switch_cpu() {
-        // Ping-pong latency with and without a storming active flow from
-        // another host must be identical up to link contention on
-        // disjoint ports — the active hardware is off the datapath.
-        let (topo, hs, _, _sw) = single_switch(3, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        cl.set_program(hs[0], Box::new(Pinger { peer: hs[1] })).unwrap();
-        cl.set_program(hs[1], Box::new(Ponger { got: 0 })).unwrap();
-        let r = cl.run().unwrap();
-        let t_quiet = r.host(hs[1]).unwrap().finished_at;
-
-        // Same again, but host 2 hammers the switch CPU with actives.
-        struct Storm {
-            sw: NodeId,
-        }
-        impl HostProgram for Storm {
-            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-                for i in 0..20u32 {
-                    ctx.send(self.sw, Some(HandlerId::new(9)), i * 512, vec![0; 512]);
-                }
-                ctx.finish();
-            }
-        }
-        struct Burn;
-        impl Handler for Burn {
-            fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
-                ctx.compute(100_000);
-            }
-        }
-        let (topo2, hs2, _, sw2) = single_switch(3, 1);
-        let mut cl2 = Cluster::new(topo2, ClusterConfig::paper());
-        cl2.register_handler(sw2, HandlerId::new(9), Box::new(Burn)).unwrap();
-        cl2.set_program(hs2[0], Box::new(Pinger { peer: hs2[1] })).unwrap();
-        cl2.set_program(hs2[1], Box::new(Ponger { got: 0 })).unwrap();
-        cl2.set_program(hs2[2], Box::new(Storm { sw: sw2 })).unwrap();
-        let r2 = cl2.run().unwrap();
-        let t_stormy = r2.host(hs2[1]).unwrap().finished_at;
-        assert_eq!(t_quiet, t_stormy, "active load perturbed non-active path");
-    }
-
-    #[test]
-    fn prefetch_two_outstanding_overlaps_io() {
-        // Reading 8 blocks serially vs with 2 outstanding requests: the
-        // prefetched run must be faster.
-        struct Serial {
-            file: FileId,
-            next: u64,
-            blocks: u64,
-        }
-        impl HostProgram for Serial {
-            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-                ctx.read_file(self.file, 0, 65536, Dest::HostBuf { addr: 0x1000_0000 });
-                self.next = 1;
-            }
-            fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
-                ctx.cpu().touch_lines(0x1000_0000, 65536, 4, false);
-                if self.next < self.blocks {
-                    ctx.read_file(
-                        self.file,
-                        self.next * 65536,
-                        65536,
-                        Dest::HostBuf { addr: 0x1000_0000 },
-                    );
-                    self.next += 1;
-                } else {
-                    ctx.finish();
-                }
-            }
-        }
-        struct Pref {
-            file: FileId,
-            issued: u64,
-            done: u64,
-            blocks: u64,
-        }
-        impl HostProgram for Pref {
-            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-                for i in 0..2.min(self.blocks) {
-                    ctx.read_file(
-                        self.file,
-                        i * 65536,
-                        65536,
-                        Dest::HostBuf { addr: 0x1000_0000 },
-                    );
-                    self.issued += 1;
-                }
-            }
-            fn on_io_complete(&mut self, ctx: &mut HostCtx<'_>, _req: ReqId) {
-                ctx.cpu().touch_lines(0x1000_0000, 65536, 4, false);
-                self.done += 1;
-                if self.issued < self.blocks {
-                    ctx.read_file(
-                        self.file,
-                        self.issued * 65536,
-                        65536,
-                        Dest::HostBuf { addr: 0x1000_0000 },
-                    );
-                    self.issued += 1;
-                } else if self.done == self.blocks {
-                    ctx.finish();
-                }
-            }
-        }
-        let mk = |prog: bool| {
-            let (topo, hs, ts, _) = single_switch(1, 1);
-            let mut cl = Cluster::new(topo, ClusterConfig::paper());
-            let file = cl.add_file(ts[0], vec![7; 8 * 65536]).unwrap();
-            if prog {
-                cl.set_program(
-                    hs[0],
-                    Box::new(Pref {
-                        file,
-                        issued: 0,
-                        done: 0,
-                        blocks: 8,
-                    }),
-                ).unwrap();
-            } else {
-                cl.set_program(
-                    hs[0],
-                    Box::new(Serial {
-                        file,
-                        next: 0,
-                        blocks: 8,
-                    }),
-                ).unwrap();
-            }
-            cl.run().unwrap().finish
-        };
-        let serial = mk(false);
-        let pref = mk(true);
-        assert!(
-            pref < serial,
-            "prefetch ({pref}) should beat serial ({serial})"
-        );
-    }
-
-    #[test]
-    fn active_tca_filters_before_the_network() {
-        // The same counting handler, but installed on the TCA: the SAN
-        // only ever carries the handler's output.
-        let (topo, hs, ts, _sw) = single_switch(1, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let data: Vec<u8> = (0..32 * 1024u32)
-            .map(|i| if i % 64 == 0 { 0x7F } else { 0 })
-            .collect();
-        let file = cl.add_file(ts[0], data).unwrap();
-        cl.enable_active_tca(ts[0], crate::active::ActiveSwitchConfig::paper()).unwrap();
-        cl.register_tca_handler(
-            ts[0],
-            HandlerId::new(1),
-            Box::new(CountHandler {
-                needle: 0x7F,
-                host: hs[0],
-                count: 0,
-                total: 0,
-                expect: 32 * 1024,
-            }),
-        ).unwrap();
-        cl.set_program(
-            hs[0],
-            Box::new(ActiveCount {
-                file,
-                sw: ts[0], // mapped straight to the TCA's own engine
-                result: None,
-            }),
-        ).unwrap();
-        let r = cl.run().unwrap();
-        // Only the 8-byte count crossed the fabric toward the host.
-        assert!(r.host(hs[0]).unwrap().payload.bytes_in <= 16);
-        // The raw 32 KB never entered the SAN: link bytes are tiny.
-        assert!(
-            r.link_bytes < 4096,
-            "SAN carried {} B despite disk-side filtering",
-            r.link_bytes
-        );
-    }
-
-    #[test]
-    fn background_job_consumes_idle_time() {
-        let (topo, hs, ts, _) = single_switch(1, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![0x5A; 64 * 1024]).unwrap();
-        cl.set_program(
-            hs[0],
-            Box::new(OneRead {
-                file,
-                bytes_seen: 0,
-            }),
-        ).unwrap();
-        // A 100 us job fits easily inside the ~700 us of I/O wait.
-        cl.set_background_job(hs[0], SimDuration::from_us(100)).unwrap();
-        let r = cl.run().unwrap();
-        let h = r.host(hs[0]).unwrap();
-        assert!(h.background_done.is_some(), "job did not finish");
-        assert!(h.background_done.unwrap() <= h.finished_at);
-        assert_eq!(h.background_left, SimDuration::ZERO);
-        // The job's time shows up as busy, not idle.
-        assert!(h.breakdown.busy >= SimDuration::from_us(100));
-    }
-
-    #[test]
-    fn stats_snapshot_counts_real_work() {
-        let (topo, hs, ts, sw) = single_switch(1, 1);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![0x11; 64 * 1024]).unwrap();
-        cl.register_handler(
-            sw,
-            HandlerId::new(1),
-            Box::new(CountHandler {
-                needle: 0x11,
-                host: hs[0],
-                count: 0,
-                total: 0,
-                expect: 64 * 1024,
-            }),
-        ).unwrap();
-        cl.set_program(
-            hs[0],
-            Box::new(ActiveCount {
-                file,
-                sw,
-                result: None,
-            }),
-        ).unwrap();
-        cl.run().unwrap();
-        let st = cl.stats();
-        assert_eq!(st.switches.len(), 1);
-        assert_eq!(st.switches[0].invocations, 128);
-        assert_eq!(st.switches[0].bytes_in, 64 * 1024);
-        assert!(st.switches[0].atb_hits > 0);
-        assert_eq!(st.storage.len(), 1);
-        assert_eq!(
-            st.storage[0].disk_bytes.iter().sum::<u64>(),
-            64 * 1024,
-            "disks served the whole file"
-        );
-        assert!(st.fabric.link_bytes > 64 * 1024);
-        assert!(st.events > 0);
-        // Display renders without panicking and mentions the switch.
-        assert!(st.to_string().contains("invocations"));
-    }
-
-    #[test]
-    fn tar_style_switch_initiated_read_bypasses_host() {
-        // A handler that, on a trigger message, pulls a file from the
-        // TCA straight to an archive TCA.
-        struct TarHandler {
-            tca: NodeId,
-            archive: NodeId,
-            file: usize,
-            len: u64,
-        }
-        impl Handler for TarHandler {
-            fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
-                let _ = ctx.payload();
-                ctx.request_disk_read(self.tca, self.file, 0, self.len, self.archive, None, 0);
-            }
-        }
-        struct Trigger {
-            sw: NodeId,
-        }
-        impl HostProgram for Trigger {
-            fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
-                ctx.send(self.sw, Some(HandlerId::new(2)), 0, vec![0u8; 64]);
-                ctx.finish();
-            }
-        }
-        let (topo, hs, ts, sw) = single_switch(1, 2);
-        let mut cl = Cluster::new(topo, ClusterConfig::paper());
-        let file = cl.add_file(ts[0], vec![9u8; 256 * 1024]).unwrap();
-        cl.register_handler(
-            sw,
-            HandlerId::new(2),
-            Box::new(TarHandler {
-                tca: ts[0],
-                archive: ts[1],
-                file: file.0,
-                len: 256 * 1024,
-            }),
-        ).unwrap();
-        cl.set_program(hs[0], Box::new(Trigger { sw })).unwrap();
-        let r = cl.run().unwrap();
-        // Host saw only its trigger message out; the 256 KB went
-        // disk → switch-request → disk → archive without touching it.
-        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_in, 0);
-        assert_eq!(r.host(hs[0]).unwrap().payload.bytes_out, 64);
-        // The drain time includes the archive write completing.
-        assert!(r.drain > r.finish);
     }
 }

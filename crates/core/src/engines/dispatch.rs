@@ -1,0 +1,384 @@
+//! The dispatch subsystem: active switches, active TCAs, and the
+//! handler-trap fallback path.
+//!
+//! Owns every active engine in the cluster — the switch-resident ones,
+//! the optional active-TCA engines ("two-level active I/O", §6), and
+//! the host-side software engines that inherit handlers disabled by an
+//! injected trap. Also owns the per-request reorder buffers that keep
+//! mapped storage flows in sequence order under fault injection.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use asan_net::{HandlerId, NodeId, HEADER_BYTES};
+use asan_sim::faults::{BufferSeize, FaultInjector};
+use asan_sim::SimTime;
+
+use crate::active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
+use crate::cluster::SwitchReport;
+use crate::error::SimError;
+use crate::events::{Event, EventBus, FlowState, ReqId};
+use crate::handler::Handler;
+use crate::stats::{snap_cpu, SwitchSnapshot};
+
+use super::Engine;
+
+/// The dispatch subsystem engine: every active engine plus the trap /
+/// fallback machinery.
+#[derive(Debug, Default)]
+pub struct DispatchEngine {
+    switches: BTreeMap<NodeId, ActiveSwitch>,
+    /// Optional active engines on TCA nodes: "a two-level active I/O
+    /// system" (§6) — intelligent disks below the active switches.
+    active_tcas: BTreeMap<NodeId, ActiveSwitch>,
+    /// `(switch, handler)` pairs whose jump-table entry was disabled by
+    /// a trap; their streams route to the fallback host.
+    trapped: HashSet<(NodeId, HandlerId)>,
+    /// Host-side software engines holding migrated handlers, keyed by
+    /// the original switch so handler state stays per-switch.
+    fallback_engines: BTreeMap<NodeId, ActiveSwitch>,
+    /// The host that runs fallback engines (lowest-numbered host).
+    fallback_host: Option<NodeId>,
+    /// Reorder buffers for mapped flows under faults.
+    flows: HashMap<ReqId, FlowState>,
+}
+
+impl Engine for DispatchEngine {
+    fn on_event(&mut self, t: SimTime, ev: Event, bus: &mut EventBus<'_>) -> Result<(), SimError> {
+        match ev {
+            Event::PacketToSwitch {
+                sw,
+                pkt,
+                payload_start,
+                payload_end,
+                io_req,
+            } => match io_req {
+                // Mapped storage data under a fault plan: release to
+                // the handler strictly in sequence order.
+                Some(req) => self.mapped_arrival(req, sw, pkt, t, bus),
+                None => self.dispatch_active(sw, &pkt, t, payload_start, payload_end, bus),
+            },
+            Event::FallbackDispatch { sw, pkt } => {
+                let fb = self.fallback_host.expect("fallback host exists");
+                let result = self
+                    .fallback_engines
+                    .get_mut(&sw)
+                    .expect("fallback engine exists")
+                    .dispatch(&pkt, t, t, t);
+                bus.injector.as_mut().expect("armed").stats.fallback_packets += 1;
+                self.apply_dispatch_result(sw, fb, pkt.header.seq, result, bus);
+            }
+            other => unreachable!("not a dispatch event: {other:?}"),
+        }
+        Ok(())
+    }
+}
+
+impl DispatchEngine {
+    /// Adds the active switch engine at `id`.
+    pub(crate) fn add_switch(&mut self, id: NodeId, cfg: ActiveSwitchConfig) {
+        self.switches.insert(id, ActiveSwitch::new(id, cfg));
+    }
+
+    /// Registers `handler` under `id` on switch `node`.
+    pub(crate) fn register(
+        &mut self,
+        node: NodeId,
+        id: HandlerId,
+        handler: Box<dyn Handler>,
+    ) -> Result<(), SimError> {
+        self.switches
+            .get_mut(&node)
+            .ok_or(SimError::NotASwitch(node))?
+            .register(id, handler);
+        Ok(())
+    }
+
+    /// Removes a handler: the original engine first, then any host-side
+    /// fallback engine a trap migrated it to.
+    pub(crate) fn take_handler(&mut self, node: NodeId, id: HandlerId) -> Option<Box<dyn Handler>> {
+        if let Some(h) = self
+            .switches
+            .get_mut(&node)
+            .and_then(|s| s.take_handler(id))
+        {
+            return Some(h);
+        }
+        if let Some(h) = self
+            .active_tcas
+            .get_mut(&node)
+            .and_then(|e| e.take_handler(id))
+        {
+            return Some(h);
+        }
+        self.fallback_engines.get_mut(&node)?.take_handler(id)
+    }
+
+    /// Installs an active engine on TCA node `node`.
+    pub(crate) fn enable_active_tca(&mut self, node: NodeId, cfg: ActiveSwitchConfig) {
+        self.active_tcas.insert(node, ActiveSwitch::new(node, cfg));
+    }
+
+    /// Registers `handler` on an active TCA's engine.
+    pub(crate) fn register_tca_handler(
+        &mut self,
+        node: NodeId,
+        id: HandlerId,
+        handler: Box<dyn Handler>,
+    ) -> Result<(), SimError> {
+        self.active_tcas
+            .get_mut(&node)
+            .ok_or(SimError::TcaNotActive(node))?
+            .register(id, handler);
+        Ok(())
+    }
+
+    /// The active switch at `node`, if any.
+    pub(crate) fn switch(&self, node: NodeId) -> Option<&ActiveSwitch> {
+        self.switches.get(&node)
+    }
+
+    /// Sets the host that runs fallback engines under a fault plan.
+    pub(crate) fn set_fallback_host(&mut self, host: Option<NodeId>) {
+        self.fallback_host = host;
+    }
+
+    /// Seizes `seize.count` buffers on every active engine (switches,
+    /// then active TCAs, each in ascending node order) and books the
+    /// injected/degraded counts.
+    pub(crate) fn arm_buffer_seize(&mut self, seize: BufferSeize, inj: &mut FaultInjector) {
+        let mut seized = 0u64;
+        for engine in self
+            .switches
+            .values_mut()
+            .chain(self.active_tcas.values_mut())
+        {
+            seized += seize
+                .count
+                .min(engine.config().num_buffers.saturating_sub(1)) as u64;
+            engine.seize_buffers(seize.count, seize.release_at);
+        }
+        let s = &mut inj.stats.buffer_seize;
+        s.injected += seized;
+        s.degraded += seized;
+    }
+
+    /// Per-switch reports, idle-padded to `finish`. A trapped handler's
+    /// work continued on a host-side fallback engine; its counters
+    /// still belong to the original switch logically.
+    pub(crate) fn reports(&self, finish: SimTime) -> Vec<SwitchReport> {
+        self.switches
+            .iter()
+            .map(|(&id, s)| {
+                let fb = self.fallback_engines.get(&id);
+                let mut bs = s.cpu_breakdowns();
+                for b in &mut bs {
+                    b.pad_idle_to(finish.since(SimTime::ZERO));
+                }
+                SwitchReport {
+                    node: id,
+                    cpu_breakdowns: bs,
+                    invocations: s.stats().invocations.get()
+                        + fb.map_or(0, |f| f.stats().invocations.get()),
+                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
+                    bytes_out: s.stats().bytes_out.get()
+                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-switch low-level statistics snapshots (fallback counters
+    /// folded into their original switch, as in [`Self::reports`]).
+    pub(crate) fn snapshots(&self) -> Vec<SwitchSnapshot> {
+        self.switches
+            .iter()
+            .map(|(&id, s)| {
+                let fb = self.fallback_engines.get(&id);
+                SwitchSnapshot {
+                    node: id,
+                    invocations: s.stats().invocations.get()
+                        + fb.map_or(0, |f| f.stats().invocations.get()),
+                    bytes_in: s.stats().bytes_in.get() + fb.map_or(0, |f| f.stats().bytes_in.get()),
+                    bytes_out: s.stats().bytes_out.get()
+                        + fb.map_or(0, |f| f.stats().bytes_out.get()),
+                    buffer_allocs: s.dba().allocs(),
+                    buffer_waits: s.dba().alloc_waits(),
+                    buffer_peak: s.dba().occupancy().max().unwrap_or(0),
+                    atb_hits: (0..s.config().num_cpus).map(|i| s.atb(i).hits()).sum(),
+                    atb_misses: (0..s.config().num_cpus).map(|i| s.atb(i).misses()).sum(),
+                    cpus: s.cpus().iter().map(snap_cpu).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// One mapped storage data packet arrived at an active engine under
+    /// a fault plan: dedup, recovery accounting, in-order release
+    /// through the reorder buffer, and completion detection.
+    fn mapped_arrival(
+        &mut self,
+        req: ReqId,
+        sw: NodeId,
+        pkt: asan_net::Packet,
+        t: SimTime,
+        bus: &mut EventBus<'_>,
+    ) {
+        let seq = pkt.header.seq as usize;
+        let Some(st) = bus.reqs.get_mut(&req) else {
+            return; // late duplicate after completion
+        };
+        if st.got[seq] {
+            return; // duplicate delivery
+        }
+        st.got[seq] = true;
+        let cat = std::mem::take(&mut st.faulted[seq]);
+        let all = st.got.iter().all(|&g| g);
+        let (host, tca) = (st.host, st.tca);
+        bus.note_recovered(cat);
+        let flow = self.flows.entry(req).or_default();
+        flow.buffered.insert(pkt.header.seq, pkt);
+        let mut release = Vec::new();
+        while let Some(p) = flow.buffered.remove(&flow.next_seq) {
+            flow.next_seq += 1;
+            release.push(p);
+        }
+        for p in release {
+            // Store-and-forward under faults: the whole payload is
+            // present by the time the handler runs.
+            self.dispatch_active(sw, &p, t, t, t, bus);
+        }
+        if all {
+            self.flows.remove(&req);
+            bus.push(t, Event::CompletionNotice { tca, host, req });
+        }
+    }
+
+    /// Dispatches one active packet on the engine at `sw`, first
+    /// consulting the injector's handler-trap schedule. A trapped
+    /// handler is disabled in the switch's jump table and migrated —
+    /// with its accumulated state — to a software engine on the
+    /// fallback host; the stream's packets then cross the fabric to
+    /// that host (graceful degradation: slower, still correct).
+    fn dispatch_active(
+        &mut self,
+        sw: NodeId,
+        pkt: &asan_net::Packet,
+        t: SimTime,
+        payload_start: SimTime,
+        payload_end: SimTime,
+        bus: &mut EventBus<'_>,
+    ) {
+        if bus.injector.is_some() {
+            if let Some(hid) = pkt.header.handler {
+                if self.trapped.contains(&(sw, hid)) {
+                    self.forward_to_fallback(sw, pkt.clone(), t, bus);
+                    return;
+                }
+                let installed = self
+                    .switches
+                    .get(&sw)
+                    .or_else(|| self.active_tcas.get(&sw))
+                    .is_some_and(|e| e.has_handler(hid));
+                if installed
+                    && bus
+                        .injector
+                        .as_mut()
+                        .expect("armed")
+                        .should_trap(sw.0, hid.as_u8())
+                {
+                    let handler = self
+                        .switches
+                        .get_mut(&sw)
+                        .or_else(|| self.active_tcas.get_mut(&sw))
+                        .and_then(|e| e.take_handler(hid))
+                        .expect("trapped handler installed");
+                    self.fallback_engines
+                        .entry(sw)
+                        .or_insert_with(|| {
+                            // Software demultiplexing on a host CPU: one
+                            // engine, slower dispatch, same handler model.
+                            let mut fcfg = bus.cfg.active.clone();
+                            fcfg.cpu = bus.cfg.host_cpu.clone();
+                            fcfg.num_cpus = 1;
+                            fcfg.dispatch_cycles = 64;
+                            ActiveSwitch::new(sw, fcfg)
+                        })
+                        .register(hid, handler);
+                    self.trapped.insert((sw, hid));
+                    bus.injector
+                        .as_mut()
+                        .expect("armed")
+                        .stats
+                        .handler_trap
+                        .degraded += 1;
+                    self.forward_to_fallback(sw, pkt.clone(), t, bus);
+                    return;
+                }
+            }
+        }
+        let engine = self
+            .switches
+            .get_mut(&sw)
+            .or_else(|| self.active_tcas.get_mut(&sw))
+            .expect("active engine exists");
+        let result = engine.dispatch(pkt, t, payload_start, payload_end);
+        self.apply_dispatch_result(sw, sw, pkt.header.seq, result, bus);
+    }
+
+    /// Forwards a packet for a trapped handler from its switch to the
+    /// fallback host over the fabric (the measurable cost of
+    /// degradation): one extra wire crossing plus the OS software-demux
+    /// cost of receiving a packet the switch hardware no longer handles.
+    fn forward_to_fallback(
+        &mut self,
+        sw: NodeId,
+        pkt: asan_net::Packet,
+        t: SimTime,
+        bus: &mut EventBus<'_>,
+    ) {
+        let fb = self.fallback_host.expect("fault plan requires a host");
+        let d = bus.fabric.transmit(pkt.wire_bytes(), sw, fb, t);
+        let demux = bus.cfg.os.per_request;
+        bus.push(d.arrival + demux, Event::FallbackDispatch { sw, pkt });
+    }
+
+    /// Applies a dispatch result: transmits the handler's output
+    /// messages and forwards its disk requests. `origin` names the
+    /// logical engine in delivered messages; `from` is the node the
+    /// bytes physically leave (these differ under host fallback).
+    fn apply_dispatch_result(
+        &mut self,
+        origin: NodeId,
+        from: NodeId,
+        seq: u32,
+        result: DispatchResult,
+        bus: &mut EventBus<'_>,
+    ) {
+        for m in result.outbox {
+            let d = if m.dst == from {
+                // Output for the very node the engine runs on: local.
+                asan_net::Delivery {
+                    header_at: m.ready,
+                    payload_start: m.ready,
+                    arrival: m.ready,
+                    hops: 0,
+                }
+            } else {
+                let wire = (m.data.len() + HEADER_BYTES) as u64;
+                bus.fabric.transmit(wire, from, m.dst, m.ready)
+            };
+            bus.deliver(origin, m.dst, m.handler, m.addr, m.data, seq, d, None);
+        }
+        for r in result.io_reqs {
+            if r.tca == from {
+                // An active TCA requesting its own disks: the request
+                // never leaves the node.
+                bus.push(r.ready, Event::SwitchIoAtTca { r, attempt: 0 });
+            } else {
+                let wire = (HEADER_BYTES * 2) as u64;
+                let d = bus.fabric.transmit(wire, from, r.tca, r.ready);
+                bus.push(d.arrival, Event::SwitchIoAtTca { r, attempt: 0 });
+            }
+        }
+    }
+}

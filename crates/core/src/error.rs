@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn messages_name_the_node_and_cause() {
-        assert_eq!(SimError::NotAHost(NodeId(4)).to_string(), "n4 is not a host node");
+        assert_eq!(
+            SimError::NotAHost(NodeId(4)).to_string(),
+            "n4 is not a host node"
+        );
         assert!(SimError::TcaNotActive(NodeId(2))
             .to_string()
             .contains("enable_active_tca"));
@@ -81,7 +84,10 @@ mod tests {
         };
         assert!(e.to_string().contains("event limit"));
         assert!(e.to_string().contains("livelock"));
-        let e = SimError::RetriesExhausted { req: 9, attempts: 3 };
+        let e = SimError::RetriesExhausted {
+            req: 9,
+            attempts: 3,
+        };
         assert!(e.to_string().contains("9") && e.to_string().contains("3"));
     }
 }

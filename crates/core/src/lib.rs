@@ -13,10 +13,14 @@
 //! * [`handler`] — the stream-based programming model (§2);
 //! * [`active`] — the assembled active switch and its dispatch unit (§3);
 //! * [`error`] — structured [`SimError`]s for misuse and exhaustion;
-//! * [`cluster`] — the whole-system simulator (§4): hosts, HCAs,
-//!   active switches, TCAs, SCSI, disks, and the event loop tying them
-//!   together, with the paper's metrics (execution time, host
-//!   utilization, host I/O traffic, busy/stall/idle breakdowns).
+//! * [`events`] — the typed event vocabulary and the shared bus the
+//!   subsystem engines communicate through;
+//! * [`engines`] — the four subsystem engines (host, fabric, dispatch,
+//!   storage) the simulation decomposes into;
+//! * [`cluster`] — the whole-system simulator (§4): the thin composer
+//!   that routes events to the engines and assembles the paper's
+//!   metrics (execution time, host utilization, host I/O traffic,
+//!   busy/stall/idle breakdowns).
 //!
 //! # Example
 //!
@@ -33,13 +37,15 @@ pub mod atb;
 pub mod buffer;
 pub mod cluster;
 pub mod dba;
+pub mod engines;
 pub mod error;
+pub mod events;
 pub mod handler;
 pub mod stats;
 
 pub use active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
-pub use error::SimError;
 pub use atb::Atb;
 pub use buffer::{BufId, DataBuffer, BUFFER_BYTES};
 pub use dba::BufferAdmin;
+pub use error::SimError;
 pub use handler::{Handler, HandlerCtx, MsgInfo, OutMsg, SwitchIoReq};

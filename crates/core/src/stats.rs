@@ -177,7 +177,10 @@ impl ClusterStats {
             }
             h = fnv1a_fold(fnv1a_fold(h, st.bus_bursts), st.bus_bytes);
         }
-        h = fnv1a_fold(fnv1a_fold(h, self.fabric.link_bytes), self.fabric.credit_stalls);
+        h = fnv1a_fold(
+            fnv1a_fold(h, self.fabric.link_bytes),
+            self.fabric.credit_stalls,
+        );
         fnv1a_fold(h, self.faults.digest())
     }
 }
@@ -236,6 +239,28 @@ impl fmt::Display for ClusterStats {
             self.fabric.link_bytes, self.fabric.credit_stalls
         )?;
         write!(f, "  faults: {}", self.faults)
+    }
+}
+
+/// Snapshots one cache level's counters.
+pub(crate) fn snap_cache(c: &asan_mem::Cache) -> CacheSnapshot {
+    CacheSnapshot {
+        accesses: c.stats().accesses(),
+        misses: c.stats().misses.get(),
+        writebacks: c.stats().writebacks.get(),
+    }
+}
+
+/// Snapshots one CPU's memory-system counters.
+pub(crate) fn snap_cpu(cpu: &asan_cpu::Cpu) -> CpuSnapshot {
+    let m = cpu.memory();
+    CpuSnapshot {
+        instructions: cpu.instructions(),
+        l1d: snap_cache(m.l1d()),
+        l1i: snap_cache(m.l1i()),
+        l2: m.l2().map(snap_cache),
+        dram_page_hits: m.dram().stats().page_hits.get(),
+        dram_page_misses: m.dram().stats().page_misses.get(),
     }
 }
 

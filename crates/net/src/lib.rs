@@ -33,7 +33,7 @@ pub mod topo;
 pub use hca::{Hca, HcaConfig};
 pub use link::{Link, LinkConfig, LinkTiming};
 pub use packet::{
-    crc32, packetize, reassemble, HandlerId, Header, NodeId, Packet, ReassembleError,
-    HEADER_BYTES, MTU,
+    crc32, packetize, reassemble, HandlerId, Header, NodeId, Packet, ReassembleError, HEADER_BYTES,
+    MTU,
 };
 pub use topo::{single_switch_cluster, Delivery, Fabric, NodeKind, SwitchSpec, TopologyBuilder};

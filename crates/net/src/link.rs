@@ -150,14 +150,11 @@ impl Link {
         }
         // Outage windows: keep deferring while the start lands in one
         // (windows may chain or overlap).
-        loop {
-            let Some(&(_, until)) = self
-                .outages
-                .iter()
-                .find(|&&(from, until)| from <= start && start < until)
-            else {
-                break;
-            };
+        while let Some(&(_, until)) = self
+            .outages
+            .iter()
+            .find(|&&(from, until)| from <= start && start < until)
+        {
             self.outage_deferrals.inc();
             start = until;
         }

@@ -256,7 +256,7 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 pub fn fnv1a_fold(mut h: u64, v: u64) -> u64 {
     for b in v.to_le_bytes() {
         h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_1b3);
+        h = h.wrapping_mul(0x0100_0000_01b3);
     }
     h
 }

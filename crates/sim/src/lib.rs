@@ -9,6 +9,9 @@
 //! * [`EventQueue`] — a deterministic pending-event set. Ties in time are
 //!   broken by insertion sequence number so simulations are reproducible
 //!   bit-for-bit across runs.
+//! * [`sched::Scheduler`] — the run-loop facade over the queue: pop
+//!   counting plus a [`sched::Tracer`] resolved once per run (from
+//!   `ASAN_TRACE`) instead of per event.
 //! * [`rng::SimRng`] — a small, dependency-free, seedable PRNG
 //!   (xoshiro256**) used by all workload generators.
 //! * [`stats`] — counters, accumulators and time-weighted statistics used
@@ -33,10 +36,12 @@
 pub mod faults;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use sched::{Scheduler, Traceable, Tracer};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,186 @@
+//! Run-loop facade over the [`EventQueue`]: pop counting and event
+//! tracing in one place.
+//!
+//! Simulators that drive an [`EventQueue`] by hand end up re-implementing
+//! the same bookkeeping: a processed-event counter (for safety limits and
+//! diagnostics) and an optional per-event trace. [`Scheduler`] bundles
+//! both. The trace switch is resolved *once* — from the `ASAN_TRACE`
+//! environment variable via [`Tracer::from_env`] — instead of per event,
+//! which keeps the hot loop free of `env` syscalls.
+//!
+//! # Example
+//!
+//! ```
+//! use asan_sim::sched::{Scheduler, Traceable};
+//! use asan_sim::SimTime;
+//!
+//! struct Tick;
+//! impl Traceable for Tick {
+//!     fn trace_label(&self) -> &'static str {
+//!         "Tick"
+//!     }
+//! }
+//!
+//! let mut s: Scheduler<Tick> = Scheduler::new();
+//! s.push(SimTime::from_ns(3), Tick);
+//! let (t, _) = s.pop().unwrap();
+//! assert_eq!(t, SimTime::from_ns(3));
+//! assert_eq!(s.processed(), 1);
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Types that can name themselves for the event trace.
+pub trait Traceable {
+    /// A short static label naming this event's kind.
+    fn trace_label(&self) -> &'static str;
+}
+
+/// Event-trace switch, resolved once per run instead of per event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tracer {
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer armed iff the `ASAN_TRACE` environment variable is set.
+    pub fn from_env() -> Self {
+        Tracer {
+            enabled: std::env::var_os("ASAN_TRACE").is_some(),
+        }
+    }
+
+    /// A tracer that never prints.
+    pub fn disabled() -> Self {
+        Tracer { enabled: false }
+    }
+
+    /// Whether tracing is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// The pending-event set plus run bookkeeping: a processed-event
+/// counter and an optional trace of every pop.
+///
+/// Ordering semantics are exactly those of [`EventQueue`]: events pop
+/// in `(time, insertion sequence)` order, so simulations stay
+/// reproducible bit for bit.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    tracer: Tracer,
+    processed: u64,
+}
+
+impl<E: Traceable> Scheduler<E> {
+    /// Creates an empty scheduler with tracing off.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            tracer: Tracer::disabled(),
+            processed: 0,
+        }
+    }
+
+    /// Installs `tracer` (typically [`Tracer::from_env`], called once at
+    /// the start of a run).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        self.queue.push(time, event);
+    }
+
+    /// Removes and returns the earliest event, counting it as processed
+    /// and emitting a trace line if the tracer is armed.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        self.processed += 1;
+        if self.tracer.is_enabled() {
+            eprintln!("[ev {}] t={} {:?}", self.processed, t, ev.trace_label());
+        }
+        Some((t, ev))
+    }
+
+    /// Events popped so far (across every run driven by this scheduler).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E: Traceable> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ev(u32);
+    impl Traceable for Ev {
+        fn trace_label(&self) -> &'static str {
+            "Ev"
+        }
+    }
+
+    #[test]
+    fn pops_in_order_and_counts() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ns(5), Ev(2));
+        s.push(SimTime::from_ns(1), Ev(1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop().unwrap().1, Ev(1));
+        assert_eq!(s.pop().unwrap().1, Ev(2));
+        assert!(s.pop().is_none());
+        assert_eq!(s.processed(), 2);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.push(SimTime::from_ns(7), Ev(i));
+        }
+        for i in 0..10 {
+            assert_eq!(s.pop().unwrap().1, Ev(i));
+        }
+    }
+
+    #[test]
+    fn processed_persists_across_drains() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::ZERO, Ev(0));
+        s.pop();
+        s.push(SimTime::ZERO, Ev(1));
+        s.pop();
+        assert_eq!(s.processed(), 2);
+    }
+
+    #[test]
+    fn tracer_state_is_explicit() {
+        assert!(!Tracer::disabled().is_enabled());
+        let mut s: Scheduler<Ev> = Scheduler::default();
+        s.set_tracer(Tracer::disabled());
+        s.push(SimTime::ZERO, Ev(0));
+        assert_eq!(s.pop().unwrap().1, Ev(0));
+    }
+}

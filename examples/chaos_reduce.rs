@@ -145,8 +145,15 @@ fn corruption_experiment() {
             }),
         )
         .expect("register");
-        cl.set_program(host, Box::new(ActiveCount { file, sw, result: None }))
-            .expect("program");
+        cl.set_program(
+            host,
+            Box::new(ActiveCount {
+                file,
+                sw,
+                result: None,
+            }),
+        )
+        .expect("program");
         let report = cl.run().expect("run recovers from injected faults");
         let got = cl
             .take_program(host)

@@ -100,25 +100,29 @@ fn main() {
     let expected: u64 = data.iter().filter(|&&b| b > 191).count() as u64;
     let file = cluster.add_file(tca, data).expect("cluster setup");
 
-    cluster.register_handler(
-        sw,
-        HandlerId::new(1),
-        Box::new(ThresholdFilter {
-            threshold: 191,
-            host,
-            kept: 0,
-            seen: 0,
-            expect: 1 << 20,
-        }),
-    ).expect("cluster setup");
-    cluster.set_program(
-        host,
-        Box::new(Driver {
-            file,
+    cluster
+        .register_handler(
             sw,
-            bytes_in: 0,
-        }),
-    ).expect("cluster setup");
+            HandlerId::new(1),
+            Box::new(ThresholdFilter {
+                threshold: 191,
+                host,
+                kept: 0,
+                seen: 0,
+                expect: 1 << 20,
+            }),
+        )
+        .expect("cluster setup");
+    cluster
+        .set_program(
+            host,
+            Box::new(Driver {
+                file,
+                sw,
+                bytes_in: 0,
+            }),
+        )
+        .expect("cluster setup");
 
     let report = cluster.run().expect("simulation completes");
     let stats = cluster.stats();

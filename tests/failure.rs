@@ -198,8 +198,10 @@ fn livelock_guard_trips() {
     let mut cfg = ClusterConfig::paper();
     cfg.max_events = 10_000;
     let mut cl = Cluster::new(topo, cfg);
-    cl.set_program(hs[0], Box::new(PingPong { peer: hs[1] })).unwrap();
-    cl.set_program(hs[1], Box::new(PingPong { peer: hs[0] })).unwrap();
+    cl.set_program(hs[0], Box::new(PingPong { peer: hs[1] }))
+        .unwrap();
+    cl.set_program(hs[1], Box::new(PingPong { peer: hs[0] }))
+        .unwrap();
     let err = cl.run().unwrap_err();
     assert!(
         matches!(err, SimError::EventLimitExceeded { limit: 10_000, .. }),
@@ -217,7 +219,13 @@ fn wrong_node_kind_is_a_structured_error() {
     let err = cl.add_file(sw, vec![0u8; 64]).unwrap_err();
     assert_eq!(err, SimError::NotATca(sw));
     let err = cl
-        .set_program(sw, Box::new(OneRead { file: FileId(0), len: 1 }))
+        .set_program(
+            sw,
+            Box::new(OneRead {
+                file: FileId(0),
+                len: 1,
+            }),
+        )
         .unwrap_err();
     assert_eq!(err, SimError::NotAHost(sw));
 }
@@ -289,11 +297,21 @@ fn faulted_read_run(plan: FaultPlan) -> (Cluster, SimTime) {
     cfg.faults = Some(plan);
     let mut cl = Cluster::new(topo, cfg);
     let file = cl.add_file(t, vec![0x5A; FILE_BYTES as usize]).unwrap();
-    cl.set_program(h, Box::new(OneRead { file, len: FILE_BYTES })).unwrap();
+    cl.set_program(
+        h,
+        Box::new(OneRead {
+            file,
+            len: FILE_BYTES,
+        }),
+    )
+    .unwrap();
     let r = cl.run().expect("run must recover from injected faults");
     let finish = r.finish;
     let bytes_in = r.host(h).unwrap().payload.bytes_in;
-    assert_eq!(bytes_in, FILE_BYTES, "host must receive every byte exactly once");
+    assert_eq!(
+        bytes_in, FILE_BYTES,
+        "host must receive every byte exactly once"
+    );
     (cl, finish)
 }
 
@@ -305,12 +323,18 @@ fn corruption_detected_and_recovered_via_nak() {
     plan.packet_corrupt_prob = 0.2;
     let (cl, _) = faulted_read_run(plan);
     let fs = cl.fault_stats();
-    assert!(fs.packet_corrupt.injected > 0, "plan injected nothing: {fs}");
+    assert!(
+        fs.packet_corrupt.injected > 0,
+        "plan injected nothing: {fs}"
+    );
     assert_eq!(
         fs.packet_corrupt.detected, fs.packet_corrupt.injected,
         "every corruption must be ICRC-detected"
     );
-    assert!(fs.packet_corrupt.recovered > 0, "no recovery recorded: {fs}");
+    assert!(
+        fs.packet_corrupt.recovered > 0,
+        "no recovery recorded: {fs}"
+    );
     assert!(fs.retransmits >= fs.packet_corrupt.detected);
     assert_eq!(fs.timeouts, 0, "NAK path should beat the request timeout");
 }
@@ -331,7 +355,10 @@ fn drops_recovered_by_timeout_and_backoff() {
     let (cl, finish) = faulted_read_run(plan);
     let fs = cl.fault_stats();
     assert!(fs.packet_drop.injected > 0, "plan injected nothing: {fs}");
-    assert!(fs.timeouts > 0, "recovery must have come from timeouts: {fs}");
+    assert!(
+        fs.timeouts > 0,
+        "recovery must have come from timeouts: {fs}"
+    );
     assert!(fs.retransmits > 0);
     assert!(fs.packet_drop.recovered > 0);
     assert!(
@@ -351,7 +378,10 @@ fn disk_soft_errors_are_retried() {
     let fs = cl.fault_stats();
     assert!(fs.disk_error.injected > 0, "plan injected nothing: {fs}");
     assert_eq!(fs.disk_error.detected, fs.disk_error.injected);
-    assert!(fs.disk_error.recovered > 0, "retry must have succeeded: {fs}");
+    assert!(
+        fs.disk_error.recovered > 0,
+        "retry must have succeeded: {fs}"
+    );
 }
 
 /// A handler trap mid-stream disables the switch's jump-table entry and
@@ -381,7 +411,15 @@ fn handler_trap_degrades_to_host_fallback() {
             }),
         )
         .unwrap();
-        cl.set_program(h, Box::new(ActiveCount { file, sw, result: None })).unwrap();
+        cl.set_program(
+            h,
+            Box::new(ActiveCount {
+                file,
+                sw,
+                result: None,
+            }),
+        )
+        .unwrap();
         let r = cl.run().expect("degraded run still completes");
         let finish = r.finish;
         let got = cl
@@ -428,7 +466,8 @@ fn exhausted_retries_fail_loudly() {
     cfg.faults = Some(plan);
     let mut cl = Cluster::new(topo, cfg);
     let file = cl.add_file(t, vec![0u8; 4096]).unwrap();
-    cl.set_program(h, Box::new(OneRead { file, len: 4096 })).unwrap();
+    cl.set_program(h, Box::new(OneRead { file, len: 4096 }))
+        .unwrap();
     let err = cl.run().unwrap_err();
     assert!(
         matches!(err, SimError::RetriesExhausted { attempts: 3, .. }),

@@ -1,0 +1,86 @@
+//! Golden-digest regression test: every benchmark's canonical
+//! `ClusterStats::digest()` (small inputs, `normal` and `active`
+//! configurations) must match the committed
+//! [`tests/golden_digests.txt`](golden_digests.txt), byte for byte.
+//!
+//! The file is regenerated with
+//! `cargo run --release -p asan-bench --bin repro -- --small golden`.
+//! A mismatch means a change perturbed simulation results — either a
+//! bug, or an intentional model change that must update the golden
+//! file *and* say so in the commit message.
+
+use asan_apps::runner::Variant;
+use asan_apps::{grep, hashjoin, md5app, mpeg, psort, reduce, select, tar};
+
+const GOLDEN: &str = include_str!("golden_digests.txt");
+
+/// The nine paper benchmarks at small scale, in golden-file order.
+fn digests(variant: Variant) -> Vec<(&'static str, u64)> {
+    let active = variant.is_active();
+    vec![
+        (
+            "mpeg",
+            mpeg::run(variant, &mpeg::Params::small()).stats_digest,
+        ),
+        (
+            "hashjoin",
+            hashjoin::run(variant, &hashjoin::Params::small()).stats_digest,
+        ),
+        (
+            "select",
+            select::run(variant, &select::Params::small()).stats_digest,
+        ),
+        (
+            "grep",
+            grep::run(variant, &grep::Params::small()).stats_digest,
+        ),
+        ("tar", tar::run(variant, &tar::Params::small()).stats_digest),
+        (
+            "psort",
+            psort::run(variant, &psort::Params::small()).stats_digest,
+        ),
+        ("md5", {
+            let mut p = md5app::Params::small();
+            p.switch_cpus = 1;
+            md5app::run(variant, &p).stats_digest
+        }),
+        (
+            "reduce-to-one",
+            reduce::run(reduce::Mode::ReduceToOne, active, 8).stats_digest,
+        ),
+        (
+            "distributed-reduce",
+            reduce::run(reduce::Mode::Distributed, active, 8).stats_digest,
+        ),
+    ]
+}
+
+#[test]
+fn stats_digests_match_committed_golden_file() {
+    let mut produced = String::new();
+    for (name, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
+        for (bench, digest) in digests(variant) {
+            produced.push_str(&format!("{bench} {name} {digest:016x}\n"));
+        }
+    }
+    let mut mismatches = Vec::new();
+    for (want, got) in GOLDEN.lines().zip(produced.lines()) {
+        if want != got {
+            mismatches.push(format!("golden: {want}\n   got: {got}"));
+        }
+    }
+    assert_eq!(
+        GOLDEN.lines().count(),
+        produced.lines().count(),
+        "golden file and produced digests differ in length:\n{produced}"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "simulation results changed ({} of {} digests):\n{}\n\nIf intentional, \
+         regenerate with `cargo run --release -p asan-bench --bin repro -- --small golden \
+         > tests/golden_digests.txt` and explain the change.",
+        mismatches.len(),
+        GOLDEN.lines().count(),
+        mismatches.join("\n")
+    );
+}

@@ -20,7 +20,8 @@ use asan_sim::{EventQueue, SimRng, SimTime};
 fn sweep(label: &str, cases: usize, mut body: impl FnMut(usize, &mut SimRng)) {
     for case in 0..cases {
         let mut rng = SimRng::from_seed(
-            SimRng::from_label(label).next_u64() ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            SimRng::from_label(label).next_u64()
+                ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         body(case, &mut rng);
     }
@@ -219,7 +220,11 @@ fn wire_image_crc_catches_byte_flips() {
             let mut copy = p.payload.clone();
             let i = rng.below(copy.len() as u64) as usize;
             copy[i] ^= 1 << rng.below(8);
-            assert_ne!(crc32(0, &copy), crc32(0, &p.payload), "case {case}: collision");
+            assert_ne!(
+                crc32(0, &copy),
+                crc32(0, &p.payload),
+                "case {case}: collision"
+            );
             wire_len -= 1; // silence unused-assignment lint on last loop
             let _ = wire_len;
         }
@@ -403,7 +408,10 @@ fn sort_bucket_valid_and_ordered() {
             .collect();
         pairs.sort();
         for w in pairs.windows(2) {
-            assert!(w[0].1 <= w[1].1, "case {case}: bucket order violates key order");
+            assert!(
+                w[0].1 <= w[1].1,
+                "case {case}: bucket order violates key order"
+            );
         }
     });
 }
