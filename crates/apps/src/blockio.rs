@@ -6,7 +6,7 @@
 //! [`BlockReader`] implements that window over the cluster's
 //! asynchronous read API.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use asan_core::cluster::{Dest, FileId, HostCtx, ReqId};
 
@@ -30,7 +30,7 @@ pub struct BlockPlan {
 pub struct BlockReader {
     plan: BlockPlan,
     next_offset: u64,
-    pending: HashMap<ReqId, (u64, u64)>,
+    pending: BTreeMap<ReqId, (u64, u64)>,
     completed_bytes: u64,
 }
 
@@ -42,7 +42,7 @@ impl BlockReader {
         BlockReader {
             plan,
             next_offset: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             completed_bytes: 0,
         }
     }

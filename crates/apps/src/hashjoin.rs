@@ -86,7 +86,7 @@ pub fn hash_bit(key: u64, bits: u64) -> u64 {
 pub fn reference(r: &[u8], s: &[u8], p: &Params) -> (u64, u64) {
     let rb = p.record_bytes as usize;
     let mut bv = vec![false; p.bits as usize];
-    let mut keys = std::collections::HashSet::new();
+    let mut keys = std::collections::BTreeSet::new();
     for i in 0..r.len() / rb {
         let k = data::record_key(r, rb, i);
         bv[hash_bit(k, p.bits) as usize] = true;
@@ -109,7 +109,7 @@ pub fn reference(r: &[u8], s: &[u8], p: &Params) -> (u64, u64) {
 /// Host-side join state shared by both variants: the real hash table.
 #[derive(Debug, Default)]
 struct JoinState {
-    table: std::collections::HashMap<u64, u32>,
+    table: std::collections::BTreeMap<u64, u32>,
     bv_pass: u64,
     matches: u64,
 }

@@ -202,7 +202,7 @@ pub struct SortHandler {
     hosts: Vec<NodeId>,
     /// Partial record carried across packet boundaries, per source
     /// stream (the four nodes' shares interleave at the switch).
-    carry: std::collections::HashMap<NodeId, Vec<u8>>,
+    carry: std::collections::BTreeMap<NodeId, Vec<u8>>,
     /// Per-destination batch contents.
     batches: Vec<Vec<u8>>,
     batch_bufs: Vec<Option<asan_core::BufId>>,
@@ -218,7 +218,7 @@ impl SortHandler {
         SortHandler {
             p,
             hosts,
-            carry: std::collections::HashMap::new(),
+            carry: std::collections::BTreeMap::new(),
             batches: vec![Vec::new(); n],
             batch_bufs: vec![None; n],
             out_addr: vec![0; n],

@@ -69,7 +69,7 @@ pub type ReductionCluster = (
     Vec<NodeId>,
     Vec<NodeId>,
     Vec<NodeId>,
-    std::collections::HashMap<NodeId, NodeId>,
+    std::collections::BTreeMap<NodeId, NodeId>,
     NodeId,
 );
 
@@ -93,7 +93,7 @@ pub fn reduction_cluster(p: usize, cfg: ClusterConfig) -> ReductionCluster {
         host_leaf.push(leaf);
     }
     // Build the switch tree upward with fanout 8.
-    let mut parent = std::collections::HashMap::new();
+    let mut parent = std::collections::BTreeMap::new();
     let mut level = leaves.clone();
     let mut switches = leaves.clone();
     while level.len() > 1 {
@@ -466,11 +466,12 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
     if active {
         // Install a combine handler on every switch with its fan-in and
         // its broadcast fan-out.
-        let mut fan_in: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
-        let mut host_children: std::collections::HashMap<NodeId, Vec<NodeId>> =
-            std::collections::HashMap::new();
-        let mut switch_children: std::collections::HashMap<NodeId, Vec<NodeId>> =
-            std::collections::HashMap::new();
+        let mut fan_in: std::collections::BTreeMap<NodeId, usize> =
+            std::collections::BTreeMap::new();
+        let mut host_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        let mut switch_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
         for (i, &leaf) in host_leaf.iter().enumerate() {
             *fan_in.entry(leaf).or_insert(0) += 1;
             host_children.entry(leaf).or_default().push(hosts[i]);

@@ -191,7 +191,7 @@ impl ActiveSwitch {
     pub fn latest_cpu_time(&self) -> SimTime {
         self.cpus
             .iter()
-            .map(|c| c.now())
+            .map(asan_cpu::Cpu::now)
             .fold(SimTime::ZERO, SimTime::max)
     }
 
@@ -366,7 +366,7 @@ mod tests {
             Header {
                 src: NodeId(1),
                 dst: NodeId(0),
-                len: len as u16,
+                len: u16::try_from(len).expect("payload bounded by MTU"),
                 handler: Some(HandlerId::new(3)),
                 addr,
                 seq,

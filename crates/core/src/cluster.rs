@@ -18,7 +18,7 @@
 //! insertion order ([`asan_sim::EventQueue`]), and every engine iterates
 //! its nodes in ascending node order.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use asan_cpu::CpuConfig;
 use asan_io::{OsCost, StorageConfig};
@@ -190,7 +190,7 @@ pub struct Cluster {
     storage: StorageEngine,
     fabric_engine: FabricEngine,
     files: FileStore,
-    reqs: HashMap<ReqId, IoState>,
+    reqs: BTreeMap<ReqId, IoState>,
     /// Armed fault injector (None ⇒ the pre-fault simulator, bit for
     /// bit).
     injector: Option<FaultInjector>,
@@ -225,7 +225,7 @@ impl Cluster {
             storage,
             fabric_engine: FabricEngine,
             files: FileStore::default(),
-            reqs: HashMap::new(),
+            reqs: BTreeMap::new(),
             injector,
             active_tca_nodes: BTreeSet::new(),
         }

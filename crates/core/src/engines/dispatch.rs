@@ -7,7 +7,7 @@
 //! injected trap. Also owns the per-request reorder buffers that keep
 //! mapped storage flows in sequence order under fault injection.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use asan_net::{HandlerId, NodeId, HEADER_BYTES};
 use asan_sim::faults::{BufferSeize, FaultInjector};
@@ -32,14 +32,14 @@ pub struct DispatchEngine {
     active_tcas: BTreeMap<NodeId, ActiveSwitch>,
     /// `(switch, handler)` pairs whose jump-table entry was disabled by
     /// a trap; their streams route to the fallback host.
-    trapped: HashSet<(NodeId, HandlerId)>,
+    trapped: BTreeSet<(NodeId, HandlerId)>,
     /// Host-side software engines holding migrated handlers, keyed by
     /// the original switch so handler state stays per-switch.
     fallback_engines: BTreeMap<NodeId, ActiveSwitch>,
     /// The host that runs fallback engines (lowest-numbered host).
     fallback_host: Option<NodeId>,
     /// Reorder buffers for mapped flows under faults.
-    flows: HashMap<ReqId, FlowState>,
+    flows: BTreeMap<ReqId, FlowState>,
 }
 
 impl Engine for DispatchEngine {

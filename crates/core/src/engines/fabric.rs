@@ -49,7 +49,8 @@ impl Engine for FabricEngine {
                                 asan_net::Header {
                                     src,
                                     dst,
-                                    len: payload.len() as u16,
+                                    len: u16::try_from(payload.len())
+                                        .expect("payload bounded by MTU"),
                                     handler,
                                     addr,
                                     seq,

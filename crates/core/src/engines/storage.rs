@@ -289,7 +289,7 @@ impl StorageEngine {
                     asan_net::Header {
                         src: tca,
                         dst,
-                        len: plen as u16,
+                        len: u16::try_from(plen).expect("packet bounded by MTU"),
                         handler: Some(h),
                         addr: base_addr.wrapping_add((i * MTU) as u32),
                         seq: i as u32,

@@ -3,7 +3,7 @@
 //! the follow-up events it schedules and the shared state it mutates —
 //! no full cluster run involved.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, LinkConfig, NodeId, MTU};
@@ -27,7 +27,7 @@ struct Rig {
     sched: Scheduler<Event>,
     fabric: Fabric,
     injector: Option<FaultInjector>,
-    reqs: HashMap<ReqId, IoState>,
+    reqs: BTreeMap<ReqId, IoState>,
     files: FileStore,
     cfg: ClusterConfig,
     active_tca_nodes: BTreeSet<NodeId>,
@@ -51,7 +51,7 @@ impl Rig {
             sched: Scheduler::new(),
             fabric: b.build(),
             injector: None,
-            reqs: HashMap::new(),
+            reqs: BTreeMap::new(),
             files: FileStore::default(),
             cfg: ClusterConfig::paper(),
             active_tca_nodes: BTreeSet::new(),

@@ -14,7 +14,7 @@
 //! store, configuration — while each engine owns its subsystem-private
 //! state (host CPUs, switch engines, disk arrays, …).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use asan_net::topo::NodeKind;
 use asan_net::{Fabric, HandlerId, NodeId};
@@ -26,11 +26,11 @@ use crate::cluster::ClusterConfig;
 use crate::handler::SwitchIoReq;
 
 /// Identifies an I/O request issued by a host program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub u64);
 
 /// Identifies a stored file (placed on one TCA's disk array).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub usize);
 
 /// Where a read's data should be delivered.
@@ -310,8 +310,9 @@ pub struct EventBus<'a> {
     pub fabric: &'a mut Fabric,
     /// The armed fault injector, if the run has a fault plan.
     pub injector: &'a mut Option<FaultInjector>,
-    /// In-flight host-issued I/O requests, shared across engines.
-    pub(crate) reqs: &'a mut HashMap<ReqId, IoState>,
+    /// In-flight host-issued I/O requests, shared across engines
+    /// (ordered so any future iteration is deterministic).
+    pub(crate) reqs: &'a mut BTreeMap<ReqId, IoState>,
     /// The stored files (metadata + bytes).
     pub files: &'a mut FileStore,
     /// The cluster configuration.
@@ -423,7 +424,7 @@ impl EventBus<'_> {
             asan_net::Header {
                 src,
                 dst,
-                len: len as u16,
+                len: u16::try_from(len).expect("payload bounded by MTU"),
                 handler: Some(h),
                 addr,
                 seq,

@@ -1,0 +1,153 @@
+//! Diagnostics and the two output formats (`human`, `json`).
+
+use std::fmt;
+
+/// How severe a finding is. `Deny` findings fail the run (exit 1);
+/// `Warn` findings are reported but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, non-fatal.
+    Warn,
+    /// Fails the run.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (the name accepted by `allow(...)`).
+    pub rule: &'static str,
+    /// Severity level.
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.severity, self.rule, self.file, self.line, self.message
+        )
+    }
+}
+
+/// Renders the full human-format report.
+pub fn render_human(diags: &[Diagnostic], checked_files: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    out.push_str(&format!(
+        "asan-lint: {checked_files} files checked, {} finding(s) ({denies} deny)\n",
+        diags.len(),
+    ));
+    out
+}
+
+/// Renders the machine-readable JSON report (stable field order; no
+/// external JSON crate, so strings are escaped by hand).
+pub fn render_json(diags: &[Diagnostic], checked_files: usize) -> String {
+    let mut out = String::from("{\n  \"checked_files\": ");
+    out.push_str(&checked_files.to_string());
+    out.push_str(",\n  \"violations\": ");
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    out.push_str(&denies.to_string());
+    out.push_str(",\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(d.rule),
+            json_str(&d.severity.to_string()),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-wall-clock",
+            severity: Severity::Deny,
+            file: "crates/core/src/lib.rs".into(),
+            line: 7,
+            message: "say \"no\" to wall clocks".into(),
+        }
+    }
+
+    #[test]
+    fn human_format_has_location_and_counts() {
+        let text = render_human(&[sample()], 3);
+        assert!(text.contains("deny[no-wall-clock] crates/core/src/lib.rs:7:"));
+        assert!(text.contains("3 files checked, 1 finding(s) (1 deny)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let text = render_json(&[sample()], 3);
+        assert!(text.contains("\"violations\": 1"));
+        assert!(text.contains("\\\"no\\\""));
+        assert!(text.contains("\"line\": 7"));
+    }
+
+    #[test]
+    fn json_empty_is_clean() {
+        let text = render_json(&[], 0);
+        assert!(text.contains("\"violations\": 0"));
+        assert!(text.contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,378 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `asan-lint` cannot use `syn`. For the invariants we enforce a full
+//! AST is unnecessary: every rule works on a token stream with line
+//! numbers, provided the lexer never mistakes a string, comment, char
+//! literal, or lifetime for code. That is exactly what this module
+//! guarantees — comments and literals are consumed as units (and
+//! comments are additionally scanned for `asan-lint: allow(...)`
+//! escape-hatch directives), so the rule passes only ever see real
+//! code tokens.
+
+/// What a token is; rules mostly care about [`Kind::Ident`] and
+/// [`Kind::Punct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`HashMap`, `as`, `match`, …).
+    Ident,
+    /// Numeric literal (value not interpreted).
+    Num,
+    /// Operator / delimiter. Multi-character operators the rules need
+    /// (`::`, `=>`, `->`, `..=`, `..`, `==`, `!=`, `<=`, `>=`, `&&`,
+    /// `||`) are joined into one token.
+    Punct,
+    /// String / byte-string / char literal (contents dropped).
+    Lit,
+    /// Lifetime (`'a`); kept so token adjacency survives, ignored by
+    /// every rule.
+    Life,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: Kind,
+    /// Source text (empty for [`Kind::Lit`]).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One `// asan-lint: allow(rule-a, rule-b)` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment starts on. The directive suppresses
+    /// matching diagnostics on its own line and the line below, so it
+    /// can trail the offending code or sit directly above it.
+    pub line: u32,
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Escape-hatch directives found in comments.
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// Whether `rule` is allowed at `line` by a directive on the same
+    /// line or the line above.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            (a.line == line || a.line + 1 == line)
+                && a.rules.iter().any(|r| r == rule || r == "all")
+        })
+    }
+}
+
+const JOINED: [&str; 10] = ["..=", "::", "=>", "->", "..", "==", "!=", "<=", ">=", "&&"];
+
+/// Lexes `src`, separating code tokens from comments and literals.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                scan_directive(&b[start..i], line, &mut out.allows);
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                // Rust block comments nest.
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                scan_directive(&b[start..i], start_line, &mut out.allows);
+            }
+            '"' => {
+                let l = line;
+                i = consume_string(&b, i + 1, &mut line);
+                out.tokens.push(lit(l));
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_alphabetic() || b[j] == '_') && b[j] != '\\' {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    if b.get(k) != Some(&'\'') {
+                        out.tokens.push(Token {
+                            kind: Kind::Life,
+                            text: String::new(),
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                // Char literal: consume up to the closing quote.
+                let l = line;
+                while j < b.len() {
+                    match b[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+                out.tokens.push(lit(l));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let ident: String = b[start..i].iter().collect();
+                // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                if matches!(ident.as_str(), "r" | "b" | "br") {
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    if ident != "b" {
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                    }
+                    if b.get(j) == Some(&'"') {
+                        let l = line;
+                        i = if ident == "b" && hashes == 0 {
+                            consume_string(&b, j + 1, &mut line)
+                        } else {
+                            consume_raw_string(&b, j + 1, hashes, &mut line)
+                        };
+                        out.tokens.push(lit(l));
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Ident,
+                    text: ident,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    let d = b[i];
+                    let take = d.is_alphanumeric()
+                        || d == '_'
+                        || (d == '.'
+                            && b.get(i + 1).is_some_and(char::is_ascii_digit)
+                            && b.get(i + 1) != Some(&'.'))
+                        || ((d == '+' || d == '-')
+                            && matches!(b.get(i.wrapping_sub(1)), Some('e' | 'E'))
+                            && b.get(i + 1).is_some_and(char::is_ascii_digit));
+                    if !take {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Num,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                let rest: String = b[i..(i + 3).min(b.len())].iter().collect();
+                let op = JOINED
+                    .iter()
+                    .find(|j| rest.starts_with(**j))
+                    .map_or_else(|| c.to_string(), |j| (*j).to_string());
+                i += op.chars().count();
+                out.tokens.push(Token {
+                    kind: Kind::Punct,
+                    text: op,
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lit(line: u32) -> Token {
+    Token {
+        kind: Kind::Lit,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Consumes a normal (escaped) string body starting after the opening
+/// quote; returns the index just past the closing quote.
+fn consume_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                // Escaped char; a `\<newline>` continuation still
+                // advances the line counter.
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body (no escapes) terminated by `"` plus
+/// `hashes` `#` characters.
+fn consume_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        if b[i] == '"' && (1..=hashes).all(|k| b.get(i + k) == Some(&'#')) {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Extracts an `asan-lint: allow(rule, …)` directive from a comment.
+fn scan_directive(comment: &[char], line: u32, allows: &mut Vec<Allow>) {
+    let text: String = comment.iter().collect();
+    let Some(pos) = text.find("asan-lint:") else {
+        return;
+    };
+    let rest = text[pos + "asan-lint:".len()..].trim_start();
+    let Some(body) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.split(')').next())
+    else {
+        return;
+    };
+    let rules: Vec<String> = body
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        allows.push(Allow { line, rules });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"HashMap"#;
+            let c = 'H';
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|i| *i == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime names never show up as idents.
+        assert!(!ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let src = "let m = HashMap::new(); // asan-lint: allow(no-unordered-iteration)\n";
+        let l = lex(src);
+        assert!(l.is_allowed("no-unordered-iteration", 1));
+        assert!(l.is_allowed("no-unordered-iteration", 2));
+        assert!(!l.is_allowed("no-wall-clock", 1));
+        assert!(!l.is_allowed("no-unordered-iteration", 3));
+    }
+
+    #[test]
+    fn joined_puncts() {
+        let toks: Vec<String> = lex("a => b :: c .. d ..= e")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(toks, ["=>", "::", "..", "..="]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_lines() {
+        let src = "let s = \"a \\\nb\";\nlet t = 1;\n";
+        let l = lex(src);
+        let t = l.tokens.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 1;\n";
+        let l = lex(src);
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+    }
+}

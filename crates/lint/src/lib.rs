@@ -1,0 +1,214 @@
+//! `asan-lint` — the workspace's determinism & event-contract checker.
+//!
+//! The golden-digest regression (`tests/golden.rs`) proves after the
+//! fact that a change kept all nine benchmarks bit-identical; this
+//! crate is the *before* layer: a static pass over every `.rs` file
+//! that rejects the constructs which historically cause digest drift —
+//! unordered map iteration, wall-clock reads, ambient randomness,
+//! silently truncating casts — plus two structural contracts (engines
+//! decide explicitly per `Event` variant; every `ClusterStats` counter
+//! reaches `digest()`).
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! the pass is built on a small in-tree lexer ([`lexer`]) rather than
+//! `syn`; see `docs/DETERMINISM.md` for the rule catalog and the
+//! `// asan-lint: allow(<rule>)` escape hatch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{render_human, render_json, Diagnostic, Severity};
+
+use rules::FileCtx;
+
+/// What to check and how.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Workspace root (where `Cargo.toml` and `crates/` live).
+    pub root: PathBuf,
+    /// Explicit files to check instead of walking the workspace.
+    pub paths: Vec<PathBuf>,
+    /// Apply every rule to every file, ignoring per-rule path scopes
+    /// (used by the fixture tests).
+    pub scope_all: bool,
+}
+
+/// A finished run: what was checked and what was found.
+#[derive(Debug)]
+pub struct Report {
+    /// Files that were lexed and checked.
+    pub checked_files: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of `Deny` findings (the exit-code driver).
+    pub fn violations(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+}
+
+/// Runs the checker. `Err` means an internal error (unreadable file),
+/// not a lint finding.
+pub fn run(opts: &Options) -> Result<Report, String> {
+    let files = if opts.paths.is_empty() {
+        let mut v = Vec::new();
+        walk(&opts.root, &mut v);
+        v.sort();
+        v
+    } else {
+        opts.paths.clone()
+    };
+    let rules = rules::all_rules();
+    let mut diagnostics = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let rel = rel_path(&opts.root, file);
+        let src =
+            fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let lexed = lexer::lex(&src);
+        let ctx = FileCtx {
+            rel_path: &rel,
+            lexed: &lexed,
+        };
+        checked += 1;
+        for rule in &rules {
+            if !opts.scope_all && !rule.applies(&rel) {
+                continue;
+            }
+            let mut found = Vec::new();
+            rule.check(&ctx, &mut found);
+            found.retain(|d| !lexed.is_allowed(d.rule, d.line));
+            diagnostics.extend(found);
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        checked_files: checked,
+        diagnostics,
+    })
+}
+
+/// Workspace-relative display path with `/` separators.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Directories never scanned: build output, VCS, and the lint's own
+/// known-bad fixture corpus.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "fixtures") || name.starts_with('.')
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_snippet(rel: &str, src: &str, scope_all: bool) -> Vec<Diagnostic> {
+        let lexed = lexer::lex(src);
+        let ctx = FileCtx {
+            rel_path: rel,
+            lexed: &lexed,
+        };
+        let mut out = Vec::new();
+        for rule in rules::all_rules() {
+            if !scope_all && !rule.applies(rel) {
+                continue;
+            }
+            let mut found = Vec::new();
+            rule.check(&ctx, &mut found);
+            found.retain(|d| !lexed.is_allowed(d.rule, d.line));
+            out.extend(found);
+        }
+        out
+    }
+
+    #[test]
+    fn hashmap_denied_in_core_but_not_bench() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(check_snippet("crates/core/src/x.rs", src, false).len(), 1);
+        assert!(check_snippet("crates/bench/src/x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "use std::collections::HashMap; // asan-lint: allow(no-unordered-iteration)\n";
+        assert!(check_snippet("crates/core/src/x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_denied_outside_benches() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(check_snippet("crates/cpu/src/x.rs", src, false).len(), 2);
+        assert!(check_snippet("crates/bench/benches/x.rs", src, false).is_empty());
+    }
+
+    #[test]
+    fn randomness_denied_everywhere() {
+        let src = "fn f() { let x = rand::random::<u64>(); }\n";
+        assert_eq!(
+            check_snippet("crates/bench/benches/x.rs", src, false).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn lossy_cast_on_model_quantity() {
+        let src = "fn f(total_cycles: u64) -> u32 { total_cycles as u32 }\n";
+        assert_eq!(check_snippet("crates/cpu/src/x.rs", src, false).len(), 1);
+        // Widening is fine.
+        let ok = "fn f(total_cycles: u32) -> u64 { u64::from(total_cycles) }\n";
+        assert!(check_snippet("crates/cpu/src/x.rs", ok, false).is_empty());
+    }
+
+    #[test]
+    fn event_wildcard_denied_in_engines() {
+        let src = "fn on_event(&mut self, ev: Event) {\n    match ev {\n        Event::Start(_) => {}\n        _ => {}\n    }\n}\n";
+        let d = check_snippet("crates/core/src/engines/x.rs", src, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        // A loud catch-all is a conscious decision.
+        let ok = "fn on_event(&mut self, ev: Event) {\n    match ev {\n        Event::Start(_) => {}\n        other => unreachable!(\"{other:?}\"),\n    }\n}\n";
+        assert!(check_snippet("crates/core/src/engines/x.rs", ok, false).is_empty());
+    }
+
+    #[test]
+    fn digest_completeness_finds_missing_field() {
+        let src = "pub struct ClusterStats { pub events: u64, pub lost: u64 }\n\
+                   impl ClusterStats { pub fn digest(&self) -> u64 { self.events } }\n";
+        let d = check_snippet("crates/core/src/stats.rs", src, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lost"));
+    }
+}

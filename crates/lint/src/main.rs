@@ -1,0 +1,103 @@
+//! `asan-lint` CLI. See `--help` for the exit-code contract.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use asan_lint::{render_human, render_json, rules, Options};
+
+const USAGE: &str = "\
+asan-lint — determinism & event-contract checker for the Active SAN workspace
+
+USAGE:
+    cargo run -p asan-lint -- check [OPTIONS] [FILES...]
+
+ARGS:
+    [FILES...]        Check only these .rs files. Default: walk every .rs
+                      file under the workspace root (skipping target/, .git/
+                      and fixture directories).
+
+OPTIONS:
+    --format <human|json>   Output format (default: human)
+    --root <DIR>            Workspace root (default: current directory)
+    --scope-all             Apply every rule to every file, ignoring the
+                            per-rule crate scopes (used by fixture tests)
+    --list-rules            Print the rule catalog and exit
+    -h, --help              Print this help
+
+EXIT CODES:
+    0    clean — no deny-level findings
+    1    one or more deny-level findings
+    2    internal error (bad arguments, unreadable file)
+
+Findings can be suppressed per line with a trailing or preceding comment:
+    // asan-lint: allow(<rule>[, <rule>...])
+The rule catalog lives in docs/DETERMINISM.md.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("asan-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        for r in rules::all_rules() {
+            println!("{:<24} {}", r.name(), r.describe());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}` (try --help)")),
+        None => return Err("missing command; try `asan-lint check` or --help".to_string()),
+    }
+    let mut opts = Options {
+        root: std::env::current_dir().map_err(|e| e.to_string())?,
+        ..Options::default()
+    };
+    let mut format = "human".to_string();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = it
+                    .next()
+                    .ok_or("--format needs a value (human|json)")?
+                    .clone();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--scope-all" => opts.scope_all = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}` (try --help)"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    let report = asan_lint::run(&opts)?;
+    let rendered = if format == "json" {
+        render_json(&report.diagnostics, report.checked_files)
+    } else {
+        render_human(&report.diagnostics, report.checked_files)
+    };
+    print!("{rendered}");
+    Ok(if report.violations() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,53 @@
+//! Rule `no-ambient-randomness`: every random bit flows from a seed.
+//!
+//! The workspace is dependency-free, so `rand` cannot even build — but
+//! the rule still patrols for it (and for OS entropy) so a future PR
+//! that vendors an RNG cannot quietly bypass `asan_sim::rng::SimRng`,
+//! whose per-stream seeding is what makes fault injection replayable.
+
+use super::{is_ident, is_punct, FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Kind;
+
+pub(crate) struct NoAmbientRandomness;
+
+impl Rule for NoAmbientRandomness {
+    fn name(&self) -> &'static str {
+        "no-ambient-randomness"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deny thread_rng / rand::random / OS entropy; RNG flows through asan_sim::rng"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let hit = match t.text.as_str() {
+                "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => true,
+                "rand" => is_punct(toks, i + 1, "::") && is_ident(toks, i + 2, "random"),
+                _ => false,
+            };
+            if hit {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: Severity::Deny,
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "ambient randomness (`{}`); derive a seeded stream from \
+                         `asan_sim::rng::SimRng` instead so runs stay replayable",
+                        t.text,
+                    ),
+                });
+            }
+        }
+    }
+}

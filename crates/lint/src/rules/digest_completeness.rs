@@ -1,0 +1,200 @@
+//! Rule `digest-completeness`: every counter reaches the golden
+//! digest.
+//!
+//! The CI determinism job compares `ClusterStats::digest()` against
+//! `tests/golden_digests.txt`. That net only catches what the digest
+//! folds in — a new counter that never enters `digest()` can drift
+//! silently. This rule parses the file that defines `ClusterStats`,
+//! collects every numeric field (recursing into snapshot structs
+//! defined in the same file, through `Vec<...>` / `Option<...>`), and
+//! requires each field name to appear inside the `digest` body. A
+//! field that intentionally stays out of the digest carries
+//! `// asan-lint: allow(digest-completeness)` on its line.
+
+use std::collections::BTreeMap;
+
+use super::{is_punct, matching_brace, FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Kind, Token};
+
+/// Primitive types whose fields must be digested.
+const NUMERIC: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// One struct field: name, type tokens, declaration line.
+struct Field {
+    name: String,
+    ty: Vec<String>,
+    line: u32,
+}
+
+pub(crate) struct DigestCompleteness;
+
+impl Rule for DigestCompleteness {
+    fn name(&self) -> &'static str {
+        "digest-completeness"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every numeric ClusterStats field (transitively) must appear in digest()"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        // Self-scoping: only files that define `ClusterStats` have
+        // anything to check.
+        true
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        let structs = collect_structs(toks);
+        if !structs.contains_key("ClusterStats") {
+            return;
+        }
+        let Some(digest_idents) = digest_body_idents(toks) else {
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: Severity::Deny,
+                file: ctx.rel_path.to_string(),
+                line: 1,
+                message: "`ClusterStats` is defined here but no `fn digest` body was found"
+                    .to_string(),
+            });
+            return;
+        };
+        // Walk ClusterStats' numeric closure over same-file structs.
+        let mut queue: Vec<&str> = vec!["ClusterStats"];
+        let mut seen: Vec<&str> = Vec::new();
+        while let Some(name) = queue.pop() {
+            if seen.contains(&name) {
+                continue;
+            }
+            seen.push(name);
+            for f in &structs[name] {
+                let numeric = f.ty.iter().any(|t| NUMERIC.contains(&t.as_str()));
+                if numeric && !digest_idents.contains(&f.name) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: Severity::Deny,
+                        file: ctx.rel_path.to_string(),
+                        line: f.line,
+                        message: format!(
+                            "numeric field `{}::{}` never appears in `digest()`; fold it \
+                             in (new counters must be under the golden-digest net) or \
+                             annotate `// asan-lint: allow(digest-completeness)`",
+                            name, f.name,
+                        ),
+                    });
+                }
+                for t in &f.ty {
+                    if let Some((k, _)) = structs.get_key_value(t.as_str()) {
+                        queue.push(k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collects `struct Name { field: Type, ... }` declarations.
+fn collect_structs(toks: &[Token]) -> BTreeMap<String, Vec<Field>> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Find the body `{` — tuple structs (`(`) and unit structs
+        // (`;`) have no named fields to check.
+        let mut j = i + 2;
+        while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "(" | ";") {
+            j += 1;
+        }
+        if !is_punct(toks, j, "{") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let close = matching_brace(toks, j);
+        out.insert(name.text.clone(), collect_fields(&toks[j + 1..close]));
+        i = close;
+    }
+    out
+}
+
+/// Splits one struct body into fields (top-level `name: type` pairs).
+fn collect_fields(body: &[Token]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        // A field starts with `ident :` at depth 0 (skipping `pub` /
+        // `pub(crate)` handled naturally: `pub` is an ident not
+        // followed by `:`).
+        if depth == 0 && t.kind == Kind::Ident && is_punct(body, i + 1, ":") {
+            let name = t.text.clone();
+            let line = t.line;
+            let mut ty = Vec::new();
+            let mut j = i + 2;
+            let mut tdepth = 0i32;
+            while j < body.len() {
+                let tt = &body[j];
+                if tt.kind == Kind::Punct {
+                    match tt.text.as_str() {
+                        "<" | "(" | "[" => tdepth += 1,
+                        ">" | ")" | "]" => tdepth -= 1,
+                        "," if tdepth <= 0 => break,
+                        _ => {}
+                    }
+                } else if tt.kind == Kind::Ident {
+                    ty.push(tt.text.clone());
+                }
+                j += 1;
+            }
+            fields.push(Field { name, ty, line });
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// The identifier set of the `fn digest` body, if present.
+fn digest_body_idents(toks: &[Token]) -> Option<Vec<String>> {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == Kind::Ident
+            && toks[i].text == "fn"
+            && toks.get(i + 1).is_some_and(|t| t.text == "digest")
+        {
+            let open = (i..toks.len()).find(|&j| is_punct(toks, j, "{"))?;
+            let close = matching_brace(toks, open);
+            return Some(
+                toks[open..close]
+                    .iter()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect(),
+            );
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,171 @@
+//! Rule `event-exhaustiveness`: engines must make a conscious decision
+//! per `Event` variant.
+//!
+//! The event bus routes each [`Event`] variant to exactly one engine's
+//! `on_event`. A silent wildcard arm (`_ => {}` or `_ => Ok(())`)
+//! would let a freshly added variant fall through unhandled — the
+//! simulation keeps running and the digests quietly change. The rule
+//! denies wildcard and catch-all-binding arms in any `match` over the
+//! event inside an `on_event` body, with one carve-out: a catch-all
+//! whose body diverges loudly (`unreachable!` / `panic!` /
+//! `unimplemented!` / `todo!`) *is* a conscious decision — "this
+//! engine never receives these" — and fails fast at runtime if the
+//! routing table disagrees.
+
+use super::{matching_brace, FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Kind, Token};
+
+pub(crate) struct EventExhaustiveness;
+
+impl Rule for EventExhaustiveness {
+    fn name(&self) -> &'static str {
+        "event-exhaustiveness"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deny silent wildcard arms matching the Event in engine on_event bodies"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/engines/")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        let mut i = 0;
+        while i < toks.len() {
+            // Locate `fn on_event` and its body.
+            let is_on_event = toks[i].kind == Kind::Ident
+                && toks[i].text == "fn"
+                && matches!(toks.get(i + 1), Some(t) if t.text == "on_event");
+            if !is_on_event {
+                i += 1;
+                continue;
+            }
+            let Some(open) = (i..toks.len()).find(|&j| is_brace(&toks[j], "{")) else {
+                return;
+            };
+            let close = matching_brace(toks, open);
+            self.check_body(ctx, &toks[open..close], out);
+            i = close.max(i + 1);
+        }
+    }
+}
+
+impl EventExhaustiveness {
+    /// Scans one `on_event` body for matches over the event.
+    fn check_body(&self, ctx: &FileCtx<'_>, body: &[Token], out: &mut Vec<Diagnostic>) {
+        for (m, t) in body.iter().enumerate() {
+            if !(t.kind == Kind::Ident && t.text == "match") {
+                continue;
+            }
+            let Some(open) = (m..body.len()).find(|&j| is_brace(&body[j], "{")) else {
+                continue;
+            };
+            // Only matches whose subject is the event itself.
+            let subject = &body[m + 1..open];
+            let on_event_subject = subject.iter().any(|t| {
+                t.kind == Kind::Ident && matches!(t.text.as_str(), "ev" | "event" | "Event")
+            });
+            if !on_event_subject {
+                continue;
+            }
+            let close = matching_brace(body, open);
+            self.check_arms(ctx, &body[open + 1..close], out);
+        }
+    }
+
+    /// Walks top-level arms of one match body (the slice between the
+    /// match's braces).
+    fn check_arms(&self, ctx: &FileCtx<'_>, arms: &[Token], out: &mut Vec<Diagnostic>) {
+        let mut depth = 0i32;
+        let mut arm_start = 0usize;
+        let mut i = 0usize;
+        while i < arms.len() {
+            let t = &arms[i];
+            if t.kind == Kind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => depth -= 1,
+                    "," if depth == 0 => arm_start = i + 1,
+                    "=>" if depth == 0 => {
+                        let pattern = &arms[arm_start..i];
+                        let body_end = arm_end(arms, i + 1);
+                        self.check_one_arm(ctx, pattern, &arms[i + 1..body_end], out);
+                        i = body_end;
+                        arm_start = i;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Judges one arm given its pattern and body tokens.
+    fn check_one_arm(
+        &self,
+        ctx: &FileCtx<'_>,
+        pattern: &[Token],
+        body: &[Token],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let catch_all = match pattern {
+            // `_` lexes as an identifier; match on text.
+            [t] if t.text == "_" => true,
+            [t] if t.kind == Kind::Ident && t.text.starts_with(char::is_lowercase) => true,
+            _ => false,
+        };
+        if !catch_all {
+            return;
+        }
+        let diverges = body.iter().any(|t| {
+            t.kind == Kind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "unreachable" | "panic" | "unimplemented" | "todo"
+                )
+        });
+        if diverges {
+            return;
+        }
+        let line = pattern.first().map_or(0, |t| t.line);
+        out.push(Diagnostic {
+            rule: self.name(),
+            severity: Severity::Deny,
+            file: ctx.rel_path.to_string(),
+            line,
+            message: "silent catch-all arm in an engine's match over `Event`; list the \
+                      ignored variants explicitly, or end with a loud \
+                      `other => unreachable!(...)` so a misrouted variant fails fast"
+                .to_string(),
+        });
+    }
+}
+
+/// Index just past one arm's body starting at `start`: a `{}` block
+/// arm ends at its close brace, an expression arm at the next
+/// top-level comma (or the end of the match).
+fn arm_end(arms: &[Token], start: usize) -> usize {
+    if arms.get(start).is_some_and(|t| is_brace(t, "{")) {
+        return matching_brace(arms, start) + 1;
+    }
+    let mut depth = 0i32;
+    for (j, t) in arms.iter().enumerate().skip(start) {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                "," if depth == 0 => return j + 1,
+                _ => {}
+            }
+        }
+    }
+    arms.len()
+}
+
+fn is_brace(t: &Token, s: &str) -> bool {
+    t.kind == Kind::Punct && t.text == s
+}

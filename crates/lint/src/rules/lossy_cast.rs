@@ -1,0 +1,138 @@
+//! Rule `lossy-model-cast`: no silently truncating `as` casts on
+//! model quantities.
+//!
+//! Cycle counts, nanosecond durations, and byte totals are the
+//! quantities the paper's figures are made of; an `as u32` that wraps
+//! at 4 GiB does not crash — it quietly skews a curve. The rule flags
+//! `as`-casts to a narrowing integer type whose operand's final
+//! identifier *names* such a quantity (`cycles`, `_ns`, `nanos`,
+//! `bytes`, and — for the u8/u16 targets where truncation is most
+//! likely — `len`). Casts of SCREAMING_CASE constants are exempt:
+//! their values are compile-time known and review-visible. The fix is
+//! `T::try_from(x).expect(...)` (loud) or a checked helper, not a
+//! wider silent wrap.
+
+use super::{FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Kind;
+
+/// Crates that model hardware quantities.
+const SCOPED: [&str; 7] = [
+    "crates/core/",
+    "crates/net/",
+    "crates/io/",
+    "crates/mem/",
+    "crates/cpu/",
+    "crates/sim/",
+    "crates/apps/",
+];
+
+/// Narrowing targets always checked.
+const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Targets narrow enough that a `len` operand is also suspicious.
+const VERY_NARROW: [&str; 4] = ["u8", "u16", "i8", "i16"];
+
+pub(crate) struct LossyModelCast;
+
+impl Rule for LossyModelCast {
+    fn name(&self) -> &'static str {
+        "lossy-model-cast"
+    }
+
+    fn describe(&self) -> &'static str {
+        "flag truncating `as` casts on cycle/ns/byte/len quantities (use try_from)"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        SCOPED.iter().any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident || t.text != "as" {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if target.kind != Kind::Ident || !NARROW.contains(&target.text.as_str()) {
+                continue;
+            }
+            // The operand's final identifier: walk left over paren /
+            // bracket punctuation to the last name involved in the
+            // value (`x.len() as u16` → `len`, `(i * MTU) as u32` →
+            // `MTU`). Anything else — e.g. a literal operand — means
+            // there is no suspicious name to match.
+            let Some(op) = toks[..i]
+                .iter()
+                .rev()
+                .take_while(|t| {
+                    t.kind == Kind::Ident
+                        || (t.kind == Kind::Punct
+                            && matches!(t.text.as_str(), ")" | "(" | "]" | "["))
+                })
+                .find(|t| t.kind == Kind::Ident)
+            else {
+                continue;
+            };
+            // Compile-time constants are review-visible; skip them.
+            if op
+                .text
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+            {
+                continue;
+            }
+            if suspicious(&op.text, &target.text) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: Severity::Deny,
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{} as {}` can truncate a model quantity; use \
+                         `{}::try_from({}).expect(...)` or a checked helper",
+                        op.text, target.text, target.text, op.text,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether identifier `name` names a truncation-sensitive quantity
+/// when cast to `target`.
+fn suspicious(name: &str, target: &str) -> bool {
+    let n = name.to_ascii_lowercase();
+    let quantity = n.contains("cycle")
+        || n.contains("nanos")
+        || n == "ns"
+        || n.ends_with("_ns")
+        || n == "byte"
+        || n == "bytes"
+        || n.ends_with("_bytes")
+        || n.ends_with("_byte");
+    quantity || (n.ends_with("len") && VERY_NARROW.contains(&target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::suspicious;
+
+    #[test]
+    fn quantity_names_hit_every_narrow_target() {
+        assert!(suspicious("total_cycles", "u32"));
+        assert!(suspicious("elapsed_ns", "i32"));
+        assert!(suspicious("wire_bytes", "u32"));
+        assert!(!suspicious("mtu", "u32"));
+        assert!(!suspicious("i", "u16"));
+    }
+
+    #[test]
+    fn len_only_hits_very_narrow_targets() {
+        assert!(suspicious("len", "u16"));
+        assert!(suspicious("plen", "u8"));
+        assert!(!suspicious("len", "u32"));
+    }
+}

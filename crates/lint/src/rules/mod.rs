@@ -1,0 +1,90 @@
+//! The rule catalog.
+//!
+//! Each rule is a pure function over one lexed file; scoping (which
+//! workspace paths a rule patrols) lives on the rule itself so the
+//! driver stays generic. `--scope-all` overrides scoping, which is how
+//! the fixture tests exercise rules outside their home crates.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Kind, Lexed, Token};
+
+mod ambient_randomness;
+mod digest_completeness;
+mod event_exhaustiveness;
+mod lossy_cast;
+mod unordered_iteration;
+mod wall_clock;
+
+/// One invariant check.
+pub trait Rule {
+    /// Stable identifier, accepted by `// asan-lint: allow(<name>)`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help` / docs.
+    fn describe(&self) -> &'static str;
+    /// Whether the rule patrols `rel_path` (workspace-relative, `/`
+    /// separators). Ignored under `--scope-all`.
+    fn applies(&self, rel_path: &str) -> bool;
+    /// Emits diagnostics for one file.
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// Everything a rule sees about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// The lexed source.
+    pub lexed: &'a Lexed,
+}
+
+impl FileCtx<'_> {
+    /// Shorthand for the token slice.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// The full rule set, in catalog order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(unordered_iteration::NoUnorderedIteration),
+        Box::new(wall_clock::NoWallClock),
+        Box::new(ambient_randomness::NoAmbientRandomness),
+        Box::new(lossy_cast::LossyModelCast),
+        Box::new(event_exhaustiveness::EventExhaustiveness),
+        Box::new(digest_completeness::DigestCompleteness),
+    ]
+}
+
+/// True when the token at `i` is an identifier with text `s`.
+pub(crate) fn is_ident(toks: &[Token], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == Kind::Ident && t.text == s)
+}
+
+/// True when the token at `i` is the punctuation `s`.
+pub(crate) fn is_punct(toks: &[Token], i: usize, s: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == s)
+}
+
+/// Finds the matching close brace for the open brace at `open`
+/// (which must be a `{`); returns its index, or `toks.len()` if
+/// unbalanced.
+pub(crate) fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}

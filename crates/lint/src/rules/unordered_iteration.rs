@@ -1,0 +1,67 @@
+//! Rule `no-unordered-iteration`: no `HashMap`/`HashSet` in crates
+//! whose iteration order can feed simulation state.
+//!
+//! `std::collections::HashMap` iterates in `RandomState` order, which
+//! differs between processes. Any such iteration on a path that
+//! schedules events, accumulates statistics, or emits packets breaks
+//! bit-identical replay — exactly the property the golden-digest
+//! regression pins down. Rather than trying to prove "this particular
+//! map is never iterated" from a token stream, the rule bans the types
+//! outright inside the model crates: `BTreeMap`/`BTreeSet` cost
+//! O(log n) lookups but give deterministic order everywhere. A map
+//! that genuinely is lookup-only can carry
+//! `// asan-lint: allow(no-unordered-iteration)` with a justification.
+
+use super::{FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Kind;
+
+/// Crates where event or statistics order can depend on map order.
+const SCOPED: [&str; 5] = [
+    "crates/core/",
+    "crates/net/",
+    "crates/io/",
+    "crates/sim/",
+    "crates/apps/",
+];
+
+pub(crate) struct NoUnorderedIteration;
+
+impl Rule for NoUnorderedIteration {
+    fn name(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deny HashMap/HashSet in order-sensitive model crates (use BTreeMap/BTreeSet)"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        SCOPED.iter().any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for t in ctx.tokens() {
+            if t.kind != Kind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+                continue;
+            }
+            let replacement = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: Severity::Deny,
+                file: ctx.rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` iterates in nondeterministic order; use `{replacement}` (or \
+                     annotate `// asan-lint: allow(no-unordered-iteration)` if the \
+                     collection is provably never iterated)",
+                    t.text,
+                ),
+            });
+        }
+    }
+}

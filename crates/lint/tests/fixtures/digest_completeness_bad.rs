@@ -1,0 +1,21 @@
+//! Known-bad: `retries` was added to the stats but never folded into
+//! the digest, so the golden-digest net cannot see it drift.
+
+pub struct LinkSnapshot {
+    pub bytes: u64,
+    pub stalls: u64,
+}
+
+pub struct ClusterStats {
+    pub events: u64,
+    pub retries: u64,
+    pub link: LinkSnapshot,
+}
+
+impl ClusterStats {
+    pub fn digest(&self) -> u64 {
+        let mut h = fold(0xcbf2_9ce4_8422_2325, self.events);
+        h = fold(h, self.link.bytes);
+        fold(h, self.link.stalls)
+    }
+}

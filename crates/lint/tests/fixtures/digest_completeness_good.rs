@@ -1,0 +1,22 @@
+//! Corrected twin: every numeric counter — including those in nested
+//! snapshot structs — reaches the digest.
+
+pub struct LinkSnapshot {
+    pub bytes: u64,
+    pub stalls: u64,
+}
+
+pub struct ClusterStats {
+    pub events: u64,
+    pub retries: u64,
+    pub link: LinkSnapshot,
+}
+
+impl ClusterStats {
+    pub fn digest(&self) -> u64 {
+        let mut h = fold(0xcbf2_9ce4_8422_2325, self.events);
+        h = fold(h, self.retries);
+        h = fold(h, self.link.bytes);
+        fold(h, self.link.stalls)
+    }
+}

@@ -1,0 +1,13 @@
+//! Known-bad: the silent `_ => {}` arm swallows any Event variant a
+//! future PR adds — the engine just drops it and digests drift.
+
+impl Engine for DemoEngine {
+    fn on_event(&mut self, t: SimTime, ev: Event, bus: &mut EventBus<'_>) -> Result<(), SimError> {
+        match ev {
+            Event::Start(node) => self.start(node, t, bus),
+            Event::IoComplete { host, req } => self.complete(host, req),
+            _ => {}
+        }
+        Ok(())
+    }
+}

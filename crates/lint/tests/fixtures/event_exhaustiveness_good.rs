@@ -1,0 +1,14 @@
+//! Corrected twin: every variant the engine ignores is either listed
+//! explicitly or rejected loudly, so a misrouted or newly added
+//! variant fails fast instead of vanishing.
+
+impl Engine for DemoEngine {
+    fn on_event(&mut self, t: SimTime, ev: Event, bus: &mut EventBus<'_>) -> Result<(), SimError> {
+        match ev {
+            Event::Start(node) => self.start(node, t, bus),
+            Event::IoComplete { host, req } => self.complete(host, req),
+            other => unreachable!("not a demo event: {other:?}"),
+        }
+        Ok(())
+    }
+}

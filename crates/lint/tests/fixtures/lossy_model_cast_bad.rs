@@ -1,0 +1,6 @@
+//! Known-bad: a 4 GiB transfer wraps this counter and quietly skews
+//! the bandwidth curve instead of crashing.
+
+pub fn book_transfer(total_bytes: u64, elapsed_ns: u64) -> (u32, u32) {
+    (total_bytes as u32, elapsed_ns as u32)
+}

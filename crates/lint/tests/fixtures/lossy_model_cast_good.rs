@@ -1,0 +1,9 @@
+//! Corrected twin: truncation is loud (`try_from` + `expect`) or the
+//! counter keeps its full width.
+
+pub fn book_transfer(total_bytes: u64, elapsed_ns: u64) -> (u64, u32) {
+    (
+        total_bytes,
+        u32::try_from(elapsed_ns).expect("window bounded well below 4s"),
+    )
+}

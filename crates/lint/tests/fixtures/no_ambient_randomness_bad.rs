@@ -1,0 +1,8 @@
+//! Known-bad: fault decisions drawn from OS entropy can never be
+//! replayed.
+
+pub fn should_drop_packet(prob: f64) -> bool {
+    let roll: f64 = rand::random();
+    let _ = rand::thread_rng();
+    roll < prob
+}

@@ -1,0 +1,8 @@
+//! Corrected twin: the decision flows from a seeded SimRng stream, so
+//! an identical (seed, plan) pair replays bit-identically.
+
+use asan_sim::rng::SimRng;
+
+pub fn should_drop_packet(rng: &mut SimRng, prob: f64) -> bool {
+    rng.chance(prob)
+}

@@ -1,0 +1,13 @@
+//! Known-bad: accumulates per-node statistics by iterating a HashMap,
+//! so the fold order — and any order-sensitive digest of it — changes
+//! between processes.
+
+use std::collections::HashMap;
+
+pub fn total_latency(per_node: &HashMap<u16, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (_node, ns) in per_node.iter() {
+        acc = acc.rotate_left(1) ^ ns;
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+//! Known-bad: a model component timing itself with the host's clock —
+//! the simulated outcome now depends on machine load.
+
+use std::time::Instant;
+
+pub fn handler_cost_ns() -> u64 {
+    let t0 = Instant::now();
+    let spin: u64 = (0..1000).sum();
+    t0.elapsed().as_nanos() as u64 + (spin & 1)
+}

@@ -1,0 +1,6 @@
+//! Corrected twin: cost comes from the simulated clock the scheduler
+//! advances, never the host's.
+
+pub fn handler_cost_ns(start: asan_sim::SimTime, end: asan_sim::SimTime) -> u64 {
+    end.since(start).as_ns()
+}

@@ -26,7 +26,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A 6-bit active-message handler identifier (0–63).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HandlerId(u8);
 
 impl HandlerId {
@@ -287,7 +287,7 @@ pub fn packetize(
         let header = Header {
             src,
             dst,
-            len: chunk.len() as u16,
+            len: u16::try_from(chunk.len()).expect("chunk bounded by MTU"),
             handler,
             addr: base_addr.wrapping_add((i * MTU) as u32),
             seq: i as u32,

@@ -74,7 +74,7 @@ impl TopologyBuilder {
     }
 
     fn add_node(&mut self, kind: NodeKind, spec: Option<SwitchSpec>) -> NodeId {
-        let id = NodeId(self.kinds.len() as u16);
+        let id = NodeId(u16::try_from(self.kinds.len()).expect("node count fits u16"));
         self.kinds.push(kind);
         self.switch_specs.push(spec);
         id
@@ -286,12 +286,12 @@ impl Fabric {
 
     /// Total bytes carried by all links (each hop counts).
     pub fn total_link_bytes(&self) -> u64 {
-        self.links.iter().map(|l| l.bytes_carried()).sum()
+        self.links.iter().map(Link::bytes_carried).sum()
     }
 
     /// Total credit stalls across all links.
     pub fn total_credit_stalls(&self) -> u64 {
-        self.links.iter().map(|l| l.credit_stalls()).sum()
+        self.links.iter().map(Link::credit_stalls).sum()
     }
 
     /// Injects a transient link-down window `[from, until)` on every
@@ -313,7 +313,7 @@ impl Fabric {
 
     /// Total sends deferred by injected outage windows, across links.
     pub fn total_outage_deferrals(&self) -> u64 {
-        self.links.iter().map(|l| l.outage_deferrals()).sum()
+        self.links.iter().map(Link::outage_deferrals).sum()
     }
 }
 

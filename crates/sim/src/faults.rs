@@ -10,7 +10,7 @@
 //! [`FaultStats`] (injected / detected / recovered / degraded) whose
 //! digest must be bit-identical for identical `(seed, plan)` pairs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::rng::SimRng;
@@ -270,7 +270,7 @@ pub struct FaultInjector {
     packet_rng: SimRng,
     disk_rng: SimRng,
     /// Per-`(node, handler)` invocation counts for trap matching.
-    trap_counts: HashMap<(u16, u8), u64>,
+    trap_counts: BTreeMap<(u16, u8), u64>,
     /// Accumulated fault statistics.
     pub stats: FaultStats,
 }
@@ -284,7 +284,7 @@ impl FaultInjector {
             plan,
             packet_rng,
             disk_rng,
-            trap_counts: HashMap::new(),
+            trap_counts: BTreeMap::new(),
             stats: FaultStats::default(),
         }
     }
