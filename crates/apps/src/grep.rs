@@ -361,7 +361,7 @@ fn run_inner(
     let hr = report.host(host).expect("node report");
     let bg = (hr.background_done, hr.background_left);
     (
-        AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest()),
+        AppRun::from_report(variant, &cl, &report, report.finish, got),
         bg.0,
         bg.1,
     )

@@ -524,13 +524,7 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
     };
     assert_eq!(got_pass, want_pass, "bit-vector pass count mismatch");
     assert_eq!(got_matches, want_matches, "join match count mismatch");
-    AppRun::from_report(
-        variant,
-        &report,
-        report.finish,
-        got_matches,
-        cl.stats().digest(),
-    )
+    AppRun::from_report(variant, &cl, &report, report.finish, got_matches)
 }
 
 #[cfg(test)]

@@ -278,13 +278,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
             .expect("digest computed")
     };
     assert_eq!(got, want, "MD5 digest mismatch");
-    AppRun::from_report(
-        variant,
-        &report,
-        report.finish,
-        digest_tag(&got),
-        cl.stats().digest(),
-    )
+    AppRun::from_report(variant, &cl, &report, report.finish, digest_tag(&got))
 }
 
 #[cfg(test)]

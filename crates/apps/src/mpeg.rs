@@ -350,7 +350,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         got.abs_diff(want) <= 64,
         "I-byte count mismatch: {got} vs {want}"
     );
-    AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest())
+    AppRun::from_report(variant, &cl, &report, report.finish, got)
 }
 
 #[cfg(test)]

@@ -452,13 +452,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         per_node * p.nodes as u64,
         "records not conserved"
     );
-    AppRun::from_report(
-        variant,
-        &report,
-        report.finish,
-        total_received,
-        cl.stats().digest(),
-    )
+    AppRun::from_report(variant, &cl, &report, report.finish, total_received)
 }
 
 #[cfg(test)]

@@ -446,6 +446,9 @@ pub struct ReduceRun {
     /// Canonical cluster-stats digest of the run, for golden-digest
     /// regression checks.
     pub stats_digest: u64,
+    /// Observability report: latency histograms and the per-phase time
+    /// breakdown.
+    pub metrics: asan_core::metrics::MetricsReport,
 }
 
 /// Runs one collective reduction, validating the result against the
@@ -577,6 +580,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
         latency: report.finish,
         faults: cl.fault_stats(),
         stats_digest: cl.stats().digest(),
+        metrics: cl.metrics(&report),
     }
 }
 

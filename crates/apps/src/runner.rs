@@ -5,6 +5,7 @@
 //! requests), `active` (host + switch handler) and `active+pref`.
 
 use asan_core::cluster::{Cluster, ClusterConfig};
+use asan_core::metrics::MetricsReport;
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::{LinkConfig, NodeId};
 use asan_sim::stats::TimeBreakdown;
@@ -110,17 +111,24 @@ pub struct AppRun {
     /// Canonical [`ClusterStats::digest`](asan_core::stats::ClusterStats::digest)
     /// of the run, for golden-digest regression checks.
     pub stats_digest: u64,
+    /// Observability report: latency histograms (packet, handler, disk,
+    /// buffer-wait, credit-stall) and the per-phase time breakdown.
+    pub metrics: MetricsReport,
 }
 
 impl AppRun {
-    /// Assembles an [`AppRun`] from a finished cluster report.
+    /// Assembles an [`AppRun`] from a finished cluster and its report:
+    /// derives the stats digest and the metrics report directly from
+    /// the cluster so every benchmark gets them uniformly.
     pub fn from_report(
         variant: Variant,
+        cl: &Cluster,
         report: &asan_core::cluster::RunReport,
         exec: SimTime,
         artifact: u64,
-        stats_digest: u64,
     ) -> AppRun {
+        let stats_digest = cl.stats().digest();
+        let metrics = cl.metrics(report);
         let exec_span = exec.since(asan_sim::SimTime::ZERO);
         let n = report.hosts.len().max(1) as u64;
         let host_breakdown = report
@@ -158,6 +166,7 @@ impl AppRun {
             link_bytes: report.link_bytes,
             artifact,
             stats_digest,
+            metrics,
         }
     }
 }

@@ -344,7 +344,7 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
             .matches
     };
     assert_eq!(got, want, "select match count mismatch");
-    AppRun::from_report(variant, &report, report.finish, got, cl.stats().digest())
+    AppRun::from_report(variant, &cl, &report, report.finish, got)
 }
 
 #[cfg(test)]

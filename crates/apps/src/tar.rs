@@ -274,13 +274,7 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         p.files as u64
     };
     // Tar's execution time is until the archive is fully written.
-    AppRun::from_report(
-        variant,
-        &report,
-        report.drain,
-        streamed,
-        cl.stats().digest(),
-    )
+    AppRun::from_report(variant, &cl, &report, report.drain, streamed)
 }
 
 #[cfg(test)]

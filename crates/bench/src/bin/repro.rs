@@ -20,6 +20,10 @@
 //!   multiprog       co-scheduled background job (§7's throughput claim)
 //!   chaos           benchmarks under seeded fault injection
 //!   chaos-digest    deterministic fault-run digest (CI runs it twice)
+//!   metrics         structured telemetry: per-phase time breakdown and
+//!                   latency percentiles for all nine benchmarks,
+//!                   normal + active (also selected by --metrics;
+//!                   add --json for the analyzer's input document)
 //!   golden          per-benchmark stats digests (normal + active), the
 //!                   golden-digest regression input (tests/golden_digests.txt)
 //!   all             everything above
@@ -36,8 +40,12 @@ use std::env;
 
 use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
-use asan_bench::{breakdown_table, overall_csv, overall_table, speedups};
+use asan_bench::{
+    breakdown_table, latency_report, metrics_json, overall_csv, overall_table,
+    phase_breakdown_report, speedups, BenchMetrics,
+};
 use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
+use asan_core::metrics::MetricsReport;
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::LinkConfig;
 use asan_sim::faults::{FaultPlan, HandlerTrap};
@@ -45,6 +53,7 @@ use asan_sim::faults::{FaultPlan, HandlerTrap};
 struct Scale {
     small: bool,
     csv: bool,
+    json: bool,
 }
 
 impl Scale {
@@ -490,6 +499,54 @@ fn golden(sc: &Scale) {
     }
 }
 
+/// The observability report: runs all nine benchmarks in the normal and
+/// active configurations and prints the per-phase time breakdown plus
+/// the latency percentiles (human tables, or the analyzer's JSON
+/// document with `--json`).
+fn metrics_exp(sc: &Scale) {
+    let mut rows: Vec<(&'static str, &'static str, MetricsReport)> = Vec::new();
+    for (cfg_name, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
+        rows.push(("mpeg", cfg_name, mpeg::run(variant, &sc.mpeg()).metrics));
+        rows.push((
+            "hashjoin",
+            cfg_name,
+            hashjoin::run(variant, &sc.hashjoin()).metrics,
+        ));
+        rows.push((
+            "select",
+            cfg_name,
+            select::run(variant, &sc.select()).metrics,
+        ));
+        rows.push(("grep", cfg_name, grep::run(variant, &sc.grep()).metrics));
+        rows.push(("tar", cfg_name, tar::run(variant, &sc.tar()).metrics));
+        rows.push(("psort", cfg_name, psort::run(variant, &sc.psort()).metrics));
+        rows.push(("md5", cfg_name, md5app::run(variant, &sc.md5(1)).metrics));
+        let active = variant.is_active();
+        rows.push((
+            "reduce-to-one",
+            cfg_name,
+            reduce::run(reduce::Mode::ReduceToOne, active, 8).metrics,
+        ));
+        rows.push((
+            "distributed-reduce",
+            cfg_name,
+            reduce::run(reduce::Mode::Distributed, active, 8).metrics,
+        ));
+    }
+    if sc.json {
+        let refs: Vec<(&str, &str, &MetricsReport)> =
+            rows.iter().map(|(n, c, m)| (*n, *c, m)).collect();
+        println!("{}", metrics_json(&refs));
+        return;
+    }
+    let summaries: Vec<BenchMetrics> = rows
+        .iter()
+        .map(|(n, c, m)| BenchMetrics::from_report(n, c, m))
+        .collect();
+    println!("{}", phase_breakdown_report(&summaries));
+    println!("{}", latency_report(&summaries));
+}
+
 fn table2() {
     println!("== Table 2: Collective Reduction semantics ==");
     for p in [4usize, 8] {
@@ -512,12 +569,17 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
     let csv = args.iter().any(|a| a == "--csv");
-    let sc = Scale { small, csv };
-    let wanted: Vec<&str> = args
+    let json = args.iter().any(|a| a == "--json");
+    let metrics_flag = args.iter().any(|a| a == "--metrics");
+    let sc = Scale { small, csv, json };
+    let mut wanted: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--small" && *a != "--csv")
+        .filter(|a| *a != "--small" && *a != "--csv" && *a != "--json" && *a != "--metrics")
         .map(String::as_str)
         .collect();
+    if metrics_flag {
+        wanted.push("metrics");
+    }
     let wanted: Vec<&str> = if wanted.is_empty() || wanted.contains(&"all") {
         vec![
             "table1", "fig3", "fig5", "fig7", "fig9", "fig11", "fig13", "fig15", "fig16", "fig17",
@@ -571,6 +633,7 @@ fn main() {
             "ablations" => ablations(&sc),
             "chaos" => chaos(&sc),
             "chaos-digest" => chaos_digest(),
+            "metrics" => metrics_exp(&sc),
             "golden" => golden(&sc),
             "twolevel" => twolevel(&sc),
             "multiprog" => multiprog_exp(&sc),

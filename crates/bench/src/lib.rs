@@ -11,8 +11,12 @@
 //! (CPU busy / cache stall / idle for the host CPU, plus the switch CPU
 //! in the active cases).
 
+pub mod json;
+
 use asan_apps::runner::AppRun;
 use asan_apps::Variant;
+use asan_core::metrics::{MetricsReport, PhaseBreakdown};
+use asan_sim::SimDuration;
 
 /// Renders the overall figure (e.g. Figure 3: exec time, host
 /// utilization, host I/O traffic; first row is the normalization base).
@@ -112,6 +116,192 @@ pub fn overall_csv(experiment: &str, runs: &[AppRun]) -> String {
     out
 }
 
+/// Latency percentile summary of one span kind, as carried in the
+/// metrics JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Span name ("packet", "handler", "disk", "buffer_wait",
+    /// "credit_stall").
+    pub span: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// 50th-percentile latency (simulated picoseconds).
+    pub p50_ps: u64,
+    /// 90th-percentile latency.
+    pub p90_ps: u64,
+    /// 99th-percentile latency.
+    pub p99_ps: u64,
+}
+
+/// One benchmark × configuration row of a metrics document: the phase
+/// breakdown plus the latency percentile summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchMetrics {
+    /// Benchmark name ("mpeg", "grep", …).
+    pub name: String,
+    /// Configuration label ("normal", "active").
+    pub config: String,
+    /// Where the run's simulated cycles went.
+    pub phases: PhaseBreakdown,
+    /// Percentile summaries, in the report's canonical span order.
+    pub latency: Vec<LatencySummary>,
+}
+
+impl BenchMetrics {
+    /// Summarizes a full [`MetricsReport`] into one row (the in-process
+    /// equivalent of emitting JSON and parsing it back).
+    pub fn from_report(name: &str, config: &str, m: &MetricsReport) -> BenchMetrics {
+        BenchMetrics {
+            name: name.to_string(),
+            config: config.to_string(),
+            phases: m.phases,
+            latency: m
+                .latencies()
+                .iter()
+                .map(|(span, h)| LatencySummary {
+                    span: (*span).to_string(),
+                    count: h.count(),
+                    p50_ps: h.percentile(50),
+                    p90_ps: h.percentile(90),
+                    p99_ps: h.percentile(99),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Emits the metrics JSON document for a set of benchmark runs:
+/// `{"benchmarks":[{"name":…,"config":…,"metrics":{…}},…]}`, with each
+/// `metrics` member being [`MetricsReport::to_json`]. Deterministic:
+/// fixed field order, integral picoseconds.
+pub fn metrics_json(rows: &[(&str, &str, &MetricsReport)]) -> String {
+    let mut out = String::from("{\"benchmarks\":[");
+    for (i, (name, config, m)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{name}\",\"config\":\"{config}\",\"metrics\":{}}}",
+            m.to_json()
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a metrics JSON document (as produced by [`metrics_json`])
+/// back into rows.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing field.
+pub fn parse_metrics_doc(text: &str) -> Result<Vec<BenchMetrics>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let benches = doc
+        .get("benchmarks")
+        .and_then(json::Value::as_arr)
+        .ok_or("missing \"benchmarks\" array")?;
+    let field = |v: &json::Value, k: &str| -> Result<u64, String> {
+        v.get(k)
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| format!("missing numeric field {k:?}"))
+    };
+    let mut rows = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or("missing \"name\"")?
+            .to_string();
+        let config = b
+            .get("config")
+            .and_then(json::Value::as_str)
+            .ok_or("missing \"config\"")?
+            .to_string();
+        let m = b.get("metrics").ok_or("missing \"metrics\"")?;
+        let p = m.get("phases").ok_or("missing \"phases\"")?;
+        let phases = PhaseBreakdown {
+            host_ps: field(p, "host_ps")?,
+            fabric_ps: field(p, "fabric_ps")?,
+            handler_ps: field(p, "handler_ps")?,
+            storage_ps: field(p, "storage_ps")?,
+            total_ps: field(p, "total_ps")?,
+        };
+        let lat = m.get("latency").ok_or("missing \"latency\"")?;
+        let mut latency = Vec::new();
+        if let json::Value::Obj(members) = lat {
+            for (span, v) in members {
+                latency.push(LatencySummary {
+                    span: span.clone(),
+                    count: field(v, "count")?,
+                    p50_ps: field(v, "p50_ps")?,
+                    p90_ps: field(v, "p90_ps")?,
+                    p99_ps: field(v, "p99_ps")?,
+                });
+            }
+        }
+        rows.push(BenchMetrics {
+            name,
+            config,
+            phases,
+            latency,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the paper-style per-phase time-breakdown table: one row per
+/// benchmark × configuration, phase occupancy as a share of total run
+/// time. Phases overlap in time, so rows need not sum to 100%.
+pub fn phase_breakdown_report(rows: &[BenchMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str("== Per-phase time breakdown (share of total run time) ==\n");
+    out.push_str(&format!(
+        "{:<20} {:<8} {:>7} {:>8} {:>9} {:>9} {:>12}\n",
+        "benchmark", "config", "host%", "fabric%", "handler%", "storage%", "total"
+    ));
+    for r in rows {
+        let p = &r.phases;
+        out.push_str(&format!(
+            "{:<20} {:<8} {:>6.1}% {:>7.1}% {:>8.1}% {:>8.1}% {:>12}\n",
+            r.name,
+            r.config,
+            p.share(p.host_ps) * 100.0,
+            p.share(p.fabric_ps) * 100.0,
+            p.share(p.handler_ps) * 100.0,
+            p.share(p.storage_ps) * 100.0,
+            format!("{}", SimDuration::from_ps(p.total_ps)),
+        ));
+    }
+    out
+}
+
+/// Renders the latency-percentile table: p50/p90/p99 per span kind for
+/// every benchmark × configuration row.
+pub fn latency_report(rows: &[BenchMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str("== Latency percentiles (simulated time) ==\n");
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<13} {:>9} {:>12} {:>12} {:>12}\n",
+        "benchmark", "config", "span", "count", "p50", "p90", "p99"
+    ));
+    for r in rows {
+        for l in &r.latency {
+            out.push_str(&format!(
+                "{:<20} {:<8} {:<13} {:>9} {:>12} {:>12} {:>12}\n",
+                r.name,
+                r.config,
+                l.span,
+                l.count,
+                format!("{}", SimDuration::from_ps(l.p50_ps)),
+                format!("{}", SimDuration::from_ps(l.p90_ps)),
+                format!("{}", SimDuration::from_ps(l.p99_ps)),
+            ));
+        }
+    }
+    out
+}
+
 /// Extracts the headline speedups (active vs normal, active+pref vs
 /// normal+pref) for EXPERIMENTS.md-style summaries.
 pub fn speedups(runs: &[AppRun]) -> (f64, f64) {
@@ -149,6 +339,7 @@ mod tests {
             link_bytes: 0,
             artifact: 0,
             stats_digest: 0,
+            metrics: MetricsReport::default(),
         }
     }
 
@@ -187,6 +378,64 @@ mod tests {
         assert!(lines[0].starts_with("experiment,config"));
         assert!(lines[1].starts_with("fig3,normal,1000000,1.000000"));
         assert!(lines[2].contains("fig3,active,500000,0.500000"));
+    }
+
+    fn fake_metrics() -> MetricsReport {
+        let mut m = MetricsReport::default();
+        for v in [1_000u64, 2_000, 4_000] {
+            m.packet_e2e.record(v);
+            m.handler_occupancy.record(v * 2);
+        }
+        m.disk_service.record(1_000_000);
+        m.phases = PhaseBreakdown {
+            host_ps: 500_000,
+            fabric_ps: 7_000,
+            handler_ps: 14_000,
+            storage_ps: 1_000_000,
+            total_ps: 2_000_000,
+        };
+        m
+    }
+
+    #[test]
+    fn metrics_json_roundtrips_through_the_parser() {
+        let m = fake_metrics();
+        let doc = metrics_json(&[("grep", "normal", &m), ("grep", "active", &m)]);
+        let rows = parse_metrics_doc(&doc).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "grep");
+        assert_eq!(rows[1].config, "active");
+        assert_eq!(rows[0].phases, m.phases);
+        let direct = BenchMetrics::from_report("grep", "normal", &m);
+        assert_eq!(rows[0], direct, "JSON roundtrip equals in-process summary");
+        assert_eq!(rows[0].latency.len(), 5);
+        assert_eq!(rows[0].latency[0].span, "packet");
+        assert_eq!(rows[0].latency[0].count, 3);
+    }
+
+    #[test]
+    fn phase_and_latency_reports_render() {
+        let m = fake_metrics();
+        let rows = vec![
+            BenchMetrics::from_report("mpeg", "normal", &m),
+            BenchMetrics::from_report("mpeg", "active", &m),
+        ];
+        let pt = phase_breakdown_report(&rows);
+        assert!(pt.contains("benchmark"), "table:\n{pt}");
+        assert!(pt.contains("mpeg"));
+        assert!(pt.contains("25.0%"), "host share 0.5/2.0:\n{pt}");
+        assert!(pt.contains("50.0%"), "storage share 1.0/2.0:\n{pt}");
+        let lt = latency_report(&rows);
+        assert!(lt.contains("packet"));
+        assert!(lt.contains("p99"));
+        assert!(lt.contains("disk"));
+    }
+
+    #[test]
+    fn parse_metrics_doc_rejects_malformed_input() {
+        assert!(parse_metrics_doc("{}").is_err());
+        assert!(parse_metrics_doc("not json").is_err());
+        assert!(parse_metrics_doc("{\"benchmarks\":[{\"name\":\"x\"}]}").is_err());
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct DispatchResult {
     pub outbox: Vec<OutMsg>,
     /// Switch-initiated disk requests.
     pub io_reqs: Vec<SwitchIoReq>,
+    /// When the input data buffer was granted by the buffer
+    /// administrator (buffer-wait span: dispatch request → here).
+    pub granted: SimTime,
+    /// When the handler began executing on its CPU (after buffer grant
+    /// and the dispatch-unit latency).
+    pub started: SimTime,
     /// When the handler invocation completed.
     pub done: SimTime,
     /// Which CPU ran it.
@@ -332,6 +338,8 @@ impl ActiveSwitch {
         DispatchResult {
             outbox,
             io_reqs,
+            granted,
+            started: start,
             done,
             cpu: cpu_idx,
         }

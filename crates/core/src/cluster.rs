@@ -25,8 +25,9 @@ use asan_io::{OsCost, StorageConfig};
 use asan_net::topo::{NodeKind, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, HcaConfig, NodeId};
 use asan_sim::faults::{FaultInjector, FaultPlan, FaultStats};
-use asan_sim::sched::{Scheduler, Tracer};
+use asan_sim::sched::Scheduler;
 use asan_sim::stats::{TimeBreakdown, Traffic};
+use asan_sim::trace::{JsonlSink, TraceSink};
 use asan_sim::{SimDuration, SimTime};
 
 use crate::active::{ActiveSwitch, ActiveSwitchConfig};
@@ -34,6 +35,7 @@ use crate::engines::{route, DispatchEngine, Engine, FabricEngine, HostEngine, St
 use crate::error::SimError;
 use crate::events::{Event, EventBus, FileStore, IoState};
 use crate::handler::Handler;
+use crate::metrics::{MetricsReport, PhaseBreakdown, Probe};
 use crate::stats::{ClusterStats, FabricSnapshot};
 
 pub use crate::engines::{HostCtx, HostProgram};
@@ -196,6 +198,9 @@ pub struct Cluster {
     injector: Option<FaultInjector>,
     /// TCA nodes with an active engine, for delivery routing.
     active_tca_nodes: BTreeSet<NodeId>,
+    /// The observability probe: always-on latency histograms plus the
+    /// optional trace sink spans are delivered to.
+    probe: Probe,
 }
 
 impl Cluster {
@@ -228,7 +233,23 @@ impl Cluster {
             reqs: BTreeMap::new(),
             injector,
             active_tca_nodes: BTreeSet::new(),
+            probe: Probe::default(),
         }
+    }
+
+    /// Installs a trace sink: every span the engines emit from now on
+    /// (packet, handler, disk, buffer) is delivered to it. Without a
+    /// sink the probe only maintains its histograms — no formatting or
+    /// I/O happens. Tracing never changes simulated behaviour: digests
+    /// are bit-identical with any sink installed.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.probe.set_sink(sink);
+    }
+
+    /// The installed trace sink, if any (e.g. to downcast a
+    /// [`asan_sim::trace::RingSink`] and read captured spans back).
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.probe.sink()
     }
 
     /// Stores `data` as a file on `tca`'s array, returning its ID.
@@ -365,6 +386,31 @@ impl Cluster {
         }
     }
 
+    /// Assembles the observability report for a finished run: the
+    /// probe's latency histograms, the fabric's credit-stall
+    /// distribution, and the per-phase time breakdown derived from
+    /// `report`. Phase buckets measure *occupancy* and overlap in time
+    /// (a packet crosses the fabric while a disk seeks), so their
+    /// shares can sum past 100% — like the paper's stacked
+    /// per-component breakdown bars.
+    pub fn metrics(&self, report: &RunReport) -> MetricsReport {
+        let mut m = self.probe.snapshot();
+        m.credit_stall = self.fabric.credit_stall_histogram();
+        let host_ps: u64 = report
+            .hosts
+            .iter()
+            .map(|h| (h.breakdown.busy + h.breakdown.stall).as_ps())
+            .sum();
+        m.phases = PhaseBreakdown {
+            host_ps,
+            fabric_ps: m.packet_e2e.sum(),
+            handler_ps: m.handler_occupancy.sum(),
+            storage_ps: m.disk_service.sum(),
+            total_ps: report.drain.as_ps(),
+        };
+        m
+    }
+
     /// The fault counters accumulated so far (all zero when no plan is
     /// armed).
     pub fn fault_stats(&self) -> FaultStats {
@@ -385,8 +431,19 @@ impl Cluster {
     /// [`SimError::RetriesExhausted`] if a request's retry budget runs
     /// out under fault injection.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        // Resolve the trace switch once per run, not per event.
-        self.sched.set_tracer(Tracer::from_env());
+        // Compatibility shim for the old `ASAN_TRACE` switch: when no
+        // sink was injected explicitly, a non-empty `ASAN_TRACE=<path>`
+        // selects the JSONL file sink (appending, so multi-run sessions
+        // accumulate). Resolved once per run, not per event.
+        if !self.probe.has_sink() {
+            if let Some(path) = std::env::var_os("ASAN_TRACE") {
+                if !path.is_empty() {
+                    if let Ok(sink) = JsonlSink::append(&path) {
+                        self.probe.set_sink(Box::new(sink));
+                    }
+                }
+            }
+        }
         // Arm the run-scoped faults of the plan, if any.
         if let Some(plan) = self.injector.as_ref().map(|i| i.plan().clone()) {
             FabricEngine::arm(&plan, &mut self.fabric);
@@ -411,8 +468,9 @@ impl Cluster {
             self.handle(t, ev)?;
         }
         // Flush trailing archive writes.
-        let drain = self.storage.flush(drain);
+        let drain = self.storage.flush(drain, &mut self.probe);
         FabricEngine::outage_accounting(&mut self.injector, &self.fabric);
+        self.probe.flush();
 
         let finish = self.host.finish_time();
         let finish = if finish == SimTime::ZERO {
@@ -441,6 +499,7 @@ impl Cluster {
             files: &mut self.files,
             cfg: &self.cfg,
             active_tca_nodes: &self.active_tca_nodes,
+            probe: &mut self.probe,
         };
         use crate::engines::Subsystem;
         match route(&ev) {

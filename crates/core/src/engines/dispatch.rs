@@ -65,6 +65,7 @@ impl Engine for DispatchEngine {
                     .expect("fallback engine exists")
                     .dispatch(&pkt, t, t, t);
                 bus.injector.as_mut().expect("armed").stats.fallback_packets += 1;
+                Self::record_dispatch_spans(sw, &pkt, t, &result, bus);
                 self.apply_dispatch_result(sw, fb, pkt.header.seq, result, bus);
             }
             other => unreachable!("not a dispatch event: {other:?}"),
@@ -322,7 +323,30 @@ impl DispatchEngine {
             .or_else(|| self.active_tcas.get_mut(&sw))
             .expect("active engine exists");
         let result = engine.dispatch(pkt, t, payload_start, payload_end);
+        Self::record_dispatch_spans(sw, pkt, t, &result, bus);
         self.apply_dispatch_result(sw, sw, pkt.header.seq, result, bus);
+    }
+
+    /// Reports one invocation's handler-occupancy and buffer spans to
+    /// the probe. The buffer span covers the dispatch window (grant →
+    /// invocation done); a handler that keeps its input buffer holds it
+    /// longer, which the occupancy gauge in the DBA tracks separately.
+    fn record_dispatch_spans(
+        sw: NodeId,
+        pkt: &asan_net::Packet,
+        header_at: SimTime,
+        result: &DispatchResult,
+        bus: &mut EventBus<'_>,
+    ) {
+        let bytes = pkt.payload.len() as u64;
+        bus.probe.handler(sw, result.started, result.done, bytes);
+        bus.probe.buffer(
+            sw,
+            result.granted,
+            result.done,
+            result.granted.saturating_since(header_at),
+            bytes,
+        );
     }
 
     /// Forwards a packet for a trapped handler from its switch to the
@@ -337,7 +361,7 @@ impl DispatchEngine {
         bus: &mut EventBus<'_>,
     ) {
         let fb = self.fallback_host.expect("fault plan requires a host");
-        let d = bus.fabric.transmit(pkt.wire_bytes(), sw, fb, t);
+        let d = bus.transmit(pkt.wire_bytes(), sw, fb, t);
         let demux = bus.cfg.os.per_request;
         bus.push(d.arrival + demux, Event::FallbackDispatch { sw, pkt });
     }
@@ -365,7 +389,7 @@ impl DispatchEngine {
                 }
             } else {
                 let wire = (m.data.len() + HEADER_BYTES) as u64;
-                bus.fabric.transmit(wire, from, m.dst, m.ready)
+                bus.transmit(wire, from, m.dst, m.ready)
             };
             bus.deliver(origin, m.dst, m.handler, m.addr, m.data, seq, d, None);
         }
@@ -376,7 +400,7 @@ impl DispatchEngine {
                 bus.push(r.ready, Event::SwitchIoAtTca { r, attempt: 0 });
             } else {
                 let wire = (HEADER_BYTES * 2) as u64;
-                let d = bus.fabric.transmit(wire, from, r.tca, r.ready);
+                let d = bus.transmit(wire, from, r.tca, r.ready);
                 bus.push(d.arrival, Event::SwitchIoAtTca { r, attempt: 0 });
             }
         }

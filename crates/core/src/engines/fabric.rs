@@ -86,7 +86,7 @@ impl Engine for FabricEngine {
                         }
                     }
                 }
-                let d = bus.fabric.transmit(wire, src, dst, t);
+                let d = bus.transmit(wire, src, dst, t);
                 bus.deliver(src, dst, handler, addr, payload, seq, d, io_req);
             }
             Event::Retransmit { req, seq } => {
@@ -143,7 +143,7 @@ impl Engine for FabricEngine {
             }
             Event::CompletionNotice { tca, host, req } => {
                 let wire = HEADER_BYTES as u64;
-                let d = bus.fabric.transmit(wire, tca, host, t);
+                let d = bus.transmit(wire, tca, host, t);
                 bus.push(d.arrival, Event::IoComplete { host, req });
             }
             other => unreachable!("not a fabric event: {other:?}"),

@@ -427,7 +427,7 @@ impl HostEngine {
                 } => {
                     let tca = bus.files.meta[file.0].tca;
                     let wire = (HEADER_BYTES * 2) as u64;
-                    let d = bus.fabric.transmit(wire, host, tca, issue_at);
+                    let d = bus.transmit(wire, host, tca, issue_at);
                     let timeout = bus
                         .injector
                         .as_ref()
@@ -501,7 +501,7 @@ impl HostEngine {
                     for (i, (off, clen)) in chunks.into_iter().enumerate() {
                         let payload = data[off..off + clen].to_vec();
                         let wire = (clen + HEADER_BYTES) as u64;
-                        let d = bus.fabric.transmit(wire, host, dst, ready);
+                        let d = bus.transmit(wire, host, dst, ready);
                         bus.deliver(
                             host,
                             dst,

@@ -48,10 +48,12 @@ impl Engine for StorageEngine {
                 let node = self.tcas.get_mut(&tca).expect("tca exists");
                 node.write_pending += bytes;
                 if node.write_pending >= node.write_chunk {
-                    let done = node.storage.write(node.write_cursor, node.write_pending, t);
-                    node.write_cursor += node.write_pending;
+                    let chunk = node.write_pending;
+                    let done = node.storage.write(node.write_cursor, chunk, t);
+                    node.write_cursor += chunk;
                     node.write_pending = 0;
                     node.last_write_done = node.last_write_done.max(done);
+                    bus.probe.disk(tca, t, done, chunk);
                 }
             }
             Event::IoRequestAtTca {
@@ -132,16 +134,21 @@ impl StorageEngine {
     }
 
     /// Flushes trailing archive writes on every TCA (ascending node
-    /// order) and returns the updated drain time.
-    pub(crate) fn flush(&mut self, mut drain: SimTime) -> SimTime {
-        for tca in self.tcas.values_mut() {
+    /// order), reporting each as a disk span, and returns the updated
+    /// drain time.
+    pub(crate) fn flush(
+        &mut self,
+        mut drain: SimTime,
+        probe: &mut crate::metrics::Probe,
+    ) -> SimTime {
+        for (&id, tca) in self.tcas.iter_mut() {
             if tca.write_pending > 0 {
-                let done = tca
-                    .storage
-                    .write(tca.write_cursor, tca.write_pending, drain);
-                tca.write_cursor += tca.write_pending;
+                let chunk = tca.write_pending;
+                let done = tca.storage.write(tca.write_cursor, chunk, drain);
+                tca.write_cursor += chunk;
                 tca.write_pending = 0;
                 tca.last_write_done = tca.last_write_done.max(done);
+                probe.disk(id, drain, done, chunk);
             }
             drain = drain.max(tca.last_write_done);
         }
@@ -245,6 +252,11 @@ impl StorageEngine {
             node.storage
                 .read_stream(meta.disk_offset + offset, len, now)
         };
+        if let Some(&last) = sched.packet_ready.last() {
+            // One disk-service span per read request: issue → last
+            // stripe ready off the array.
+            bus.probe.disk(tca, now, last, len);
+        }
         let host = bus.reqs[&req].host;
         let (dst, handler, base_addr) = match dest {
             Dest::HostBuf { addr } => (host, None, addr as u32),
@@ -344,6 +356,9 @@ impl StorageEngine {
             node.storage
                 .read_stream(meta.disk_offset + r.offset, r.len, now)
         };
+        if let Some(&last) = sched.packet_ready.last() {
+            bus.probe.disk(r.tca, now, last, r.len);
+        }
         let mut cursor = r.offset as usize;
         for (i, (&ready, &plen)) in sched
             .packet_ready

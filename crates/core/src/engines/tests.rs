@@ -14,6 +14,7 @@ use asan_sim::{SimDuration, SimTime};
 use crate::cluster::ClusterConfig;
 use crate::events::{Dest, Event, EventBus, FileId, FileMeta, FileStore, HostMsg, IoState, ReqId};
 use crate::handler::{Handler, HandlerCtx};
+use crate::metrics::Probe;
 
 use super::{
     route, DispatchEngine, Engine, FabricEngine, HostCtx, HostEngine, HostProgram, StorageEngine,
@@ -31,6 +32,7 @@ struct Rig {
     files: FileStore,
     cfg: ClusterConfig,
     active_tca_nodes: BTreeSet<NodeId>,
+    probe: Probe,
     host: NodeId,
     host2: NodeId,
     sw: NodeId,
@@ -55,6 +57,7 @@ impl Rig {
             files: FileStore::default(),
             cfg: ClusterConfig::paper(),
             active_tca_nodes: BTreeSet::new(),
+            probe: Probe::default(),
             host,
             host2,
             sw,
@@ -71,6 +74,7 @@ impl Rig {
             files: &mut self.files,
             cfg: &self.cfg,
             active_tca_nodes: &self.active_tca_nodes,
+            probe: &mut self.probe,
         }
     }
 
@@ -429,7 +433,7 @@ fn storage_engine_aggregates_archive_writes() {
     let mut eng = StorageEngine::default();
     eng.add_tca(rig.tca, &rig.cfg);
     // Nothing pending: flush is the identity on the drain time.
-    assert_eq!(eng.flush(SimTime::ZERO), SimTime::ZERO);
+    assert_eq!(eng.flush(SimTime::ZERO, &mut rig.probe), SimTime::ZERO);
     // 63 KB + 1 KB cross the 64 KB aggregation chunk: the write is
     // issued eagerly at arrival, and flush() reports its completion.
     for bytes in [63 * 1024, 1024] {
@@ -443,7 +447,7 @@ fn storage_engine_aggregates_archive_writes() {
         )
         .unwrap();
     }
-    assert!(eng.flush(SimTime::ZERO) > SimTime::ZERO);
+    assert!(eng.flush(SimTime::ZERO, &mut rig.probe) > SimTime::ZERO);
 
     // A trailing sub-chunk residue is written out by flush() itself.
     let mut eng2 = StorageEngine::default();
@@ -457,7 +461,7 @@ fn storage_engine_aggregates_archive_writes() {
         &mut rig.bus(),
     )
     .unwrap();
-    assert!(eng2.flush(SimTime::ZERO) > SimTime::ZERO);
+    assert!(eng2.flush(SimTime::ZERO, &mut rig.probe) > SimTime::ZERO);
 }
 
 /// Charges per-byte stream work and forwards a 4-byte digest home.

@@ -24,6 +24,7 @@ use asan_sim::{SimDuration, SimTime};
 
 use crate::cluster::ClusterConfig;
 use crate::handler::SwitchIoReq;
+use crate::metrics::Probe;
 
 /// Identifies an I/O request issued by a host program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -321,12 +322,33 @@ pub struct EventBus<'a> {
     /// for these nodes route to the dispatch subsystem instead of the
     /// raw archive-write path.
     pub active_tca_nodes: &'a BTreeSet<NodeId>,
+    /// The observability probe: engines report timed spans (packet,
+    /// handler, disk, buffer) here.
+    pub probe: &'a mut Probe,
 }
 
 impl EventBus<'_> {
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: Event) {
         self.sched.push(time, event);
+    }
+
+    /// Injects `wire_bytes` into the fabric from `src` toward `dst` and
+    /// records the packet's end-to-end span (injection → last byte at
+    /// the destination) with the probe. Engines use this for every
+    /// *delivered* packet; sends that a fault swallows (drops, corrupt
+    /// payloads discarded by ICRC) call [`Fabric::transmit`] directly so
+    /// the latency distribution only contains real deliveries.
+    pub(crate) fn transmit(
+        &mut self,
+        wire_bytes: u64,
+        src: NodeId,
+        dst: NodeId,
+        ready: SimTime,
+    ) -> asan_net::Delivery {
+        let d = self.fabric.transmit(wire_bytes, src, dst, ready);
+        self.probe.packet(dst, ready, d.arrival, wire_bytes);
+        d
     }
 
     /// Notes a transparently recovered fault of category `cat`

@@ -17,6 +17,8 @@
 //!   subsystem engines communicate through;
 //! * [`engines`] — the four subsystem engines (host, fabric, dispatch,
 //!   storage) the simulation decomposes into;
+//! * [`metrics`] — the observability probe the engines report spans to,
+//!   and the latency-histogram / phase-breakdown [`MetricsReport`];
 //! * [`cluster`] — the whole-system simulator (§4): the thin composer
 //!   that routes events to the engines and assembles the paper's
 //!   metrics (execution time, host utilization, host I/O traffic,
@@ -41,6 +43,7 @@ pub mod engines;
 pub mod error;
 pub mod events;
 pub mod handler;
+pub mod metrics;
 pub mod stats;
 
 pub use active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
@@ -49,3 +52,4 @@ pub use buffer::{BufId, DataBuffer, BUFFER_BYTES};
 pub use dba::BufferAdmin;
 pub use error::SimError;
 pub use handler::{Handler, HandlerCtx, MsgInfo, OutMsg, SwitchIoReq};
+pub use metrics::{MetricsReport, PhaseBreakdown, Probe};

@@ -1,0 +1,387 @@
+//! The observability layer: the in-run probe and the end-of-run
+//! metrics report.
+//!
+//! [`Probe`] is the single point every engine reports to while a run is
+//! in flight: each timed interval of simulated work becomes one latency
+//! sample in a [`LogHistogram`] and — when a [`TraceSink`] is installed
+//! — one typed [`Span`]. [`MetricsReport`] is the end-of-run snapshot:
+//! the five latency distributions (packet end-to-end, handler
+//! occupancy, disk service, buffer wait, credit stall) plus the
+//! per-phase time breakdown the paper's evaluation figures are built
+//! from.
+//!
+//! Instrumentation is observation-only: nothing here schedules events
+//! or advances clocks, so golden digests are bit-identical whether a
+//! sink is installed or not. All times are simulated picoseconds
+//! ([`SimTime`]); wall-clock reads are banned by asan-lint's
+//! `no-wall-clock` rule.
+
+use std::fmt;
+
+use asan_net::NodeId;
+use asan_sim::faults::fnv1a_fold;
+use asan_sim::hist::LogHistogram;
+use asan_sim::trace::{Span, SpanKind, TraceSink};
+use asan_sim::{SimDuration, SimTime};
+
+/// Where the simulated cycles of a run went, one bucket per pipeline
+/// phase. The buckets measure *occupancy*, not a partition: phases
+/// overlap in time (a packet crosses the fabric while a disk seeks),
+/// so the shares can sum past 100% of `total_ps` — exactly like the
+/// stacked per-component bars in the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Host CPU busy + cache-stall picoseconds, summed over hosts.
+    pub host_ps: u64,
+    /// Picoseconds packets spent crossing the fabric (sum of packet
+    /// end-to-end spans).
+    pub fabric_ps: u64,
+    /// Picoseconds switch handlers occupied engine CPUs (sum of
+    /// handler-occupancy spans, including fallback engines).
+    pub handler_ps: u64,
+    /// Picoseconds disks spent servicing requests (sum of disk-service
+    /// spans).
+    pub storage_ps: u64,
+    /// Total simulated run time (the drain time).
+    pub total_ps: u64,
+}
+
+impl PhaseBreakdown {
+    /// `part_ps` as a fraction of the total run time (0 when the run
+    /// was empty).
+    pub fn share(&self, part_ps: u64) -> f64 {
+        if self.total_ps == 0 {
+            0.0
+        } else {
+            part_ps as f64 / self.total_ps as f64
+        }
+    }
+}
+
+/// The end-of-run metrics snapshot: latency distributions plus the
+/// per-phase time breakdown. Produced by
+/// [`Cluster::metrics`](crate::cluster::Cluster::metrics) alongside
+/// [`ClusterStats`](crate::stats::ClusterStats).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// Packet end-to-end latency (fabric injection → last byte
+    /// delivered), all delivered packets.
+    pub packet_e2e: LogHistogram,
+    /// Handler occupancy (dispatch start → invocation complete),
+    /// including host-side fallback engines.
+    pub handler_occupancy: LogHistogram,
+    /// Disk service time (request issue → service done), reads and
+    /// aggregated archive writes.
+    pub disk_service: LogHistogram,
+    /// Buffer-allocation wait (dispatch request → buffer granted);
+    /// zero when a buffer was free.
+    pub buffer_wait: LogHistogram,
+    /// Credit-stall durations on fabric links (merged over every link
+    /// direction).
+    pub credit_stall: LogHistogram,
+    /// Where the run's simulated cycles went.
+    pub phases: PhaseBreakdown,
+}
+
+impl MetricsReport {
+    /// FNV-1a digest over every counter: the five histograms' full
+    /// bucket state and each phase bucket, in fixed order. Keeps the
+    /// metrics layer under the same determinism contract as
+    /// `ClusterStats::digest` (asan-lint's `digest-completeness` rule
+    /// checks the fold covers every numeric field).
+    pub fn digest(&self) -> u64 {
+        let mut h = self.packet_e2e.fold_digest(0xcbf2_9ce4_8422_2325);
+        h = self.handler_occupancy.fold_digest(h);
+        h = self.disk_service.fold_digest(h);
+        h = self.buffer_wait.fold_digest(h);
+        h = self.credit_stall.fold_digest(h);
+        let PhaseBreakdown {
+            host_ps,
+            fabric_ps,
+            handler_ps,
+            storage_ps,
+            total_ps,
+        } = self.phases;
+        for v in [host_ps, fabric_ps, handler_ps, storage_ps, total_ps] {
+            h = fnv1a_fold(h, v);
+        }
+        h
+    }
+
+    /// The named latency histograms, in canonical order.
+    pub fn latencies(&self) -> [(&'static str, &LogHistogram); 5] {
+        [
+            ("packet", &self.packet_e2e),
+            ("handler", &self.handler_occupancy),
+            ("disk", &self.disk_service),
+            ("buffer_wait", &self.buffer_wait),
+            ("credit_stall", &self.credit_stall),
+        ]
+    }
+
+    /// Deterministic JSON encoding (fixed field order, integral
+    /// picoseconds) for the `asan-bench` analyzer.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"phases\":{");
+        let PhaseBreakdown {
+            host_ps,
+            fabric_ps,
+            handler_ps,
+            storage_ps,
+            total_ps,
+        } = self.phases;
+        out.push_str(&format!(
+            "\"host_ps\":{host_ps},\"fabric_ps\":{fabric_ps},\
+             \"handler_ps\":{handler_ps},\"storage_ps\":{storage_ps},\
+             \"total_ps\":{total_ps}}},\"latency\":{{"
+        ));
+        for (i, (name, h)) in self.latencies().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"p50_ps\":{},\"p90_ps\":{},\
+                 \"p99_ps\":{},\"max_ps\":{},\"mean_ps\":{}}}",
+                h.count(),
+                h.percentile(50),
+                h.percentile(90),
+                h.percentile(99),
+                h.max(),
+                h.mean(),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = &self.phases;
+        writeln!(
+            f,
+            "  phase occupancy (of {} total):",
+            SimDuration::from_ps(p.total_ps)
+        )?;
+        for (name, ps) in [
+            ("host compute", p.host_ps),
+            ("fabric", p.fabric_ps),
+            ("switch handler", p.handler_ps),
+            ("storage", p.storage_ps),
+        ] {
+            writeln!(
+                f,
+                "    {name:<15} {:>12} {:>6.1}%",
+                format!("{}", SimDuration::from_ps(ps)),
+                p.share(ps) * 100.0,
+            )?;
+        }
+        writeln!(
+            f,
+            "  latency percentiles:\n    {:<15} {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "p50", "p90", "p99"
+        )?;
+        for (name, h) in self.latencies() {
+            writeln!(
+                f,
+                "    {name:<15} {:>8} {:>12} {:>12} {:>12}",
+                h.count(),
+                format!("{}", SimDuration::from_ps(h.percentile(50))),
+                format!("{}", SimDuration::from_ps(h.percentile(90))),
+                format!("{}", SimDuration::from_ps(h.percentile(99))),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The in-run observability probe: engines report every timed interval
+/// here. Histograms always record (they are cheap and deterministic);
+/// spans reach a [`TraceSink`] only when one is installed, so the
+/// default configuration pays no formatting or I/O cost.
+#[derive(Debug, Default)]
+pub struct Probe {
+    sink: Option<Box<dyn TraceSink>>,
+    packet_e2e: LogHistogram,
+    handler_occupancy: LogHistogram,
+    disk_service: LogHistogram,
+    buffer_wait: LogHistogram,
+    /// Deterministic span sequence number (emission order).
+    next_id: u64,
+}
+
+impl Probe {
+    /// Installs `sink`; subsequent spans are delivered to it.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a sink is installed.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The installed sink, for read-back (e.g. downcasting a
+    /// `RingSink` in tests).
+    pub fn sink(&self) -> Option<&dyn TraceSink> {
+        self.sink.as_deref()
+    }
+
+    /// Flushes the sink (end of run).
+    pub fn flush(&mut self) {
+        if let Some(s) = self.sink.as_mut() {
+            s.flush();
+        }
+    }
+
+    fn span(&mut self, kind: SpanKind, node: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&Span {
+                kind,
+                node: node.0 as u64,
+                id,
+                start,
+                end,
+                bytes,
+            });
+        }
+    }
+
+    /// One packet delivered: injected at `start`, last byte at `end`.
+    pub(crate) fn packet(&mut self, dst: NodeId, start: SimTime, end: SimTime, wire: u64) {
+        self.packet_e2e.record_duration(end.saturating_since(start));
+        self.span(SpanKind::Packet, dst, start, end, wire);
+    }
+
+    /// One handler invocation on `node`'s engine.
+    pub(crate) fn handler(&mut self, node: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+        self.handler_occupancy
+            .record_duration(end.saturating_since(start));
+        self.span(SpanKind::Handler, node, start, end, bytes);
+    }
+
+    /// One disk request serviced by `tca`'s array.
+    pub(crate) fn disk(&mut self, tca: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+        self.disk_service
+            .record_duration(end.saturating_since(start));
+        self.span(SpanKind::Disk, tca, start, end, bytes);
+    }
+
+    /// One data buffer held on `node` from `seize` (grant) to
+    /// `release`, after waiting `wait` for a free buffer.
+    pub(crate) fn buffer(
+        &mut self,
+        node: NodeId,
+        seize: SimTime,
+        release: SimTime,
+        wait: SimDuration,
+        bytes: u64,
+    ) {
+        self.buffer_wait.record_duration(wait);
+        self.span(SpanKind::Buffer, node, seize, release, bytes);
+    }
+
+    /// Snapshot of the probe-side histograms as a partially filled
+    /// report (credit stalls and phases are merged in by
+    /// [`Cluster::metrics`](crate::cluster::Cluster::metrics)).
+    pub(crate) fn snapshot(&self) -> MetricsReport {
+        MetricsReport {
+            packet_e2e: self.packet_e2e.clone(),
+            handler_occupancy: self.handler_occupancy.clone(),
+            disk_service: self.disk_service.clone(),
+            buffer_wait: self.buffer_wait.clone(),
+            credit_stall: LogHistogram::new(),
+            phases: PhaseBreakdown::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asan_sim::trace::RingSink;
+
+    #[test]
+    fn probe_records_histograms_without_a_sink() {
+        let mut p = Probe::default();
+        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528);
+        p.handler(NodeId(2), SimTime::from_ns(5), SimTime::from_ns(9), 512);
+        p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
+        p.buffer(
+            NodeId(2),
+            SimTime::from_ns(5),
+            SimTime::from_ns(9),
+            SimDuration::from_ns(1),
+            512,
+        );
+        let m = p.snapshot();
+        assert_eq!(m.packet_e2e.count(), 1);
+        assert_eq!(m.handler_occupancy.count(), 1);
+        assert_eq!(m.disk_service.count(), 1);
+        assert_eq!(m.buffer_wait.count(), 1);
+        assert_eq!(m.buffer_wait.max(), 1000);
+        assert!(!p.has_sink());
+    }
+
+    #[test]
+    fn probe_delivers_spans_to_the_sink_in_order() {
+        let mut p = Probe::default();
+        p.set_sink(Box::new(RingSink::new(16)));
+        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528);
+        p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
+        let ring = p
+            .sink()
+            .and_then(|s| s.as_any())
+            .and_then(|a| a.downcast_ref::<RingSink>())
+            .expect("ring sink");
+        let ids: Vec<u64> = ring.spans().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(ring.spans().next().unwrap().kind, SpanKind::Packet);
+    }
+
+    #[test]
+    fn digest_covers_phases_and_histograms() {
+        let mut a = MetricsReport::default();
+        let b = MetricsReport::default();
+        assert_eq!(a.digest(), b.digest());
+        a.phases.handler_ps = 1;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = MetricsReport::default();
+        c.packet_e2e.record(5);
+        assert_ne!(c.digest(), b.digest());
+    }
+
+    #[test]
+    fn json_has_fixed_shape() {
+        let mut m = MetricsReport::default();
+        m.packet_e2e.record(1000);
+        m.phases.total_ps = 2000;
+        let j = m.to_json();
+        assert!(j.starts_with("{\"phases\":{\"host_ps\":0,"));
+        assert!(j.contains("\"total_ps\":2000"));
+        assert!(j.contains("\"packet\":{\"count\":1,\"p50_ps\":1000,"));
+        assert!(j.contains("\"credit_stall\":{\"count\":0,"));
+        assert!(j.ends_with("}}"));
+    }
+
+    #[test]
+    fn display_renders_phase_and_percentile_tables() {
+        let mut m = MetricsReport::default();
+        m.packet_e2e.record(1_000_000);
+        m.phases = PhaseBreakdown {
+            host_ps: 500,
+            fabric_ps: 1_000_000,
+            handler_ps: 0,
+            storage_ps: 0,
+            total_ps: 2_000_000,
+        };
+        let text = m.to_string();
+        assert!(text.contains("phase occupancy"));
+        assert!(text.contains("host compute"));
+        assert!(text.contains("50.0%"), "text:\n{text}");
+        assert!(text.contains("packet"));
+        assert!(text.contains("credit_stall"));
+    }
+}

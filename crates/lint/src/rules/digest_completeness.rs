@@ -2,14 +2,16 @@
 //! digest.
 //!
 //! The CI determinism job compares `ClusterStats::digest()` against
-//! `tests/golden_digests.txt`. That net only catches what the digest
-//! folds in — a new counter that never enters `digest()` can drift
-//! silently. This rule parses the file that defines `ClusterStats`,
-//! collects every numeric field (recursing into snapshot structs
-//! defined in the same file, through `Vec<...>` / `Option<...>`), and
-//! requires each field name to appear inside the `digest` body. A
-//! field that intentionally stays out of the digest carries
-//! `// asan-lint: allow(digest-completeness)` on its line.
+//! `tests/golden_digests.txt`, and the trace-determinism job does the
+//! same for `MetricsReport::digest()`. Those nets only catch what the
+//! digests fold in — a new counter that never enters `digest()` can
+//! drift silently. This rule parses any file that defines one of the
+//! digest roots ([`ROOTS`]), collects every numeric field (recursing
+//! into snapshot structs defined in the same file, through `Vec<...>`
+//! / `Option<...>`), and requires each field name to appear inside
+//! that file's `digest` body. A field that intentionally stays out of
+//! the digest carries `// asan-lint: allow(digest-completeness)` on
+//! its line.
 
 use std::collections::BTreeMap;
 
@@ -22,6 +24,10 @@ const NUMERIC: [&str; 14] = [
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
     "f64",
 ];
+
+/// The digest roots: structs whose numeric closure must be fully
+/// folded into the `fn digest` defined in the same file.
+const ROOTS: [&str; 2] = ["ClusterStats", "MetricsReport"];
 
 /// One struct field: name, type tokens, declaration line.
 struct Field {
@@ -38,11 +44,11 @@ impl Rule for DigestCompleteness {
     }
 
     fn describe(&self) -> &'static str {
-        "every numeric ClusterStats field (transitively) must appear in digest()"
+        "every numeric ClusterStats/MetricsReport field (transitively) must appear in digest()"
     }
 
     fn applies(&self, _rel_path: &str) -> bool {
-        // Self-scoping: only files that define `ClusterStats` have
+        // Self-scoping: only files that define a digest root have
         // anything to check.
         true
     }
@@ -50,7 +56,12 @@ impl Rule for DigestCompleteness {
     fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
         let toks = ctx.tokens();
         let structs = collect_structs(toks);
-        if !structs.contains_key("ClusterStats") {
+        let roots: Vec<&str> = ROOTS
+            .iter()
+            .copied()
+            .filter(|r| structs.contains_key(*r))
+            .collect();
+        if roots.is_empty() {
             return;
         }
         let Some(digest_idents) = digest_body_idents(toks) else {
@@ -59,13 +70,15 @@ impl Rule for DigestCompleteness {
                 severity: Severity::Deny,
                 file: ctx.rel_path.to_string(),
                 line: 1,
-                message: "`ClusterStats` is defined here but no `fn digest` body was found"
-                    .to_string(),
+                message: format!(
+                    "`{}` is defined here but no `fn digest` body was found",
+                    roots.join("`/`"),
+                ),
             });
             return;
         };
-        // Walk ClusterStats' numeric closure over same-file structs.
-        let mut queue: Vec<&str> = vec!["ClusterStats"];
+        // Walk each root's numeric closure over same-file structs.
+        let mut queue: Vec<&str> = roots;
         let mut seen: Vec<&str> = Vec::new();
         while let Some(name) = queue.pop() {
             if seen.contains(&name) {
@@ -176,25 +189,31 @@ fn collect_fields(body: &[Token]) -> Vec<Field> {
     fields
 }
 
-/// The identifier set of the `fn digest` body, if present.
+/// The union of identifiers across every `fn digest` body in the file
+/// (a file may define several digest roots), or `None` if there is no
+/// `fn digest` at all.
 fn digest_body_idents(toks: &[Token]) -> Option<Vec<String>> {
+    let mut idents: Option<Vec<String>> = None;
     let mut i = 0;
     while i < toks.len() {
         if toks[i].kind == Kind::Ident
             && toks[i].text == "fn"
             && toks.get(i + 1).is_some_and(|t| t.text == "digest")
         {
-            let open = (i..toks.len()).find(|&j| is_punct(toks, j, "{"))?;
+            let Some(open) = (i..toks.len()).find(|&j| is_punct(toks, j, "{")) else {
+                break;
+            };
             let close = matching_brace(toks, open);
-            return Some(
+            idents.get_or_insert_with(Vec::new).extend(
                 toks[open..close]
                     .iter()
                     .filter(|t| t.kind == Kind::Ident)
-                    .map(|t| t.text.clone())
-                    .collect(),
+                    .map(|t| t.text.clone()),
             );
+            i = close;
+            continue;
         }
         i += 1;
     }
-    None
+    idents
 }

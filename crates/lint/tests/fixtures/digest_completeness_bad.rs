@@ -1,5 +1,7 @@
 //! Known-bad: `retries` was added to the stats but never folded into
-//! the digest, so the golden-digest net cannot see it drift.
+//! the digest, and the metrics report grew a `dropped_spans` counter
+//! its own digest never sees — the golden-digest net cannot catch
+//! either one drifting.
 
 pub struct LinkSnapshot {
     pub bytes: u64,
@@ -17,5 +19,16 @@ impl ClusterStats {
         let mut h = fold(0xcbf2_9ce4_8422_2325, self.events);
         h = fold(h, self.link.bytes);
         fold(h, self.link.stalls)
+    }
+}
+
+pub struct MetricsReport {
+    pub total_ps: u64,
+    pub dropped_spans: u64,
+}
+
+impl MetricsReport {
+    pub fn digest(&self) -> u64 {
+        fold(0xcbf2_9ce4_8422_2325, self.total_ps)
     }
 }

@@ -1,5 +1,5 @@
 //! Corrected twin: every numeric counter — including those in nested
-//! snapshot structs — reaches the digest.
+//! snapshot structs, in both digest roots — reaches its digest.
 
 pub struct LinkSnapshot {
     pub bytes: u64,
@@ -18,5 +18,17 @@ impl ClusterStats {
         h = fold(h, self.retries);
         h = fold(h, self.link.bytes);
         fold(h, self.link.stalls)
+    }
+}
+
+pub struct MetricsReport {
+    pub total_ps: u64,
+    pub dropped_spans: u64,
+}
+
+impl MetricsReport {
+    pub fn digest(&self) -> u64 {
+        let h = fold(0xcbf2_9ce4_8422_2325, self.total_ps);
+        fold(h, self.dropped_spans)
     }
 }

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use asan_sim::hist::LogHistogram;
 use asan_sim::stats::Counter;
 use asan_sim::{SimDuration, SimTime};
 
@@ -71,6 +72,11 @@ pub struct Link {
     packets: Counter,
     /// Sends that had to wait for a credit.
     credit_stalls: Counter,
+    /// Distribution of credit-stall durations (simulated picoseconds).
+    /// Only observable here: the stall is the gap between when the send
+    /// could otherwise start and when the oldest in-flight packet
+    /// drains.
+    stall_hist: LogHistogram,
     /// Total busy (serializing) time.
     busy_time: SimDuration,
     /// Injected link-down windows `[from, until)`: sends starting inside
@@ -96,6 +102,7 @@ impl Link {
             bytes: Counter::default(),
             packets: Counter::default(),
             credit_stalls: Counter::default(),
+            stall_hist: LogHistogram::new(),
             busy_time: SimDuration::ZERO,
             outages: Vec::new(),
             outage_deferrals: Counter::default(),
@@ -144,6 +151,7 @@ impl Link {
             let oldest = *self.inflight.front().expect("non-empty");
             if oldest > start {
                 self.credit_stalls.inc();
+                self.stall_hist.record_duration(oldest.since(start));
                 start = oldest;
             }
             self.inflight.pop_front();
@@ -195,6 +203,11 @@ impl Link {
     /// Number of sends that stalled waiting for a credit.
     pub fn credit_stalls(&self) -> u64 {
         self.credit_stalls.get()
+    }
+
+    /// Distribution of credit-stall durations on this link direction.
+    pub fn credit_stall_hist(&self) -> &LogHistogram {
+        &self.stall_hist
     }
 
     /// Number of sends deferred by an injected outage window.

@@ -294,6 +294,16 @@ impl Fabric {
         self.links.iter().map(Link::credit_stalls).sum()
     }
 
+    /// The distribution of credit-stall durations, merged over every
+    /// link direction in the fabric.
+    pub fn credit_stall_histogram(&self) -> asan_sim::hist::LogHistogram {
+        let mut h = asan_sim::hist::LogHistogram::new();
+        for l in &self.links {
+            h.merge(l.credit_stall_hist());
+        }
+        h
+    }
+
     /// Injects a transient link-down window `[from, until)` on every
     /// link in the fabric (a fabric-wide brown-out; see
     /// [`Link::inject_outage`]).

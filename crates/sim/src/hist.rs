@@ -1,0 +1,330 @@
+//! Dependency-free log-linear (HDR-style) latency histograms.
+//!
+//! The observability layer records every simulated-time latency — packet
+//! end-to-end, handler occupancy, disk service, buffer wait, credit
+//! stall — into a [`LogHistogram`]: 32 linear sub-buckets per power of
+//! two, which bounds the relative quantile error at ~3% while keeping
+//! the whole structure a flat array of counters (no allocation per
+//! sample, no floating point on the record path, bit-identical merges).
+//!
+//! Values are picoseconds of *simulated* time ([`crate::SimDuration`]).
+//! Everything here is deterministic: the same sample sequence produces
+//! the same counters, quantiles, and digest on every machine, so
+//! histograms can sit under the same golden-digest net as the cluster
+//! statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use asan_sim::hist::LogHistogram;
+//!
+//! let mut h = LogHistogram::new();
+//! for v in 1..=100 {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 100);
+//! assert_eq!(h.percentile(50), 50);
+//! assert_eq!(h.percentile(99), 99);
+//! ```
+
+use crate::faults::fnv1a_fold;
+use crate::time::SimDuration;
+
+/// Linear sub-buckets per power of two (2^5 = 32).
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per major (power-of-two) bucket.
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize;
+
+/// A log-linear histogram of `u64` samples (picoseconds, typically).
+///
+/// Values below 32 land in exact unit-width buckets; above that, each
+/// power-of-two range is split into 32 linear sub-buckets, so any
+/// reported quantile is within one sub-bucket (≤ 1/32 relative error)
+/// of the true sample.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let major = (msb - SUB_BITS + 1) as u64;
+    (major * SUB_BUCKETS + ((v >> shift) & (SUB_BUCKETS - 1))) as usize
+}
+
+/// Smallest value landing in bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        return i;
+    }
+    let major = i / SUB_BUCKETS - 1;
+    let sub = i % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << major
+}
+
+/// Largest value landing in bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    let iw = i as u64;
+    if iw < SUB_BUCKETS {
+        return iw;
+    }
+    let major = iw / SUB_BUCKETS - 1;
+    bucket_lower(i).saturating_add((1u64 << major) - 1)
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records a simulated duration (its picosecond count).
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_ps());
+    }
+
+    /// Folds `other` into `self`. Merging is associative and
+    /// commutative: any merge order yields identical counters.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty), by integer division.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `p`-th percentile (`0..=100`), as the upper bound of the
+    /// bucket holding the rank-`⌈count·p/100⌉` sample, clamped to the
+    /// recorded extrema. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * p.min(100)).div_ceil(100).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds every non-zero counter into an FNV-1a digest, so a
+    /// histogram can sit under the same determinism net as
+    /// `ClusterStats`.
+    pub fn fold_digest(&self, mut h: u64) -> u64 {
+        h = fnv1a_fold(h, self.count);
+        h = fnv1a_fold(h, self.sum);
+        h = fnv1a_fold(h, self.min());
+        h = fnv1a_fold(h, self.max);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                h = fnv1a_fold(fnv1a_fold(h, i as u64), c);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_32() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_contain_their_values() {
+        // Every probed value must land in a bucket whose [lower, upper]
+        // range contains it, and bucket ranges must tile without gaps.
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v && v <= bucket_upper(i), "v = {v}");
+        }
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(i).saturating_add(1),
+                bucket_lower(i + 1),
+                "gap after bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Values ≤ 127 sit in buckets at most 4 wide; 1..=100 keeps the
+        // reported quantile within its bucket's upper bound.
+        assert_eq!(h.percentile(50), 50);
+        assert_eq!(h.percentile(90), 91);
+        assert_eq!(h.percentile(99), 99);
+        assert_eq!(h.percentile(0), 1);
+        assert_eq!(h.percentile(100), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.mean(), 50);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let mut h = LogHistogram::new();
+        h.record(77_000);
+        for p in [0, 50, 99, 100] {
+            let q = h.percentile(p);
+            assert_eq!(q, h.max(), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 900]);
+        let b = mk(&[32, 33, 64]);
+        let c = mk(&[1 << 30, 7]);
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+        assert_eq!(left.fold_digest(0), right.fold_digest(0));
+        // And both equal recording everything into one histogram.
+        let all = mk(&[1, 5, 900, 32, 33, 64, 1 << 30, 7]);
+        assert_eq!(all.fold_digest(0), left.fold_digest(0));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive_but_value_sensitive() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [3u64, 99, 12345] {
+            a.record(v);
+        }
+        for v in [12345u64, 3, 99] {
+            b.record(v);
+        }
+        assert_eq!(a.fold_digest(7), b.fold_digest(7));
+        b.record(4);
+        assert_ne!(a.fold_digest(7), b.fold_digest(7));
+    }
+}

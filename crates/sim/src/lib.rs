@@ -10,8 +10,12 @@
 //!   broken by insertion sequence number so simulations are reproducible
 //!   bit-for-bit across runs.
 //! * [`sched::Scheduler`] — the run-loop facade over the queue: pop
-//!   counting plus a [`sched::Tracer`] resolved once per run (from
-//!   `ASAN_TRACE`) instead of per event.
+//!   counting on top of the deterministic ordering.
+//! * [`trace`] — typed observability spans and the [`trace::TraceSink`]
+//!   contract (null / JSONL / in-memory ring sinks).
+//! * [`hist`] — dependency-free log-linear latency histograms recording
+//!   simulated-time distributions (packet, handler, disk, buffer-wait,
+//!   credit-stall).
 //! * [`rng::SimRng`] — a small, dependency-free, seedable PRNG
 //!   (xoshiro256**) used by all workload generators.
 //! * [`stats`] — counters, accumulators and time-weighted statistics used
@@ -34,14 +38,18 @@
 //! ```
 
 pub mod faults;
+pub mod hist;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
+pub use hist::LogHistogram;
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use sched::{Scheduler, Traceable, Tracer};
+pub use sched::{Scheduler, Traceable};
 pub use time::{SimDuration, SimTime};
+pub use trace::{JsonlSink, NullSink, RingSink, Span, SpanKind, TraceSink};

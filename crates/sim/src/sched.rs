@@ -1,12 +1,11 @@
-//! Run-loop facade over the [`EventQueue`]: pop counting and event
-//! tracing in one place.
+//! Run-loop facade over the [`EventQueue`]: pop counting in one place.
 //!
 //! Simulators that drive an [`EventQueue`] by hand end up re-implementing
-//! the same bookkeeping: a processed-event counter (for safety limits and
-//! diagnostics) and an optional per-event trace. [`Scheduler`] bundles
-//! both. The trace switch is resolved *once* — from the `ASAN_TRACE`
-//! environment variable via [`Tracer::from_env`] — instead of per event,
-//! which keeps the hot loop free of `env` syscalls.
+//! the same bookkeeping: a processed-event counter for safety limits and
+//! diagnostics. [`Scheduler`] bundles it with the queue. Structured
+//! event observability lives elsewhere — engines emit typed spans to a
+//! [`crate::trace::TraceSink`] instead of the scheduler printing lines
+//! (the old `Tracer` eprintln tracer this facade once carried).
 //!
 //! # Example
 //!
@@ -31,39 +30,14 @@
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
-/// Types that can name themselves for the event trace.
+/// Types that can name themselves for diagnostics and traces.
 pub trait Traceable {
     /// A short static label naming this event's kind.
     fn trace_label(&self) -> &'static str;
 }
 
-/// Event-trace switch, resolved once per run instead of per event.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Tracer {
-    enabled: bool,
-}
-
-impl Tracer {
-    /// A tracer armed iff the `ASAN_TRACE` environment variable is set.
-    pub fn from_env() -> Self {
-        Tracer {
-            enabled: std::env::var_os("ASAN_TRACE").is_some(),
-        }
-    }
-
-    /// A tracer that never prints.
-    pub fn disabled() -> Self {
-        Tracer { enabled: false }
-    }
-
-    /// Whether tracing is on.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-}
-
 /// The pending-event set plus run bookkeeping: a processed-event
-/// counter and an optional trace of every pop.
+/// counter.
 ///
 /// Ordering semantics are exactly those of [`EventQueue`]: events pop
 /// in `(time, insertion sequence)` order, so simulations stay
@@ -71,24 +45,16 @@ impl Tracer {
 #[derive(Debug)]
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
-    tracer: Tracer,
     processed: u64,
 }
 
 impl<E: Traceable> Scheduler<E> {
-    /// Creates an empty scheduler with tracing off.
+    /// Creates an empty scheduler.
     pub fn new() -> Self {
         Scheduler {
             queue: EventQueue::new(),
-            tracer: Tracer::disabled(),
             processed: 0,
         }
-    }
-
-    /// Installs `tracer` (typically [`Tracer::from_env`], called once at
-    /// the start of a run).
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = tracer;
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -96,14 +62,11 @@ impl<E: Traceable> Scheduler<E> {
         self.queue.push(time, event);
     }
 
-    /// Removes and returns the earliest event, counting it as processed
-    /// and emitting a trace line if the tracer is armed.
+    /// Removes and returns the earliest event, counting it as
+    /// processed.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let (t, ev) = self.queue.pop()?;
         self.processed += 1;
-        if self.tracer.is_enabled() {
-            eprintln!("[ev {}] t={} {:?}", self.processed, t, ev.trace_label());
-        }
         Some((t, ev))
     }
 
@@ -167,20 +130,11 @@ mod tests {
 
     #[test]
     fn processed_persists_across_drains() {
-        let mut s = Scheduler::new();
+        let mut s = Scheduler::default();
         s.push(SimTime::ZERO, Ev(0));
         s.pop();
         s.push(SimTime::ZERO, Ev(1));
         s.pop();
         assert_eq!(s.processed(), 2);
-    }
-
-    #[test]
-    fn tracer_state_is_explicit() {
-        assert!(!Tracer::disabled().is_enabled());
-        let mut s: Scheduler<Ev> = Scheduler::default();
-        s.set_tracer(Tracer::disabled());
-        s.push(SimTime::ZERO, Ev(0));
-        assert_eq!(s.pop().unwrap().1, Ev(0));
     }
 }

@@ -120,7 +120,13 @@ fn corruption_experiment() {
     println!("2. 1% packet corruption on an active 1 MB storage read\n");
 
     const FILE_BYTES: u64 = 1024 * 1024;
-    let run = |faults: Option<FaultPlan>| -> (SimTime, u64, asan_sim::faults::FaultStats) {
+    type ChaosRun = (
+        SimTime,
+        u64,
+        asan_sim::faults::FaultStats,
+        asan_core::metrics::MetricsReport,
+    );
+    let run = |faults: Option<FaultPlan>| -> ChaosRun {
         let mut b = TopologyBuilder::new();
         let sw = b.add_switch(SwitchSpec::paper());
         let host = b.add_host();
@@ -163,13 +169,14 @@ fn corruption_experiment() {
                     .and_then(|p| p.result)
             })
             .expect("count arrived");
-        (report.finish, got, cl.fault_stats())
+        let metrics = cl.metrics(&report);
+        (report.finish, got, cl.fault_stats(), metrics)
     };
 
-    let (clean_finish, clean_count, _) = run(None);
+    let (clean_finish, clean_count, _, clean_m) = run(None);
     let mut plan = FaultPlan::quiet(0xBADF00D);
     plan.packet_corrupt_prob = 0.01;
-    let (finish, count, fs) = run(Some(plan));
+    let (finish, count, fs, chaos_m) = run(Some(plan));
 
     assert_eq!(count, clean_count, "corruption leaked into the result");
     let clean_us = clean_finish.as_ns() as f64 / 1000.0;
@@ -187,4 +194,27 @@ fn corruption_experiment() {
         fs.packet_corrupt.recovered,
         fs.retransmits
     );
+
+    // Retransmission shows up as a latency *tail*, not a shifted
+    // median: compare the percentile tables span by span.
+    println!("\n   latency percentiles, clean vs corrupted:");
+    println!(
+        "   {:<14} {:>12} {:>12}   {:>12} {:>12}",
+        "span", "clean p50", "clean p99", "chaos p50", "chaos p99"
+    );
+    for ((name, clean_h), (_, chaos_h)) in
+        clean_m.latencies().iter().zip(chaos_m.latencies().iter())
+    {
+        if clean_h.count() == 0 && chaos_h.count() == 0 {
+            continue;
+        }
+        let ps = |v: u64| format!("{}", asan_sim::SimDuration::from_ps(v));
+        println!(
+            "   {name:<14} {:>12} {:>12}   {:>12} {:>12}",
+            ps(clean_h.percentile(50)),
+            ps(clean_h.percentile(99)),
+            ps(chaos_h.percentile(50)),
+            ps(chaos_h.percentile(99)),
+        );
+    }
 }

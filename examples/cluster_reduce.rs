@@ -16,15 +16,21 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>9}",
         "nodes", "normal (us)", "active (us)", "speedup"
     );
+    let mut last = None;
     for p in [2usize, 4, 8, 16, 32] {
         let normal = run(Mode::ReduceToOne, false, p);
         let active = run(Mode::ReduceToOne, true, p);
         let n_us = normal.latency.as_ns() as f64 / 1000.0;
         let a_us = active.latency.as_ns() as f64 / 1000.0;
         println!("{p:<8} {n_us:>14.2} {a_us:>14.2} {:>8.2}x", n_us / a_us);
+        last = Some((p, normal, active));
     }
+    let (p, normal, active) = last.expect("at least one node count");
+    println!("\nWhere the time goes at {p} nodes (simulated-time spans):\n");
+    println!("normal (host MST):\n{}", normal.metrics);
+    println!("active (switch tree):\n{}", active.metrics);
     println!(
-        "\nEvery delivered vector is validated lane-by-lane against a\n\
+        "Every delivered vector is validated lane-by-lane against a\n\
          scalar reference inside `reduce::run` — a wrong sum panics."
     );
 }
