@@ -378,7 +378,7 @@ impl HostProgram for ReduceNode {
         }
         if self.active {
             // The result (or my slice).
-            self.got_result = Some(msg.data.clone());
+            self.got_result = Some(msg.data.to_vec());
             self.done = true;
             ctx.finish();
             return;
@@ -421,7 +421,7 @@ impl HostProgram for ReduceNode {
             self.scatter(ctx, base, count, &data);
         } else {
             // My distributed slice (from the root).
-            self.got_result = Some(msg.data.clone());
+            self.got_result = Some(msg.data.to_vec());
             self.done = true;
             ctx.finish();
         }
@@ -449,6 +449,10 @@ pub struct ReduceRun {
     /// Observability report: latency histograms and the per-phase time
     /// breakdown.
     pub metrics: asan_core::metrics::MetricsReport,
+    /// Events the simulation processed (diagnostic).
+    pub events: u64,
+    /// High-water mark of the scheduler's pending-event queue.
+    pub peak_queue: u64,
 }
 
 /// Runs one collective reduction, validating the result against the
@@ -581,6 +585,8 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
         faults: cl.fault_stats(),
         stats_digest: cl.stats().digest(),
         metrics: cl.metrics(&report),
+        events: report.events,
+        peak_queue: report.peak_queue,
     }
 }
 

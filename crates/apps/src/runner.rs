@@ -114,6 +114,11 @@ pub struct AppRun {
     /// Observability report: latency histograms (packet, handler, disk,
     /// buffer-wait, credit-stall) and the per-phase time breakdown.
     pub metrics: MetricsReport,
+    /// Events the simulation processed (diagnostic, for events/sec
+    /// accounting in the perf harness).
+    pub events: u64,
+    /// High-water mark of the scheduler's pending-event queue.
+    pub peak_queue: u64,
 }
 
 impl AppRun {
@@ -167,6 +172,8 @@ impl AppRun {
             artifact,
             stats_digest,
             metrics,
+            events: report.events,
+            peak_queue: report.peak_queue,
         }
     }
 }

@@ -1,24 +1,27 @@
-//! Renders tables from a metrics JSON document.
+//! Renders tables from the harness's JSON documents.
 //!
 //! ```text
 //! analyze breakdown <file.json>   per-phase time-breakdown table
 //! analyze latency   <file.json>   latency-percentile table
+//! analyze perf      <file.json>   wall-clock / events-per-sec table
 //! ```
 //!
-//! The input is what `repro --small metrics --json > file.json` writes:
-//! the nine benchmarks in the normal and active configurations, each
-//! with its phase breakdown and latency percentiles. This subcommand is
-//! the offline half of the observability pipeline — simulate once, slice
+//! `breakdown` and `latency` read what
+//! `repro --small metrics --json > file.json` writes: the nine
+//! benchmarks in the normal and active configurations, each with its
+//! phase breakdown and latency percentiles. `perf` reads the
+//! `BENCH_PERF.json` that `repro perf` writes. This subcommand is the
+//! offline half of the observability pipeline — simulate once, slice
 //! the report as many ways as needed.
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use asan_bench::{latency_report, parse_metrics_doc, phase_breakdown_report};
+use asan_bench::{latency_report, parse_metrics_doc, perf, phase_breakdown_report};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: analyze <breakdown|latency> <file.json>");
+    eprintln!("usage: analyze <breakdown|latency|perf> <file.json>");
     ExitCode::FAILURE
 }
 
@@ -35,6 +38,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if cmd == "perf" {
+        match perf::parse_perf_doc(&text) {
+            Ok(doc) => print!("{}", perf::perf_report(&doc)),
+            Err(e) => {
+                eprintln!("analyze: {path} is not a perf document: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
     let rows = match parse_metrics_doc(&text) {
         Ok(r) => r,
         Err(e) => {

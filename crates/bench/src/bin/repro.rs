@@ -26,6 +26,9 @@
 //!                   add --json for the analyzer's input document)
 //!   golden          per-benchmark stats digests (normal + active), the
 //!                   golden-digest regression input (tests/golden_digests.txt)
+//!   perf            wall-clock per benchmark run (normal + active),
+//!                   events/sec and peak queue depth; writes
+//!                   BENCH_PERF.json for perf-regression tracking
 //!   all             everything above
 //! ```
 //!
@@ -35,14 +38,20 @@
 //! `--small` substitutes the scaled-down test inputs so the whole suite
 //! finishes in seconds (useful for CI smoke runs); omit it to run the
 //! paper's full problem sizes.
+//!
+//! The `golden`, `metrics` and `perf` sweeps run their 18 independent
+//! (benchmark × config) simulations on a worker pool
+//! (`asan_bench::pool`); results are printed in submission order, so
+//! output is byte-identical for any worker count. `ASAN_JOBS=<n>`
+//! overrides the worker count (default: available parallelism).
 
 use std::env;
 
 use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{
-    breakdown_table, latency_report, metrics_json, overall_csv, overall_table,
-    phase_breakdown_report, speedups, BenchMetrics,
+    breakdown_table, latency_report, metrics_json, overall_csv, overall_table, perf,
+    phase_breakdown_report, pool, speedups, BenchMetrics,
 };
 use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::metrics::MetricsReport;
@@ -452,50 +461,85 @@ fn chaos_digest() {
     println!("{}", cl.fault_stats());
 }
 
+/// One finished (benchmark × config) run, as collected by the parallel
+/// sweep harness: everything `golden`, `metrics` and `perf` need.
+struct RunRecord {
+    name: &'static str,
+    config: &'static str,
+    digest: u64,
+    metrics: MetricsReport,
+    events: u64,
+    peak_queue: u64,
+    wall_us: u64,
+}
+
+/// Boxes one benchmark run as a pool job producing a [`RunRecord`].
+/// A macro (not a function) because `AppRun` and `ReduceRun` share the
+/// field names but not a trait.
+macro_rules! sweep_job {
+    ($jobs:ident, $name:literal, $config:ident, $run:expr) => {
+        $jobs.push(Box::new(move || {
+            let (r, secs) = perf::time_wall(|| $run);
+            RunRecord {
+                name: $name,
+                config: $config,
+                digest: r.stats_digest,
+                metrics: r.metrics,
+                events: r.events,
+                peak_queue: r.peak_queue,
+                wall_us: (secs * 1e6) as u64,
+            }
+        }) as pool::Job<RunRecord>);
+    };
+}
+
+/// Runs all nine benchmarks in the `normal` and `active` configurations
+/// on the worker pool and returns the 18 records in canonical order
+/// (the committed golden-digest order): benchmarks within `normal`,
+/// then within `active`. Index-ordered collection makes the order — and
+/// thus every report built from it — independent of the worker count.
+fn run_sweep(sc: &Scale) -> Vec<RunRecord> {
+    let mut jobs: Vec<pool::Job<RunRecord>> = Vec::new();
+    for (config, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
+        let p = sc.mpeg();
+        sweep_job!(jobs, "mpeg", config, mpeg::run(variant, &p));
+        let p = sc.hashjoin();
+        sweep_job!(jobs, "hashjoin", config, hashjoin::run(variant, &p));
+        let p = sc.select();
+        sweep_job!(jobs, "select", config, select::run(variant, &p));
+        let p = sc.grep();
+        sweep_job!(jobs, "grep", config, grep::run(variant, &p));
+        let p = sc.tar();
+        sweep_job!(jobs, "tar", config, tar::run(variant, &p));
+        let p = sc.psort();
+        sweep_job!(jobs, "psort", config, psort::run(variant, &p));
+        let p = sc.md5(1);
+        sweep_job!(jobs, "md5", config, md5app::run(variant, &p));
+        let active = variant.is_active();
+        sweep_job!(
+            jobs,
+            "reduce-to-one",
+            config,
+            reduce::run(reduce::Mode::ReduceToOne, active, 8)
+        );
+        sweep_job!(
+            jobs,
+            "distributed-reduce",
+            config,
+            reduce::run(reduce::Mode::Distributed, active, 8)
+        );
+    }
+    pool::run_indexed(jobs, pool::default_workers())
+}
+
 /// Golden digests: every benchmark's canonical `ClusterStats::digest()`
 /// in the `normal` and `active` configurations. The committed
 /// `tests/golden_digests.txt` holds the output of
 /// `repro -- --small golden`; CI regenerates and diffs it, so any
 /// change that silently perturbs simulation results fails loudly.
 fn golden(sc: &Scale) {
-    for (name, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
-        println!(
-            "mpeg {name} {:016x}",
-            mpeg::run(variant, &sc.mpeg()).stats_digest
-        );
-        println!(
-            "hashjoin {name} {:016x}",
-            hashjoin::run(variant, &sc.hashjoin()).stats_digest
-        );
-        println!(
-            "select {name} {:016x}",
-            select::run(variant, &sc.select()).stats_digest
-        );
-        println!(
-            "grep {name} {:016x}",
-            grep::run(variant, &sc.grep()).stats_digest
-        );
-        println!(
-            "tar {name} {:016x}",
-            tar::run(variant, &sc.tar()).stats_digest
-        );
-        println!(
-            "psort {name} {:016x}",
-            psort::run(variant, &sc.psort()).stats_digest
-        );
-        println!(
-            "md5 {name} {:016x}",
-            md5app::run(variant, &sc.md5(1)).stats_digest
-        );
-        let active = variant.is_active();
-        println!(
-            "reduce-to-one {name} {:016x}",
-            reduce::run(reduce::Mode::ReduceToOne, active, 8).stats_digest
-        );
-        println!(
-            "distributed-reduce {name} {:016x}",
-            reduce::run(reduce::Mode::Distributed, active, 8).stats_digest
-        );
+    for r in run_sweep(sc) {
+        println!("{} {} {:016x}", r.name, r.config, r.digest);
     }
 }
 
@@ -504,47 +548,46 @@ fn golden(sc: &Scale) {
 /// the latency percentiles (human tables, or the analyzer's JSON
 /// document with `--json`).
 fn metrics_exp(sc: &Scale) {
-    let mut rows: Vec<(&'static str, &'static str, MetricsReport)> = Vec::new();
-    for (cfg_name, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
-        rows.push(("mpeg", cfg_name, mpeg::run(variant, &sc.mpeg()).metrics));
-        rows.push((
-            "hashjoin",
-            cfg_name,
-            hashjoin::run(variant, &sc.hashjoin()).metrics,
-        ));
-        rows.push((
-            "select",
-            cfg_name,
-            select::run(variant, &sc.select()).metrics,
-        ));
-        rows.push(("grep", cfg_name, grep::run(variant, &sc.grep()).metrics));
-        rows.push(("tar", cfg_name, tar::run(variant, &sc.tar()).metrics));
-        rows.push(("psort", cfg_name, psort::run(variant, &sc.psort()).metrics));
-        rows.push(("md5", cfg_name, md5app::run(variant, &sc.md5(1)).metrics));
-        let active = variant.is_active();
-        rows.push((
-            "reduce-to-one",
-            cfg_name,
-            reduce::run(reduce::Mode::ReduceToOne, active, 8).metrics,
-        ));
-        rows.push((
-            "distributed-reduce",
-            cfg_name,
-            reduce::run(reduce::Mode::Distributed, active, 8).metrics,
-        ));
-    }
+    let rows = run_sweep(sc);
     if sc.json {
-        let refs: Vec<(&str, &str, &MetricsReport)> =
-            rows.iter().map(|(n, c, m)| (*n, *c, m)).collect();
+        let refs: Vec<(&str, &str, &MetricsReport)> = rows
+            .iter()
+            .map(|r| (r.name, r.config, &r.metrics))
+            .collect();
         println!("{}", metrics_json(&refs));
         return;
     }
     let summaries: Vec<BenchMetrics> = rows
         .iter()
-        .map(|(n, c, m)| BenchMetrics::from_report(n, c, m))
+        .map(|r| BenchMetrics::from_report(r.name, r.config, &r.metrics))
         .collect();
     println!("{}", phase_breakdown_report(&summaries));
     println!("{}", latency_report(&summaries));
+}
+
+/// Perf-regression tracking: times every benchmark run, writes
+/// `BENCH_PERF.json` (wall-clock, events/sec, peak queue depth per
+/// run) and prints the human table. Wall times are diagnostics — the
+/// simulated results of the same sweep are covered by `golden`.
+fn perf_exp(sc: &Scale) {
+    let workers = pool::default_workers();
+    let (records, total_secs) = perf::time_wall(|| run_sweep(sc));
+    let samples: Vec<perf::PerfSample> = records
+        .iter()
+        .map(|r| perf::PerfSample {
+            name: r.name.to_string(),
+            config: r.config.to_string(),
+            wall_us: r.wall_us,
+            events: r.events,
+            events_per_sec: (r.events * 1_000_000).checked_div(r.wall_us).unwrap_or(0),
+            peak_queue: r.peak_queue,
+        })
+        .collect();
+    let text = perf::perf_json(&samples, (total_secs * 1e6) as u64, workers);
+    std::fs::write("BENCH_PERF.json", &text).expect("write BENCH_PERF.json");
+    let doc = perf::parse_perf_doc(&text).expect("perf document round-trips");
+    print!("{}", perf::perf_report(&doc));
+    println!("wrote BENCH_PERF.json");
 }
 
 fn table2() {
@@ -635,6 +678,7 @@ fn main() {
             "chaos-digest" => chaos_digest(),
             "metrics" => metrics_exp(&sc),
             "golden" => golden(&sc),
+            "perf" => perf_exp(&sc),
             "twolevel" => twolevel(&sc),
             "multiprog" => multiprog_exp(&sc),
             other => eprintln!("unknown experiment: {other}"),

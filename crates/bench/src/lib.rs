@@ -12,6 +12,8 @@
 //! in the active cases).
 
 pub mod json;
+pub mod perf;
+pub mod pool;
 
 use asan_apps::runner::AppRun;
 use asan_apps::Variant;
@@ -340,6 +342,8 @@ mod tests {
             artifact: 0,
             stats_digest: 0,
             metrics: MetricsReport::default(),
+            events: 0,
+            peak_queue: 0,
         }
     }
 

@@ -132,6 +132,9 @@ pub struct RunReport {
     pub link_bytes: u64,
     /// Events processed (diagnostic).
     pub events: u64,
+    /// High-water mark of the scheduler's pending-event queue
+    /// (diagnostic; a proxy for the sim's working-set size).
+    pub peak_queue: u64,
 }
 
 impl RunReport {
@@ -444,12 +447,13 @@ impl Cluster {
                 }
             }
         }
-        // Arm the run-scoped faults of the plan, if any.
-        if let Some(plan) = self.injector.as_ref().map(|i| i.plan().clone()) {
-            FabricEngine::arm(&plan, &mut self.fabric);
-            if let Some(seize) = plan.buffer_seize {
-                self.dispatch
-                    .arm_buffer_seize(seize, self.injector.as_mut().expect("armed"));
+        // Arm the run-scoped faults of the plan, if any. `injector` and
+        // `fabric` are disjoint fields, so the plan can be borrowed
+        // instead of cloned.
+        if let Some(inj) = &mut self.injector {
+            FabricEngine::arm(inj.plan(), &mut self.fabric);
+            if let Some(seize) = inj.plan().buffer_seize {
+                self.dispatch.arm_buffer_seize(seize, inj);
             }
             self.dispatch.set_fallback_host(self.host.first_host());
         }
@@ -485,6 +489,7 @@ impl Cluster {
             switches: self.dispatch.reports(finish),
             link_bytes: self.fabric.total_link_bytes(),
             events: self.sched.processed(),
+            peak_queue: self.sched.peak_len() as u64,
         })
     }
 

@@ -38,6 +38,10 @@ pub struct DispatchEngine {
     fallback_engines: BTreeMap<NodeId, ActiveSwitch>,
     /// The host that runs fallback engines (lowest-numbered host).
     fallback_host: Option<NodeId>,
+    /// Memoized configuration for host-side fallback engines, built
+    /// once on first trap instead of recloning `ActiveCfg`/`CpuCfg`
+    /// inside the event loop for every trapping switch.
+    fallback_cfg: Option<ActiveSwitchConfig>,
     /// Reorder buffers for mapped flows under faults.
     flows: BTreeMap<ReqId, FlowState>,
 }
@@ -293,17 +297,18 @@ impl DispatchEngine {
                         .or_else(|| self.active_tcas.get_mut(&sw))
                         .and_then(|e| e.take_handler(hid))
                         .expect("trapped handler installed");
+                    let fallback_cfg = self.fallback_cfg.get_or_insert_with(|| {
+                        // Software demultiplexing on a host CPU: one
+                        // engine, slower dispatch, same handler model.
+                        let mut fcfg = bus.cfg.active.clone();
+                        fcfg.cpu = bus.cfg.host_cpu.clone();
+                        fcfg.num_cpus = 1;
+                        fcfg.dispatch_cycles = 64;
+                        fcfg
+                    });
                     self.fallback_engines
                         .entry(sw)
-                        .or_insert_with(|| {
-                            // Software demultiplexing on a host CPU: one
-                            // engine, slower dispatch, same handler model.
-                            let mut fcfg = bus.cfg.active.clone();
-                            fcfg.cpu = bus.cfg.host_cpu.clone();
-                            fcfg.num_cpus = 1;
-                            fcfg.dispatch_cycles = 64;
-                            ActiveSwitch::new(sw, fcfg)
-                        })
+                        .or_insert_with(|| ActiveSwitch::new(sw, fallback_cfg.clone()))
                         .register(hid, handler);
                     self.trapped.insert((sw, hid));
                     bus.injector
@@ -391,7 +396,16 @@ impl DispatchEngine {
                 let wire = (m.data.len() + HEADER_BYTES) as u64;
                 bus.transmit(wire, from, m.dst, m.ready)
             };
-            bus.deliver(origin, m.dst, m.handler, m.addr, m.data, seq, d, None);
+            bus.deliver(
+                origin,
+                m.dst,
+                m.handler,
+                m.addr,
+                m.data.into(),
+                seq,
+                d,
+                None,
+            );
         }
         for r in result.io_reqs {
             if r.tca == from {

@@ -194,7 +194,7 @@ impl FabricEngine {
         let prefix: u64 = st.lens[..seq as usize].iter().map(|&l| l as u64).sum();
         let start = st.offset as usize + prefix as usize;
         let plen = st.lens[seq as usize] as usize;
-        let payload = bus.files.data[st.file.0][start..start + plen].to_vec();
+        let payload = bus.files.data[st.file.0].slice(start..start + plen);
         let src = st.tca;
         bus.injector.as_mut().expect("armed").stats.retransmits += 1;
         bus.push(

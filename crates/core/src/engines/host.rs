@@ -489,7 +489,10 @@ impl HostEngine {
                         .expect("host exists")
                         .payload
                         .record_out(data.len() as u64);
-                    // Packetize; each packet is its own fabric transfer.
+                    // Packetize; each packet is its own fabric
+                    // transfer. The message is interned once so every
+                    // chunk payload is an O(1) view.
+                    let data = asan_net::Bytes::from(data);
                     let chunks: Vec<(usize, usize)> = if data.is_empty() {
                         vec![(0, 0)]
                     } else {
@@ -499,7 +502,7 @@ impl HostEngine {
                             .collect()
                     };
                     for (i, (off, clen)) in chunks.into_iter().enumerate() {
-                        let payload = data[off..off + clen].to_vec();
+                        let payload = data.slice(off..off + clen);
                         let wire = (clen + HEADER_BYTES) as u64;
                         let d = bus.transmit(wire, host, dst, ready);
                         bus.deliver(

@@ -290,7 +290,7 @@ impl StorageEngine {
             .enumerate()
         {
             let plen = plen as usize;
-            let payload = bus.files.data[file.0][cursor..cursor + plen].to_vec();
+            let payload = bus.files.data[file.0].slice(cursor..cursor + plen);
             cursor += plen;
             if dst == tca {
                 // Mapped to the TCA's own active engine (an active
@@ -367,7 +367,7 @@ impl StorageEngine {
             .enumerate()
         {
             let plen = plen as usize;
-            let payload = bus.files.data[r.file][cursor..cursor + plen].to_vec();
+            let payload = bus.files.data[r.file].slice(cursor..cursor + plen);
             cursor += plen;
             bus.push(
                 ready,

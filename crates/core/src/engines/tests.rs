@@ -285,7 +285,7 @@ fn host_engine_completes_request_after_last_packet() {
             src: tca,
             handler: None,
             addr: 0,
-            data: vec![0; 1024],
+            data: vec![0; 1024].into(),
             seq,
         },
         io_req: Some(req),
@@ -347,7 +347,7 @@ fn fabric_engine_injects_and_delivers_by_node_kind() {
         dst,
         handler: None,
         addr: 0,
-        payload: vec![0xEE; 256],
+        payload: vec![0xEE; 256].into(),
         seq: 0,
         io_req: None,
     };
@@ -527,7 +527,7 @@ fn dispatch_engine_invokes_handler_and_routes_its_output() {
         Event::PacketToHost { host, msg, io_req } => {
             assert_eq!(*host, rig.host);
             assert_eq!(msg.src, rig.sw, "messages carry the logical origin");
-            assert_eq!(msg.data, vec![0x11; 4]);
+            assert_eq!(&*msg.data, &[0x11; 4]);
             assert!(io_req.is_none());
         }
         other => panic!("expected PacketToHost, got {other:?}"),

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use asan_net::topo::NodeKind;
-use asan_net::{Fabric, HandlerId, NodeId};
+use asan_net::{Bytes, Fabric, HandlerId, NodeId};
 use asan_sim::faults::FaultInjector;
 use asan_sim::sched::{Scheduler, Traceable};
 use asan_sim::{SimDuration, SimTime};
@@ -65,8 +65,9 @@ pub struct HostMsg {
     pub handler: Option<HandlerId>,
     /// Address field of the header.
     pub addr: u32,
-    /// Real payload bytes.
-    pub data: Vec<u8>,
+    /// Real payload bytes (a cheap shared view — call
+    /// [`asan_net::Bytes::to_vec`] for an owned copy).
+    pub data: Bytes,
     /// Flow sequence number.
     pub seq: u32,
 }
@@ -86,7 +87,8 @@ pub struct FileMeta {
 #[derive(Debug, Default)]
 pub struct FileStore {
     pub(crate) meta: Vec<FileMeta>,
-    pub(crate) data: Vec<Vec<u8>>,
+    /// Interned file contents: per-packet payloads are O(1) views.
+    pub(crate) data: Vec<Bytes>,
 }
 
 impl FileStore {
@@ -104,7 +106,7 @@ impl FileStore {
     pub(crate) fn push(&mut self, meta: FileMeta, data: Vec<u8>) -> FileId {
         let id = FileId(self.meta.len());
         self.meta.push(meta);
-        self.data.push(data);
+        self.data.push(Bytes::from(data));
         id
     }
 }
@@ -251,8 +253,8 @@ pub enum Event {
         handler: Option<HandlerId>,
         /// Address field of the header.
         addr: u32,
-        /// Payload bytes.
-        payload: Vec<u8>,
+        /// Payload bytes (shared view into the file store).
+        payload: Bytes,
         /// Flow sequence number.
         seq: u32,
         /// The request this packet belongs to, when tracked.
@@ -386,7 +388,7 @@ impl EventBus<'_> {
         dst: NodeId,
         handler: Option<HandlerId>,
         addr: u32,
-        data: Vec<u8>,
+        data: Bytes,
         seq: u32,
         d: asan_net::Delivery,
         io_req: Option<ReqId>,
@@ -436,7 +438,7 @@ impl EventBus<'_> {
         dst: NodeId,
         h: HandlerId,
         addr: u32,
-        data: Vec<u8>,
+        data: Bytes,
         seq: u32,
         d: asan_net::Delivery,
         io_req: Option<ReqId>,

@@ -106,6 +106,12 @@ pub struct Cpu {
     fetch_cursor: u64,
     /// Instructions retired.
     instructions: u64,
+    /// Proven at construction: the whole code footprint is resident in
+    /// the L1I (and I-TLB), and the footprint geometry is line-aligned,
+    /// so instruction fetches can be bulk-accounted without walking the
+    /// cache model line by line. Cleared whenever the hierarchy is
+    /// handed out mutably, since external mutation could evict lines.
+    warm_code: bool,
 }
 
 impl Cpu {
@@ -121,6 +127,10 @@ impl Cpu {
             mem.ifetch(addr, SimTime::ZERO);
             addr += line;
         }
+        // The fast path's segment arithmetic assumes footprint wrap
+        // lands on a line boundary; both paper configs satisfy this.
+        let aligned = cfg.code_base.is_multiple_of(line) && cfg.code_bytes.is_multiple_of(line);
+        let warm_code = aligned && mem.ifetch_resident(cfg.code_base, cfg.code_bytes);
         // Forget the warm-up traffic in the statistics.
         let mut cpu = Cpu {
             mem,
@@ -128,6 +138,7 @@ impl Cpu {
             breakdown: TimeBreakdown::default(),
             fetch_cursor: 0,
             instructions: 0,
+            warm_code,
             cfg,
         };
         cpu.mem.reset_access_stats();
@@ -160,8 +171,11 @@ impl Cpu {
     }
 
     /// Mutable access to the hierarchy (used by the cluster to model DMA
-    /// traffic that invalidates or touches lines).
+    /// traffic that invalidates or touches lines). External mutation
+    /// could evict code lines, so this conservatively drops back to the
+    /// line-by-line instruction-fetch path.
     pub fn memory_mut(&mut self) -> &mut MemoryHierarchy {
+        self.warm_code = false;
         &mut self.mem
     }
 
@@ -180,6 +194,21 @@ impl Cpu {
     fn fetch(&mut self, n: u64) {
         let line = self.cfg.hierarchy.l1i.line_bytes;
         let mut remaining_bytes = n * self.cfg.instr_bytes;
+        if remaining_bytes == 0 {
+            return;
+        }
+        if self.warm_code {
+            // Residency was proven at construction and nothing else
+            // touches the L1I/I-TLB, so every line access below would
+            // hit with zero stall. Bulk-account the exact number of
+            // line-sized accesses the loop would make: the walk starts
+            // at offset `cursor % line` into a line and wrap coincides
+            // with a line boundary (alignment checked at construction).
+            let fetches = (self.fetch_cursor % line + remaining_bytes).div_ceil(line);
+            self.mem.ifetch_warm(fetches);
+            self.fetch_cursor = (self.fetch_cursor + remaining_bytes) % self.cfg.code_bytes;
+            return;
+        }
         while remaining_bytes > 0 {
             let addr = self.cfg.code_base + self.fetch_cursor;
             let line_off = addr % line;
@@ -476,6 +505,47 @@ mod tests {
         // Warm footprint: no ifetch stalls at steady state.
         assert_eq!(c.breakdown().stall, SimDuration::ZERO);
         assert_eq!(c.instructions(), 30_000);
+    }
+
+    #[test]
+    fn warm_fetch_fast_path_matches_slow_path_exactly() {
+        // `memory_mut` drops the fast path, so `slow` walks the cache
+        // model line by line while `fast` bulk-accounts. Every counter
+        // and every picosecond must agree.
+        for cfg in [CpuConfig::host(), CpuConfig::switch_cpu()] {
+            let mut fast = Cpu::new(cfg.clone());
+            let mut slow = Cpu::new(cfg);
+            let _ = slow.memory_mut();
+            for &n in &[1u64, 3, 15, 16, 17, 1000, 4097] {
+                fast.compute(n);
+                slow.compute(n);
+                fast.load(0x8000_0000 + n * 8);
+                slow.load(0x8000_0000 + n * 8);
+            }
+            assert_eq!(fast.now(), slow.now());
+            assert_eq!(fast.breakdown(), slow.breakdown());
+            assert_eq!(
+                fast.memory().stats().ifetches,
+                slow.memory().stats().ifetches
+            );
+            let (f, s) = (fast.memory().l1i().stats(), slow.memory().l1i().stats());
+            assert_eq!(f.hits.get(), s.hits.get());
+            assert_eq!(f.misses.get(), s.misses.get());
+            let tlb_hits = |c: &Cpu| c.memory().itlb().map(|t| t.stats().hits.get());
+            assert_eq!(tlb_hits(&fast), tlb_hits(&slow));
+        }
+    }
+
+    #[test]
+    fn oversized_footprint_disables_fast_path() {
+        // A footprint that cannot be L1I-resident must take (and keep
+        // taking) the stalling slow path.
+        let mut big = Cpu::new(CpuConfig {
+            code_bytes: 128 * 1024,
+            ..CpuConfig::host()
+        });
+        big.compute(128 * 1024 / 4);
+        assert!(big.breakdown().stall.as_ns() > 0);
     }
 
     #[test]

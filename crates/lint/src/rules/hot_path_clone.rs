@@ -1,0 +1,70 @@
+//! Rule `no-hot-path-clone`: engine event handlers must not clone.
+//!
+//! `on_event` is the simulator's hottest code path — every scheduled
+//! event funnels through exactly one engine's handler, millions of
+//! times per run. A `.clone()` there is a per-event allocation (or a
+//! deep payload copy) that the zero-clone packet work removed: packet
+//! payloads are reference-counted `Bytes` precisely so the hot path
+//! can share instead of copy. Construction-time clones (engine setup,
+//! `add_switch`, config plumbing) are fine — the rule patrols only
+//! `fn on_event` bodies. A clone that is genuinely cheap and justified
+//! (an `Rc` bump on a cold fault path, say) takes the standard
+//! `// asan-lint: allow(no-hot-path-clone)` escape hatch, which makes
+//! the cost visible at the call site.
+
+use super::{is_punct, matching_brace, FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Kind;
+
+pub(crate) struct NoHotPathClone;
+
+impl Rule for NoHotPathClone {
+    fn name(&self) -> &'static str {
+        "no-hot-path-clone"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deny .clone() inside engine on_event bodies (the per-event hot path)"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/core/src/engines/")
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        let mut i = 0;
+        while i < toks.len() {
+            let is_on_event = toks[i].kind == Kind::Ident
+                && toks[i].text == "fn"
+                && matches!(toks.get(i + 1), Some(t) if t.text == "on_event");
+            if !is_on_event {
+                i += 1;
+                continue;
+            }
+            let Some(open) = (i..toks.len()).find(|&j| is_punct(toks, j, "{")) else {
+                return;
+            };
+            let close = matching_brace(toks, open);
+            for j in open..close {
+                let is_clone_call = toks[j].kind == Kind::Ident
+                    && toks[j].text == "clone"
+                    && is_punct(toks, j.wrapping_sub(1), ".")
+                    && is_punct(toks, j + 1, "(");
+                if is_clone_call {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: Severity::Deny,
+                        file: ctx.rel_path.to_string(),
+                        line: toks[j].line,
+                        message: ".clone() in an engine's on_event body — the per-event hot \
+                                  path; share (`Bytes`/`Rc`), borrow, or hoist the clone to \
+                                  construction time, or justify it with an allow comment"
+                            .to_string(),
+                    });
+                }
+            }
+            i = close.max(i + 1);
+        }
+    }
+}

@@ -11,6 +11,7 @@ use crate::lexer::{Kind, Lexed, Token};
 mod ambient_randomness;
 mod digest_completeness;
 mod event_exhaustiveness;
+mod hot_path_clone;
 mod lossy_cast;
 mod unordered_iteration;
 mod wall_clock;
@@ -52,6 +53,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(lossy_cast::LossyModelCast),
         Box::new(event_exhaustiveness::EventExhaustiveness),
         Box::new(digest_completeness::DigestCompleteness),
+        Box::new(hot_path_clone::NoHotPathClone),
     ]
 }
 

@@ -1,0 +1,16 @@
+//! Known-bad: deep-clones the packet on every delivery — a per-event
+//! allocation on the simulator's hottest path. Payloads are
+//! reference-counted `Bytes` precisely so handlers can share them.
+
+impl Engine for DemoEngine {
+    fn on_event(&mut self, t: SimTime, ev: Event, bus: &mut EventBus<'_>) -> Result<(), SimError> {
+        match ev {
+            Event::PacketDelivered { sw, pkt } => {
+                self.pending.push(pkt.clone());
+                self.dispatch(sw, pkt, t, bus);
+            }
+            other => unreachable!("not a demo event: {other:?}"),
+        }
+        Ok(())
+    }
+}

@@ -6,14 +6,15 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The six rules and their fixture basenames.
-const RULES: [&str; 6] = [
+/// The seven rules and their fixture basenames.
+const RULES: [&str; 7] = [
     "no-unordered-iteration",
     "no-wall-clock",
     "no-ambient-randomness",
     "lossy-model-cast",
     "event-exhaustiveness",
     "digest-completeness",
+    "no-hot-path-clone",
 ];
 
 fn fixture(name: &str) -> PathBuf {

@@ -273,6 +273,19 @@ impl Cache {
         }
     }
 
+    /// Bulk-records `n` accesses that are known to hit resident lines.
+    ///
+    /// This is the accounting half of a warm-path optimisation: when a
+    /// caller has proven (via [`probe`](Cache::probe)) that every line
+    /// it will touch is resident — and that nothing else can evict them
+    /// — it may skip the per-access lookup and record the hits in one
+    /// step. Recency stamps are *not* advanced; that is only sound
+    /// while the proven residency holds (no future miss means no future
+    /// victim selection in the touched sets).
+    pub fn record_warm_hits(&mut self, n: u64) {
+        self.stats.hits.add(n);
+    }
+
     /// Checks residency without updating LRU or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.index(addr);

@@ -195,6 +195,11 @@ impl MemoryHierarchy {
         self.l2.as_ref()
     }
 
+    /// The instruction TLB, if configured.
+    pub fn itlb(&self) -> Option<&Tlb> {
+        self.itlb.as_ref()
+    }
+
     /// The DRAM channel.
     pub fn dram(&self) -> &Dram {
         &self.dram
@@ -298,6 +303,50 @@ impl MemoryHierarchy {
             l2_hit,
             tlb_miss,
         }
+    }
+
+    /// Whether every instruction line in `[base, base + bytes)` is
+    /// resident in the L1I *and* every page it spans is resident in the
+    /// I-TLB (trivially true when no I-TLB is configured). Uses
+    /// stats-neutral probes, so checking residency never perturbs the
+    /// counters.
+    ///
+    /// Once this holds, it holds forever *provided only instruction
+    /// fetches within the same range touch the L1I and I-TLB*: hits
+    /// never replace, so nothing can be evicted.
+    pub fn ifetch_resident(&self, base: u64, bytes: u64) -> bool {
+        let line = self.cfg.l1i.line_bytes;
+        let mut addr = base & !(line - 1);
+        while addr < base + bytes {
+            if !self.l1i.probe(addr) {
+                return false;
+            }
+            addr += line;
+        }
+        if let Some(t) = &self.itlb {
+            let page = t.config().page_bytes;
+            let mut addr = base & !(page - 1);
+            while addr < base + bytes {
+                if !t.probe(addr) {
+                    return false;
+                }
+                addr += page;
+            }
+        }
+        true
+    }
+
+    /// Bulk-accounts `fetches` instruction fetches that are known to hit
+    /// (see [`ifetch_resident`](MemoryHierarchy::ifetch_resident)):
+    /// bumps exactly the counters `fetches` calls to
+    /// [`ifetch`](MemoryHierarchy::ifetch) would — `ifetches`, I-TLB
+    /// hits, L1I hits — with zero stall and no state changes.
+    pub fn ifetch_warm(&mut self, fetches: u64) {
+        self.stats.ifetches += fetches;
+        if let Some(t) = &mut self.itlb {
+            t.record_warm_hits(fetches);
+        }
+        self.l1i.record_warm_hits(fetches);
     }
 
     /// Fetches a line from L2/DRAM. Returns (stall-until-first-data,

@@ -109,6 +109,16 @@ impl Tlb {
         false
     }
 
+    /// Bulk-records `n` lookups that are known to hit resident
+    /// translations (see [`Cache::record_warm_hits`] for the soundness
+    /// conditions — the caller must have proven residency and
+    /// exclusivity first).
+    ///
+    /// [`Cache::record_warm_hits`]: crate::Cache::record_warm_hits
+    pub fn record_warm_hits(&mut self, n: u64) {
+        self.stats.hits.add(n);
+    }
+
     /// Checks residency without updating LRU, statistics, or contents.
     pub fn probe(&self, addr: u64) -> bool {
         let page = addr >> self.page_shift;

@@ -3,6 +3,8 @@
 //! Models the switched SAN of §4 of *Active I/O Switches in System Area
 //! Networks* (HPCA 2003):
 //!
+//! * [`bytes`] — cheaply cloneable, sliceable payload buffers
+//!   ([`Bytes`]) so packets share file data instead of deep-copying it;
 //! * [`packet`] — the InfiniBand-style Raw packet with its 128-bit
 //!   header (6-bit handler ID, 32-bit mapped address), 512 B MTU,
 //!   packetization and reassembly;
@@ -25,11 +27,13 @@
 //! assert_eq!(d.hops, 2);
 //! ```
 
+pub mod bytes;
 pub mod hca;
 pub mod link;
 pub mod packet;
 pub mod topo;
 
+pub use bytes::Bytes;
 pub use hca::{Hca, HcaConfig};
 pub use link::{Link, LinkConfig, LinkTiming};
 pub use packet::{

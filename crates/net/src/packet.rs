@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use crate::bytes::Bytes;
+
 /// Network-wide maximum transfer unit (bytes of payload per packet).
 pub const MTU: usize = 512;
 
@@ -162,10 +164,14 @@ impl fmt::Display for HeaderError {
 
 impl std::error::Error for HeaderError {}
 
-/// CRC-32 lookup table (IEEE 802.3 reflected polynomial), built at
-/// compile time so the per-packet ICRC stays cheap.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC-32 lookup tables (IEEE 802.3 reflected polynomial) for the
+/// slice-by-8 algorithm, built at compile time so the per-packet ICRC
+/// stays cheap. `CRC32_TABLES[0]` is the classic byte-at-a-time table;
+/// table `j` maps a byte to its CRC contribution `j` positions further
+/// from the end of the stream, letting the hot loop fold eight bytes
+/// per iteration.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -178,32 +184,59 @@ const CRC32_TABLE: [u32; 256] = {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            tables[j][i] = (tables[j - 1][i] >> 8) ^ tables[0][(tables[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
 };
 
 /// CRC-32 (IEEE) over a byte stream, continuing from `crc` (start a new
-/// checksum with `crc = 0`).
+/// checksum with `crc = 0`). Slice-by-8: eight bytes folded per
+/// iteration, bit-identical to the byte-at-a-time recurrence.
 pub fn crc32(crc: u32, bytes: &[u8]) -> u32 {
     let mut c = crc ^ 0xFFFF_FFFF;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = c ^ u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]);
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = CRC32_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC32_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[4][(lo >> 24) as usize]
+            ^ CRC32_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC32_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC32_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC32_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC32_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
 
-/// A packet: header plus owned payload bytes, protected end-to-end by
-/// an invariant CRC (ICRC) over header and payload, as in the
-/// InfiniBand Raw packet format.
+/// A packet: header plus payload bytes, protected end-to-end by an
+/// invariant CRC (ICRC) over header and payload, as in the InfiniBand
+/// Raw packet format.
+///
+/// The payload is a [`Bytes`] view, so cloning a packet (fallback
+/// forwarding, retransmit caching) or slicing a file region into
+/// per-MTU payloads never copies the data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
     /// Wire header.
     pub header: Header,
     /// Payload (≤ [`MTU`] bytes; real data, actually processed by
     /// handlers and hosts).
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
     /// ICRC computed at construction; receivers compare against a
     /// recomputation to detect in-flight corruption.
     icrc: u32,
@@ -216,7 +249,8 @@ impl Packet {
     /// # Panics
     ///
     /// Panics if `payload.len() > MTU`.
-    pub fn new(header: Header, payload: Vec<u8>) -> Self {
+    pub fn new(header: Header, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
         assert!(
             payload.len() <= MTU,
             "payload {} exceeds MTU {MTU}",
@@ -251,7 +285,11 @@ impl Packet {
     pub fn corrupt_payload_bit(&mut self, bit: usize) {
         assert!(!self.payload.is_empty(), "cannot corrupt an empty payload");
         let bit = bit % (self.payload.len() * 8);
-        self.payload[bit / 8] ^= 1 << (bit % 8);
+        // Copy-on-write: the payload may be a view into a shared file
+        // buffer, which must never observe simulated wire corruption.
+        let mut own = self.payload.to_vec();
+        own[bit / 8] ^= 1 << (bit % 8);
+        self.payload = Bytes::from(own);
     }
 
     /// Total wire size: header plus payload.
@@ -280,19 +318,22 @@ pub fn packetize(
             addr: base_addr,
             seq: 0,
         };
-        out.push(Packet::new(header, Vec::new()));
+        out.push(Packet::new(header, Bytes::new()));
         return out;
     }
-    for (i, chunk) in data.chunks(MTU).enumerate() {
+    // Intern the stream once; every payload is an O(1) view into it.
+    let shared = Bytes::from(data);
+    for (i, start) in (0..data.len()).step_by(MTU).enumerate() {
+        let end = (start + MTU).min(data.len());
         let header = Header {
             src,
             dst,
-            len: u16::try_from(chunk.len()).expect("chunk bounded by MTU"),
+            len: u16::try_from(end - start).expect("chunk bounded by MTU"),
             handler,
             addr: base_addr.wrapping_add((i * MTU) as u32),
             seq: i as u32,
         };
-        out.push(Packet::new(header, chunk.to_vec()));
+        out.push(Packet::new(header, shared.slice(start..end)));
     }
     out
 }
@@ -434,6 +475,29 @@ mod tests {
     fn crc32_matches_known_vector() {
         // The canonical IEEE CRC-32 check value.
         assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise_reference() {
+        // The slice-by-8 fold must equal the byte-at-a-time recurrence
+        // at every length (covering remainder handling 0..8) and for
+        // continued checksums.
+        let bytewise = |crc: u32, bytes: &[u8]| {
+            let mut c = crc ^ 0xFFFF_FFFF;
+            for &b in bytes {
+                c = CRC32_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ 0xFFFF_FFFF
+        };
+        let data: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 24) as u8)
+            .collect();
+        for len in (0..64).chain([255, 256, 1000, 1024]) {
+            assert_eq!(crc32(0, &data[..len]), bytewise(0, &data[..len]));
+            let mid = len / 2;
+            let cont = crc32(crc32(0, &data[..mid]), &data[mid..len]);
+            assert_eq!(cont, crc32(0, &data[..len]), "continuation at {len}");
+        }
     }
 
     #[test]

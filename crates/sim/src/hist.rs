@@ -45,6 +45,10 @@ const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize
 /// of the true sample.
 #[derive(Debug, Clone)]
 pub struct LogHistogram {
+    /// Bucket counters; empty until the first sample, so the many
+    /// histograms that never record anything (idle probe slots) cost no
+    /// 15 KB allocation. An empty vector is observably identical to
+    /// all-zero buckets everywhere below.
     counts: Vec<u64>,
     count: u64,
     sum: u64,
@@ -94,7 +98,7 @@ impl LogHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         LogHistogram {
-            counts: vec![0; NUM_BUCKETS],
+            counts: Vec::new(),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -104,6 +108,9 @@ impl LogHistogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; NUM_BUCKETS];
+        }
         self.counts[bucket_index(v)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
@@ -117,10 +124,19 @@ impl LogHistogram {
     }
 
     /// Folds `other` into `self`. Merging is associative and
-    /// commutative: any merge order yields identical counters.
+    /// commutative: any merge order yields identical counters. Merging
+    /// an empty histogram is free, and merging into an empty one is a
+    /// single copy.
     pub fn merge(&mut self, other: &LogHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += *b;
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.counts.clone_from(&other.counts);
+        } else {
+            for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+                *a += *b;
+            }
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
@@ -301,6 +317,24 @@ mod tests {
         // And both equal recording everything into one histogram.
         let all = mk(&[1, 5, 900, 32, 33, 64, 1 << 30, 7]);
         assert_eq!(all.fold_digest(0), left.fold_digest(0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = LogHistogram::new();
+        for v in [4u64, 77, 3000] {
+            a.record(v);
+        }
+        let empty = LogHistogram::new();
+        let mut b = a.clone();
+        b.merge(&empty);
+        assert_eq!(a.fold_digest(3), b.fold_digest(3));
+        let mut c = LogHistogram::new();
+        c.merge(&a);
+        assert_eq!(a.fold_digest(3), c.fold_digest(3));
+        assert_eq!(c.percentile(50), a.percentile(50));
+        c.record(5); // must keep recording correctly after the copy path
+        assert_eq!(c.count(), 4);
     }
 
     #[test]

@@ -1,15 +1,46 @@
 //! Deterministic pending-event set.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] that orders
-//! events by `(time, sequence)`. The monotonically increasing sequence
-//! number guarantees FIFO ordering among events scheduled for the same
-//! instant, which makes whole-system simulations reproducible regardless
-//! of heap internals.
+//! A two-level bucketed calendar queue ordered by `(time, sequence)`.
+//! The monotonically increasing sequence number guarantees FIFO ordering
+//! among events scheduled for the same instant, which makes whole-system
+//! simulations reproducible regardless of queue internals.
+//!
+//! # Design
+//!
+//! The queue keeps a *ring* of `RING_BUCKETS` time buckets, each
+//! `BUCKET_WIDTH_PS` picoseconds wide, covering a sliding near-future
+//! horizon of about 67 µs ahead of the drain cursor. An event whose time
+//! falls inside the horizon lands in its bucket; everything farther out
+//! goes to a sorted *overflow* map keyed by `(time, seq)`. Within a
+//! bucket, entries are kept ascending by `(time, seq)`, so the common
+//! case — engines scheduling monotonically increasing times — is an O(1)
+//! `push_back`, and a same-instant burst stays FIFO by construction.
+//!
+//! `pop` scans the ring forward from the cursor to the first non-empty
+//! bucket and compares that bucket's head against the overflow's first
+//! entry, taking whichever `(time, seq)` is smaller. Comparing both
+//! sides on every pop (rather than assuming the ring always wins) keeps
+//! the order exact even when an overflow entry predates ring entries
+//! inserted after the horizon moved. When the ring drains empty, the
+//! cursor re-anchors at the next pending time and the overflow's
+//! now-in-horizon prefix migrates into the ring in one `split_off`.
+//!
+//! Events pushed *earlier* than the cursor (allowed by the API, unused
+//! by the simulator's causal engines) are clamped into the cursor's
+//! bucket at their sorted position; since the cursor bucket is always
+//! scanned first and buckets order entries by exact `(time, seq)`, the
+//! global pop order is still exact.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::time::SimTime;
+
+/// Width of one ring bucket in picoseconds (65 536 ps ≈ 65.5 ns — a few
+/// switch cycles).
+const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_WIDTH_BITS;
+const BUCKET_WIDTH_BITS: u32 = 16;
+/// Number of buckets in the near-future ring (horizon ≈ 67 µs).
+const RING_BUCKETS: u64 = 1024;
 
 /// A time-ordered queue of events of type `E`.
 ///
@@ -27,7 +58,21 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Ring of near-future buckets; bucket for absolute bucket index
+    /// `b` is `ring[b % RING_BUCKETS]`.
+    ring: Vec<VecDeque<Entry<E>>>,
+    /// Absolute bucket index (`time_ps >> BUCKET_WIDTH_BITS`) the drain
+    /// cursor is at. Every live ring entry sits in a bucket whose
+    /// absolute index is in `[cursor, cursor + RING_BUCKETS)`.
+    cursor: u64,
+    /// Events currently in the ring.
+    ring_len: usize,
+    /// Far-future events, sorted by `(time, seq)`.
+    overflow: BTreeMap<(SimTime, u64), E>,
+    /// Occupancy bitmap over ring slots: bit `s` of word `s / 64` is
+    /// set iff `ring[s]` is non-empty. Makes find-next-non-empty a few
+    /// `trailing_zeros` instead of a bucket walk.
+    occupied: [u64; (RING_BUCKETS / 64) as usize],
     next_seq: u64,
 }
 
@@ -38,34 +83,46 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
-        // pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..RING_BUCKETS).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            ring_len: 0,
+            overflow: BTreeMap::new(),
+            occupied: [0; (RING_BUCKETS / 64) as usize],
             next_seq: 0,
+        }
+    }
+
+    /// The first occupied ring slot at ring distance ≥ `from mod RING`
+    /// from `from`, as an *absolute* bucket index ≥ `from`. Must only
+    /// be called while the ring holds at least one event.
+    fn next_occupied_abs(&self, from: u64) -> u64 {
+        debug_assert!(self.ring_len > 0);
+        let start = (from % RING_BUCKETS) as usize;
+        let words = self.occupied.len();
+        // First word: mask off slots before `start`.
+        let mut w = start / 64;
+        let mut word = self.occupied[w] & (!0u64 << (start % 64));
+        let mut dist_base = 0u64; // ring distance of word w's bit 0 from `start`'s word
+        loop {
+            if word != 0 {
+                let slot = w * 64 + word.trailing_zeros() as usize;
+                // Ring distance from `start`, wrapping once at most.
+                let dist = (slot + RING_BUCKETS as usize - start) as u64 % RING_BUCKETS;
+                return from + dist;
+            }
+            dist_base += 64;
+            debug_assert!(dist_base <= RING_BUCKETS + 64, "ring occupancy desynced");
+            w = (w + 1) % words;
+            word = self.occupied[w];
+            if w == start / 64 {
+                // Wrapped to the starting word: only slots before
+                // `start` remain.
+                word &= !(!0u64 << (start % 64));
+            }
         }
     }
 
@@ -73,32 +130,132 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        self.place(Entry { time, seq, event });
+    }
+
+    fn place(&mut self, e: Entry<E>) {
+        let abs = e.time.as_ps() >> BUCKET_WIDTH_BITS;
+        if self.ring_len == 0 {
+            // Nothing constrains the ring: re-anchor the horizon at the
+            // new event (overflow entries are compared at pop time, so
+            // an earlier overflow minimum stays correct).
+            self.cursor = abs;
+        }
+        if abs >= self.cursor + RING_BUCKETS {
+            self.overflow.insert((e.time, e.seq), e.event);
+            return;
+        }
+        // Clamp past-of-cursor times into the cursor's bucket: it is
+        // always the first bucket scanned, and in-bucket order is by
+        // exact (time, seq), so ordering is preserved.
+        let slot = abs.max(self.cursor);
+        let ring_idx = (slot % RING_BUCKETS) as usize;
+        self.occupied[ring_idx / 64] |= 1u64 << (ring_idx % 64);
+        let bucket = &mut self.ring[ring_idx];
+        let key = (e.time, e.seq);
+        // Common case: monotonically nondecreasing keys append in O(1).
+        match bucket.back() {
+            Some(last) if (last.time, last.seq) > key => {
+                let at = bucket.partition_point(|x| (x.time, x.seq) < key);
+                bucket.insert(at, e);
+            }
+            _ => bucket.push_back(e),
+        }
+        self.ring_len += 1;
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.ring_len == 0 && !self.overflow.is_empty() {
+            self.refill_from_overflow();
+        }
+        // First non-empty ring bucket at or after the cursor.
+        let ring_head = (self.ring_len > 0).then(|| {
+            let b = self.next_occupied_abs(self.cursor);
+            let front = self.ring[(b % RING_BUCKETS) as usize]
+                .front()
+                .expect("occupied slot non-empty");
+            (front.time, front.seq, b)
+        });
+        // The overflow's first entry can predate the ring head when the
+        // horizon has moved since it was inserted; compare every pop.
+        let overflow_head = self.overflow.first_key_value().map(|(&k, _)| k);
+        let ring_wins = match (ring_head, overflow_head) {
+            (Some((t, seq, _)), Some(o)) => (t, seq) < o,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if ring_wins {
+            let (_, _, bucket_abs) = ring_head.expect("ring wins");
+            self.cursor = bucket_abs;
+            let ring_idx = (bucket_abs % RING_BUCKETS) as usize;
+            let e = self.ring[ring_idx]
+                .pop_front()
+                .expect("selected bucket non-empty");
+            if self.ring[ring_idx].is_empty() {
+                self.occupied[ring_idx / 64] &= !(1u64 << (ring_idx % 64));
+            }
+            self.ring_len -= 1;
+            Some((e.time, e.event))
+        } else {
+            let ((t, _), event) = self.overflow.pop_first().expect("overflow wins");
+            Some((t, event))
+        }
+    }
+
+    /// Re-anchors the cursor at the overflow's first entry and migrates
+    /// the now-in-horizon prefix into the (empty) ring.
+    fn refill_from_overflow(&mut self) {
+        let (&(first, _), _) = self.overflow.first_key_value().expect("non-empty");
+        self.cursor = first.as_ps() >> BUCKET_WIDTH_BITS;
+        let horizon_ps = (self.cursor + RING_BUCKETS).saturating_mul(BUCKET_WIDTH_PS);
+        let far = self
+            .overflow
+            .split_off(&(SimTime::from_ps(horizon_ps), u64::MIN));
+        let near = std::mem::replace(&mut self.overflow, far);
+        for ((time, seq), event) in near {
+            // Ascending order: every insert is an O(1) append.
+            self.place(Entry { time, seq, event });
+        }
     }
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let ring_head = (self.ring_len > 0).then(|| {
+            let b = self.next_occupied_abs(self.cursor);
+            let front = self.ring[(b % RING_BUCKETS) as usize]
+                .front()
+                .expect("occupied slot non-empty");
+            (front.time, front.seq)
+        });
+        let overflow_head = self.overflow.first_key_value().map(|(&k, _)| k);
+        match (ring_head, overflow_head) {
+            (Some(r), Some(o)) => Some(r.min(o).0),
+            (Some(r), None) => Some(r.0),
+            (None, Some(o)) => Some(o.0),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether there are no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for b in &mut self.ring {
+            b.clear();
+        }
+        self.ring_len = 0;
+        self.occupied = [0; (RING_BUCKETS / 64) as usize];
+        self.overflow.clear();
     }
 }
 
@@ -156,5 +313,142 @@ mod tests {
         q.push(SimTime::from_ns(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn far_future_spill_round_trips_through_overflow() {
+        let mut q = EventQueue::new();
+        // Far beyond the ~67 µs horizon: milliseconds out.
+        q.push(SimTime::from_ms(5), "far");
+        q.push(SimTime::from_ns(1), "near");
+        q.push(SimTime::from_ms(5), "far2"); // same instant: FIFO
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(5)));
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_entry_beats_later_ring_entry() {
+        let mut q = EventQueue::new();
+        // Anchor the horizon at ~0, spill an entry just past it…
+        q.push(SimTime::ZERO, "t0");
+        q.push(SimTime::from_us(100), "t100us");
+        assert_eq!(q.pop().unwrap().1, "t0");
+        // …then re-anchor far ahead so the old overflow entry is now
+        // before the ring entry pushed after it.
+        q.push(SimTime::from_us(200), "t200us");
+        assert_eq!(q.pop().unwrap().1, "t100us");
+        assert_eq!(q.pop().unwrap().1, "t200us");
+    }
+
+    /// Exact-order reference model: a binary heap over `(time, seq, id)`
+    /// with an explicit FIFO sequence — the specification the calendar
+    /// queue must match pop for pop.
+    struct RefQueue {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32)>>,
+        next_seq: u64,
+    }
+
+    impl RefQueue {
+        fn new() -> RefQueue {
+            RefQueue {
+                heap: std::collections::BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+        fn push(&mut self, t: SimTime, id: u32) {
+            self.heap.push(std::cmp::Reverse((t, self.next_seq, id)));
+            self.next_seq += 1;
+        }
+        fn pop(&mut self) -> Option<(SimTime, u32)> {
+            self.heap.pop().map(|std::cmp::Reverse((t, _, id))| (t, id))
+        }
+        fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|std::cmp::Reverse((t, _, _))| *t)
+        }
+    }
+
+    /// Fixed-seed xorshift64* — deterministic on every run and machine.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Randomized-but-deterministic equivalence with the heap reference
+    /// under an adversarial operation mix: same-instant bursts (FIFO),
+    /// far-future spills through the overflow, pushes into the cursor's
+    /// past, and interleaved pops that drag the horizon forward.
+    #[test]
+    fn property_matches_binary_heap_reference() {
+        for seed in [1u64, 0x9E37_79B9_7F4A_7C15, 0xDEAD_BEEF_CAFE_F00D] {
+            let mut rng = seed;
+            let mut q = EventQueue::new();
+            let mut model = RefQueue::new();
+            let mut id = 0u32;
+            let mut now = SimTime::ZERO;
+            let mut last_push = SimTime::ZERO;
+            for _ in 0..5_000 {
+                let r = xorshift(&mut rng);
+                if r % 100 < 40 {
+                    let got = q.pop();
+                    assert_eq!(got, model.pop(), "seed {seed:#x}, pop #{id}");
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                } else {
+                    let t = match (r >> 8) % 5 {
+                        // Same-instant burst: exercises in-bucket FIFO.
+                        0 => last_push,
+                        // Near future, inside the ring horizon.
+                        1 => SimTime::from_ps(now.as_ps() + (r >> 16) % 1_000_000),
+                        // Far future: spills into the overflow map.
+                        2 => {
+                            SimTime::from_ps(now.as_ps() + 100_000_000 + (r >> 16) % 1_000_000_000)
+                        }
+                        // The cursor's past (allowed by the API).
+                        3 => SimTime::from_ps(now.as_ps().saturating_sub((r >> 16) % 1_000_000)),
+                        // Right at the horizon boundary.
+                        _ => SimTime::from_ps(
+                            now.as_ps() + RING_BUCKETS * BUCKET_WIDTH_PS - 2 * BUCKET_WIDTH_PS
+                                + (r >> 16) % (4 * BUCKET_WIDTH_PS),
+                        ),
+                    };
+                    q.push(t, id);
+                    model.push(t, id);
+                    last_push = t;
+                    id += 1;
+                }
+                assert_eq!(q.len(), model.heap.len(), "seed {seed:#x}");
+                assert_eq!(q.peek_time(), model.peek_time(), "seed {seed:#x}");
+            }
+            // Drain: every remaining event must come out in exact order.
+            loop {
+                let got = q.pop();
+                assert_eq!(got, model.pop(), "seed {seed:#x}, drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_earlier_than_cursor_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_us(50), "anchor");
+        assert_eq!(q.pop().unwrap().1, "anchor");
+        // The cursor now sits at 50 µs; a push in its past must still
+        // pop before anything later.
+        q.push(SimTime::from_us(60), "later");
+        q.push(SimTime::from_ns(1), "past");
+        assert_eq!(q.pop().unwrap().1, "past");
+        assert_eq!(q.pop().unwrap().1, "later");
     }
 }

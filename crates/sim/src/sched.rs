@@ -46,6 +46,7 @@ pub trait Traceable {
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
     processed: u64,
+    peak_len: usize,
 }
 
 impl<E: Traceable> Scheduler<E> {
@@ -54,12 +55,14 @@ impl<E: Traceable> Scheduler<E> {
         Scheduler {
             queue: EventQueue::new(),
             processed: 0,
+            peak_len: 0,
         }
     }
 
     /// Schedules `event` at absolute time `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         self.queue.push(time, event);
+        self.peak_len = self.peak_len.max(self.queue.len());
     }
 
     /// Removes and returns the earliest event, counting it as
@@ -73,6 +76,22 @@ impl<E: Traceable> Scheduler<E> {
     /// Events popped so far (across every run driven by this scheduler).
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The deepest the pending-event set has ever been.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Events per wall-clock second given an externally measured
+    /// elapsed time. The scheduler itself never reads a clock — the
+    /// caller (a benchmark harness) supplies the seconds, keeping this
+    /// crate free of wall-clock dependence.
+    pub fn events_per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.processed as f64 / elapsed_secs
     }
 
     /// Number of pending events.
@@ -126,6 +145,20 @@ mod tests {
         for i in 0..10 {
             assert_eq!(s.pop().unwrap().1, Ev(i));
         }
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut s = Scheduler::new();
+        assert_eq!(s.peak_len(), 0);
+        s.push(SimTime::ZERO, Ev(0));
+        s.push(SimTime::ZERO, Ev(1));
+        s.pop();
+        s.pop();
+        s.push(SimTime::ZERO, Ev(2));
+        assert_eq!(s.peak_len(), 2);
+        assert_eq!(s.events_per_sec(0.0), 0.0);
+        assert_eq!(s.events_per_sec(2.0), 1.0);
     }
 
     #[test]

@@ -217,7 +217,7 @@ fn wire_image_crc_catches_byte_flips() {
             if p.payload.is_empty() {
                 continue;
             }
-            let mut copy = p.payload.clone();
+            let mut copy = p.payload.to_vec();
             let i = rng.below(copy.len() as u64) as usize;
             copy[i] ^= 1 << rng.below(8);
             assert_ne!(
