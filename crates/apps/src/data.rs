@@ -6,6 +6,7 @@
 //! with exactly 16 matching lines, Datamation-format sort records, and
 //! so on. All randomness is seeded from stable labels.
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimRng;
 
 /// MPEG-like frame types used by the filter benchmark.
@@ -141,6 +142,29 @@ impl FrameScanner {
             }
         }
         segs
+    }
+
+    /// Serializes the scanner's mid-stream state (partial header,
+    /// remaining payload bytes, current frame type).
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.bytes(&self.hdr);
+        w.usize(self.remaining);
+        w.u8(match self.current {
+            FrameType::I => 0,
+            FrameType::P => 1,
+        });
+    }
+
+    /// Restores the state written by [`snapshot`](FrameScanner::snapshot).
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.hdr = r.bytes()?;
+        self.remaining = r.usize()?;
+        self.current = match r.u8()? {
+            0 => FrameType::I,
+            1 => FrameType::P,
+            _ => return Err(SnapError::Malformed("frame type tag")),
+        };
+        Ok(())
     }
 }
 

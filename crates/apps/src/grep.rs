@@ -15,12 +15,13 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data;
 use crate::dfa::LiteralDfa;
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler ID of the grep searcher.
 pub const GREP_HANDLER: HandlerId = HandlerId::new_const(2);
@@ -64,12 +65,12 @@ impl Params {
 
 /// Normal-case host program: DFA over every DMA'd block.
 struct NormalGrep {
-    corpus: Arc<Vec<u8>>,
+    corpus: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
-    dfa: LiteralDfa,
+    dfa: LiteralDfa, // asan-lint: allow(snapshot-completeness)
     state: usize,
     matches: u64,
-    buf_base: u64,
+    buf_base: u64, // asan-lint: allow(snapshot-completeness)
 }
 
 impl HostProgram for NormalGrep {
@@ -107,15 +108,28 @@ impl HostProgram for NormalGrep {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.usize(self.state);
+        w.u64(self.matches);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.state = r.usize()?;
+        self.matches = r.u64()?;
+        Ok(())
+    }
 }
 
 /// The grep switch handler: DFA over the packet stream, forwarding the
 /// matched lines.
 pub struct GrepHandler {
-    dfa: LiteralDfa,
+    dfa: LiteralDfa, // asan-lint: allow(snapshot-completeness)
     state: usize,
-    host: NodeId,
-    expect_bytes: u64,
+    host: NodeId,      // asan-lint: allow(snapshot-completeness)
+    expect_bytes: u64, // asan-lint: allow(snapshot-completeness)
     seen: u64,
     matches: u64,
     /// Trailing window kept to reconstruct a matched line (64 B lines).
@@ -191,6 +205,23 @@ impl Handler for GrepHandler {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.usize(self.state);
+        w.u64(self.seen);
+        w.u64(self.matches);
+        w.bytes(&self.line_tail);
+        w.u32(self.out_addr);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.state = r.usize()?;
+        self.seen = r.u64()?;
+        self.matches = r.u64()?;
+        self.line_tail = r.bytes()?;
+        self.out_addr = r.u32()?;
+        Ok(())
+    }
 }
 
 /// Active-case host program.
@@ -231,6 +262,19 @@ impl HostProgram for ActiveGrep {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.u64(self.lines_in);
+        w.opt_u64(self.final_count);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.lines_in = r.u64()?;
+        self.final_count = r.opt_u64()?;
+        Ok(())
     }
 }
 
@@ -282,65 +326,68 @@ fn run_inner(
     let want = dfa.count(&corpus) as u64;
     assert_eq!(want, p.matches as u64, "generator planted wrong matches");
 
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl
-        .add_file(ts[0], corpus.as_ref().clone())
-        .expect("cluster setup");
-    let host = hs[0];
-
-    if variant.is_active() {
-        cl.register_handler(
-            sw,
-            GREP_HANDLER,
-            Box::new(GrepHandler::new(p.pattern, host, p.file_bytes)),
-        )
-        .expect("cluster setup");
-        cl.set_program(
-            host,
-            Box::new(ActiveGrep {
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.file_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::Mapped {
-                        node: sw,
-                        handler: GREP_HANDLER,
-                        base_addr: 0,
-                    },
-                }),
-                lines_in: 0,
-                final_count: None,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        cl.set_program(
-            host,
-            Box::new(NormalGrep {
-                corpus: corpus.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.file_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::HostBuf { addr: 0x1000_0000 },
-                }),
-                dfa,
-                state: 0,
-                matches: 0,
-                buf_base: 0x1000_0000,
-            }),
-        )
-        .expect("cluster setup");
-    }
-
-    if background > asan_sim::SimDuration::ZERO {
-        cl.set_background_job(host, background)
+    let build = || {
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg.clone());
+        let file = cl
+            .add_file(ts[0], corpus.as_ref().clone())
             .expect("cluster setup");
-    }
+        let host = hs[0];
 
-    let report = cl.run().expect("simulation completes");
+        if variant.is_active() {
+            cl.register_handler(
+                sw,
+                GREP_HANDLER,
+                Box::new(GrepHandler::new(p.pattern, host, p.file_bytes)),
+            )
+            .expect("cluster setup");
+            cl.set_program(
+                host,
+                Box::new(ActiveGrep {
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.file_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::Mapped {
+                            node: sw,
+                            handler: GREP_HANDLER,
+                            base_addr: 0,
+                        },
+                    }),
+                    lines_in: 0,
+                    final_count: None,
+                }),
+            )
+            .expect("cluster setup");
+        } else {
+            cl.set_program(
+                host,
+                Box::new(NormalGrep {
+                    corpus: corpus.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.file_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::HostBuf { addr: 0x1000_0000 },
+                    }),
+                    dfa: LiteralDfa::new(p.pattern.as_bytes()),
+                    state: 0,
+                    matches: 0,
+                    buf_base: 0x1000_0000,
+                }),
+            )
+            .expect("cluster setup");
+        }
+
+        if background > asan_sim::SimDuration::ZERO {
+            cl.set_background_job(host, background)
+                .expect("cluster setup");
+        }
+        (cl, host)
+    };
+
+    let (mut cl, host, report) = drive(&format!("grep-{}", variant.label()), build);
     let got = if variant.is_active() {
         let program = cl.take_program(host).expect("program");
         let prog = program

@@ -23,11 +23,12 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data;
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler that observes R and sets bit-vector bits.
 pub const BUILD_HANDLER: HandlerId = HandlerId::new_const(3);
@@ -114,6 +115,52 @@ struct JoinState {
     matches: u64,
 }
 
+impl JoinState {
+    fn snapshot(&self, w: &mut SnapWriter) {
+        w.usize(self.table.len());
+        for (&k, &v) in &self.table {
+            w.u64(k);
+            w.u32(v);
+        }
+        w.u64(self.bv_pass);
+        w.u64(self.matches);
+    }
+
+    fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.table.clear();
+        for _ in 0..n {
+            let k = r.u64()?;
+            let v = r.u32()?;
+            self.table.insert(k, v);
+        }
+        self.bv_pass = r.u64()?;
+        self.matches = r.u64()?;
+        Ok(())
+    }
+}
+
+/// Packs a bit-vector into bytes for snapshotting.
+fn pack_bits(bv: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bv.len().div_ceil(8)];
+    for (i, &b) in bv.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks a snapshot bit-vector of a statically known length.
+fn unpack_bits(bytes: &[u8], len: usize) -> Result<Vec<bool>, SnapError> {
+    if bytes.len() != len.div_ceil(8) {
+        return Err(SnapError::Malformed("bit-vector length"));
+    }
+    Ok((0..len)
+        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+        .collect())
+}
+
 /// Memory regions used by the host program.
 const R_BUF: u64 = 0x1000_0000;
 const S_BUF: u64 = 0x3000_0000;
@@ -122,9 +169,9 @@ const BITVEC: u64 = 0x7000_0000;
 
 /// Normal-case host program: build then probe, all on the host.
 struct NormalJoin {
-    r: Arc<Vec<u8>>,
-    s: Arc<Vec<u8>>,
-    p: Params,
+    r: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
+    s: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
+    p: Params,       // asan-lint: allow(snapshot-completeness)
     phase: u8,
     reader: BlockReader,
     s_plan: BlockPlan,
@@ -206,20 +253,40 @@ impl HostProgram for NormalJoin {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.u8(self.phase);
+        self.reader.snapshot(w);
+        w.bytes(&pack_bits(&self.bv));
+        self.st.snapshot(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = r.u8()?;
+        // The reader is replaced when phase 1 starts; rebuild it over
+        // the right plan before restoring its cursor state.
+        if self.phase == 1 {
+            self.reader = BlockReader::new(self.s_plan);
+        }
+        self.reader.restore(r)?;
+        self.bv = unpack_bits(&r.bytes()?, self.bv.len())?;
+        self.st.restore(r)?;
+        Ok(())
+    }
 }
 
 /// The switch handler: builds the bit-vector as R streams by (while
 /// forwarding R to the host), then filters S.
 pub struct JoinFilter {
-    p: Params,
-    host: NodeId,
+    p: Params,    // asan-lint: allow(snapshot-completeness)
+    host: NodeId, // asan-lint: allow(snapshot-completeness)
     /// The real bit-vector.
     bv: Vec<bool>,
     /// Base address of the bit-vector in switch-local memory.
-    bv_base: u64,
+    bv_base: u64, // asan-lint: allow(snapshot-completeness)
     seen: u64,
-    expect_r: u64,
-    expect_s: u64,
+    expect_r: u64, // asan-lint: allow(snapshot-completeness)
+    expect_s: u64, // asan-lint: allow(snapshot-completeness)
     pass: u64,
     batch: Vec<u8>,
     batch_buf: Option<asan_core::BufId>,
@@ -318,11 +385,38 @@ impl Handler for JoinFilter {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.bytes(&pack_bits(&self.bv));
+        w.u64(self.seen);
+        w.u64(self.pass);
+        w.bytes(&self.batch);
+        w.opt_u64(self.batch_buf.map(|b| u64::from(b.0)));
+        w.u32(self.out_addr);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.bv = unpack_bits(&r.bytes()?, self.bv.len())?;
+        self.seen = r.u64()?;
+        self.pass = r.u64()?;
+        self.batch = r.bytes()?;
+        self.batch_buf = match r.opt_u64()? {
+            Some(v) => {
+                Some(asan_core::BufId(u8::try_from(v).map_err(|_| {
+                    SnapError::Malformed("buffer id out of range")
+                })?))
+            }
+            None => None,
+        };
+        self.out_addr = r.u32()?;
+        Ok(())
+    }
 }
 
 /// Shares one [`JoinFilter`] between the BUILD and PROBE handler IDs
 /// (the jump table holds one entry per ID; the state — the bit-vector —
-/// is common).
+/// is common). Each jump-table slot snapshots the shared state; the
+/// restores write identical bytes, so the duplication is harmless.
 #[derive(Clone)]
 pub struct SharedFilter(pub std::rc::Rc<std::cell::RefCell<JoinFilter>>);
 
@@ -330,12 +424,20 @@ impl Handler for SharedFilter {
     fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
         self.0.borrow_mut().on_message(ctx);
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.0.borrow().snapshot_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.0.borrow_mut().restore_state(r)
+    }
 }
 
 /// Active-case host program: R arrives via the switch (hash-table
 /// build); filtered S arrives as batches (probe).
 struct ActiveJoin {
-    p: Params,
+    p: Params, // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     s_plan: BlockPlan,
     phase: u8,
@@ -400,6 +502,26 @@ impl HostProgram for ActiveJoin {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.u8(self.phase);
+        self.reader.snapshot(w);
+        self.st.snapshot(w);
+        w.opt_u64(self.bv_pass_reported);
+        w.u64(self.r_bytes_in);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.phase = r.u8()?;
+        if self.phase == 1 {
+            self.reader = BlockReader::new(self.s_plan);
+        }
+        self.reader.restore(r)?;
+        self.st.restore(r)?;
+        self.bv_pass_reported = r.opt_u64()?;
+        self.r_bytes_in = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Runs HashJoin in one configuration, validating pass and match
@@ -424,86 +546,89 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
     let r = Arc::new(r);
     let s = Arc::new(s);
 
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let rf = cl
-        .add_file(ts[0], r.as_ref().clone())
-        .expect("cluster setup");
-    let sf = cl
-        .add_file(ts[0], s.as_ref().clone())
-        .expect("cluster setup");
-    let host = hs[0];
-
-    let filter = std::rc::Rc::new(std::cell::RefCell::new(JoinFilter::new(p.clone(), host)));
-    if variant.is_active() {
-        cl.register_handler(sw, BUILD_HANDLER, Box::new(SharedFilter(filter.clone())))
+    let build = || {
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg.clone());
+        let rf = cl
+            .add_file(ts[0], r.as_ref().clone())
             .expect("cluster setup");
-        cl.register_handler(sw, PROBE_HANDLER, Box::new(SharedFilter(filter.clone())))
+        let sf = cl
+            .add_file(ts[0], s.as_ref().clone())
             .expect("cluster setup");
-        let s_plan = BlockPlan {
-            file: sf,
-            total: p.s_bytes,
-            block: p.io_block,
-            outstanding: variant.outstanding(),
-            dest: Dest::Mapped {
-                node: sw,
-                handler: PROBE_HANDLER,
-                base_addr: 0,
-            },
-        };
-        cl.set_program(
-            host,
-            Box::new(ActiveJoin {
-                p: p.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file: rf,
-                    total: p.r_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::Mapped {
-                        node: sw,
-                        handler: BUILD_HANDLER,
-                        base_addr: 0,
-                    },
-                }),
-                s_plan,
-                phase: 0,
-                st: JoinState::default(),
-                bv_pass_reported: None,
-                r_bytes_in: 0,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        let s_plan = BlockPlan {
-            file: sf,
-            total: p.s_bytes,
-            block: p.io_block,
-            outstanding: variant.outstanding(),
-            dest: Dest::HostBuf { addr: S_BUF },
-        };
-        cl.set_program(
-            host,
-            Box::new(NormalJoin {
-                r: r.clone(),
-                s: s.clone(),
-                p: p.clone(),
-                phase: 0,
-                reader: BlockReader::new(BlockPlan {
-                    file: rf,
-                    total: p.r_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::HostBuf { addr: R_BUF },
-                }),
-                s_plan,
-                bv: vec![false; p.bits as usize],
-                st: JoinState::default(),
-            }),
-        )
-        .expect("cluster setup");
-    }
+        let host = hs[0];
 
-    let report = cl.run().expect("simulation completes");
+        let filter = std::rc::Rc::new(std::cell::RefCell::new(JoinFilter::new(p.clone(), host)));
+        if variant.is_active() {
+            cl.register_handler(sw, BUILD_HANDLER, Box::new(SharedFilter(filter.clone())))
+                .expect("cluster setup");
+            cl.register_handler(sw, PROBE_HANDLER, Box::new(SharedFilter(filter.clone())))
+                .expect("cluster setup");
+            let s_plan = BlockPlan {
+                file: sf,
+                total: p.s_bytes,
+                block: p.io_block,
+                outstanding: variant.outstanding(),
+                dest: Dest::Mapped {
+                    node: sw,
+                    handler: PROBE_HANDLER,
+                    base_addr: 0,
+                },
+            };
+            cl.set_program(
+                host,
+                Box::new(ActiveJoin {
+                    p: p.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file: rf,
+                        total: p.r_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::Mapped {
+                            node: sw,
+                            handler: BUILD_HANDLER,
+                            base_addr: 0,
+                        },
+                    }),
+                    s_plan,
+                    phase: 0,
+                    st: JoinState::default(),
+                    bv_pass_reported: None,
+                    r_bytes_in: 0,
+                }),
+            )
+            .expect("cluster setup");
+        } else {
+            let s_plan = BlockPlan {
+                file: sf,
+                total: p.s_bytes,
+                block: p.io_block,
+                outstanding: variant.outstanding(),
+                dest: Dest::HostBuf { addr: S_BUF },
+            };
+            cl.set_program(
+                host,
+                Box::new(NormalJoin {
+                    r: r.clone(),
+                    s: s.clone(),
+                    p: p.clone(),
+                    phase: 0,
+                    reader: BlockReader::new(BlockPlan {
+                        file: rf,
+                        total: p.r_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::HostBuf { addr: R_BUF },
+                    }),
+                    s_plan,
+                    bv: vec![false; p.bits as usize],
+                    st: JoinState::default(),
+                }),
+            )
+            .expect("cluster setup");
+        }
+        (cl, (host, filter))
+    };
+
+    let (mut cl, (host, filter), report) = drive(&format!("hashjoin-{}", variant.label()), build);
     let (got_pass, got_matches) = if variant.is_active() {
         let program = cl.take_program(host).expect("program");
         let prog = program

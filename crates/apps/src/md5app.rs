@@ -16,12 +16,13 @@ use asan_core::active::ActiveSwitchConfig;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx, MsgInfo};
 use asan_net::{HandlerId, NodeId, MTU};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data;
 use crate::md5::{md5, md5_interleaved, Md5};
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler ID of the MD5 handler.
 pub const MD5_HANDLER: HandlerId = HandlerId::new_const(8);
@@ -75,7 +76,7 @@ fn digest_tag(d: &[u8; 16]) -> u64 {
 /// Normal-case host program: read and hash the whole file (original
 /// single-chain MD5).
 struct NormalMd5 {
-    input: Arc<Vec<u8>>,
+    input: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     hasher: Option<Md5>,
     digest: Option<[u8; 16]>,
@@ -110,17 +111,48 @@ impl HostProgram for NormalMd5 {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.bool(self.hasher.is_some());
+        if let Some(h) = &self.hasher {
+            h.snapshot(w);
+        }
+        w.bool(self.digest.is_some());
+        if let Some(d) = &self.digest {
+            w.bytes(d);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.hasher = if r.bool()? {
+            Some(Md5::restore(r)?)
+        } else {
+            None
+        };
+        self.digest = if r.bool()? {
+            let d = r.bytes()?;
+            Some(
+                <[u8; 16]>::try_from(d.as_slice())
+                    .map_err(|_| SnapError::Malformed("md5 digest length"))?,
+            )
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 /// The MD5 switch handler: K independent chains, packet `seq % K`
 /// pinned to switch CPU `seq % K` (the paper's added "switch CPU Id
 /// field in the message header").
 pub struct Md5Handler {
-    k: usize,
+    k: usize, // asan-lint: allow(snapshot-completeness)
     chains: Vec<Md5>,
-    host: NodeId,
+    host: NodeId, // asan-lint: allow(snapshot-completeness)
     seen: u64,
-    expect: u64,
+    expect: u64, // asan-lint: allow(snapshot-completeness)
 }
 
 impl Md5Handler {
@@ -163,6 +195,21 @@ impl Handler for Md5Handler {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.usize(self.chains.len());
+        for c in &self.chains {
+            c.snapshot(w);
+        }
+        w.u64(self.seen);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.chains = (0..n).map(|_| Md5::restore(r)).collect::<Result<_, _>>()?;
+        self.seen = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Active-case host program: issue mapped reads, receive the digest.
@@ -191,6 +238,28 @@ impl HostProgram for ActiveMd5 {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.bool(self.digest.is_some());
+        if let Some(d) = &self.digest {
+            w.bytes(d);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.digest = if r.bool()? {
+            let d = r.bytes()?;
+            Some(
+                <[u8; 16]>::try_from(d.as_slice())
+                    .map_err(|_| SnapError::Malformed("md5 digest length"))?,
+            )
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 /// Runs MD5 in one configuration, validating the digest bit-for-bit
@@ -209,59 +278,62 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         md5(&input)
     };
 
-    let mut cfg = ClusterConfig::paper();
-    cfg.active = ActiveSwitchConfig::with_cpus(p.switch_cpus);
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl
-        .add_file(ts[0], input.as_ref().clone())
-        .expect("cluster setup");
-    let host = hs[0];
+    let build = || {
+        let mut cfg = ClusterConfig::paper();
+        cfg.active = ActiveSwitchConfig::with_cpus(p.switch_cpus);
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
+        let file = cl
+            .add_file(ts[0], input.as_ref().clone())
+            .expect("cluster setup");
+        let host = hs[0];
 
-    if variant.is_active() {
-        cl.register_handler(
-            sw,
-            MD5_HANDLER,
-            Box::new(Md5Handler::new(p.switch_cpus, host, p.input_bytes)),
-        )
-        .expect("cluster setup");
-        cl.set_program(
-            host,
-            Box::new(ActiveMd5 {
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.input_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::Mapped {
-                        node: sw,
-                        handler: MD5_HANDLER,
-                        base_addr: 0,
-                    },
+        if variant.is_active() {
+            cl.register_handler(
+                sw,
+                MD5_HANDLER,
+                Box::new(Md5Handler::new(p.switch_cpus, host, p.input_bytes)),
+            )
+            .expect("cluster setup");
+            cl.set_program(
+                host,
+                Box::new(ActiveMd5 {
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.input_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::Mapped {
+                            node: sw,
+                            handler: MD5_HANDLER,
+                            base_addr: 0,
+                        },
+                    }),
+                    digest: None,
                 }),
-                digest: None,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        cl.set_program(
-            host,
-            Box::new(NormalMd5 {
-                input: input.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.input_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::HostBuf { addr: 0x1000_0000 },
+            )
+            .expect("cluster setup");
+        } else {
+            cl.set_program(
+                host,
+                Box::new(NormalMd5 {
+                    input: input.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.input_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::HostBuf { addr: 0x1000_0000 },
+                    }),
+                    hasher: Some(Md5::new()),
+                    digest: None,
                 }),
-                hasher: Some(Md5::new()),
-                digest: None,
-            }),
-        )
-        .expect("cluster setup");
-    }
+            )
+            .expect("cluster setup");
+        }
+        (cl, host)
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let (mut cl, host, report) = drive(&format!("md5-{}", variant.label()), build);
     let got = if variant.is_active() {
         cl.take_program(host)
             .expect("program")

@@ -21,11 +21,12 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data::{self, FrameScanner, FrameType};
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler ID of the frame filter.
 pub const MPEG_HANDLER: HandlerId = HandlerId::new_const(6);
@@ -72,11 +73,11 @@ pub fn reference_i_bytes(video: &[u8]) -> u64 {
 
 /// Normal-case host program: filter + colour-reduce per block.
 struct NormalMpeg {
-    video: Arc<Vec<u8>>,
+    video: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     scanner: FrameScanner,
     i_bytes: u64,
-    buf_base: u64,
+    buf_base: u64, // asan-lint: allow(snapshot-completeness)
 }
 
 impl HostProgram for NormalMpeg {
@@ -124,14 +125,27 @@ impl HostProgram for NormalMpeg {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        self.scanner.snapshot(w);
+        w.u64(self.i_bytes);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.scanner.restore(r)?;
+        self.i_bytes = r.u64()?;
+        Ok(())
+    }
 }
 
 /// The switch handler: per-packet frame filtering.
 pub struct MpegFilter {
     scanner: FrameScanner,
-    host: NodeId,
+    host: NodeId, // asan-lint: allow(snapshot-completeness)
     seen: u64,
-    expect: u64,
+    expect: u64, // asan-lint: allow(snapshot-completeness)
     i_bytes: u64,
     out_addr: u32,
     /// Partial outgoing packet of I-frame bytes.
@@ -221,6 +235,32 @@ impl Handler for MpegFilter {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.scanner.snapshot(w);
+        w.u64(self.seen);
+        w.u64(self.i_bytes);
+        w.u32(self.out_addr);
+        w.bytes(&self.batch);
+        w.opt_u64(self.batch_buf.map(|b| u64::from(b.0)));
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.scanner.restore(r)?;
+        self.seen = r.u64()?;
+        self.i_bytes = r.u64()?;
+        self.out_addr = r.u32()?;
+        self.batch = r.bytes()?;
+        self.batch_buf = match r.opt_u64()? {
+            Some(v) => {
+                Some(asan_core::BufId(u8::try_from(v).map_err(|_| {
+                    SnapError::Malformed("buffer id out of range")
+                })?))
+            }
+            None => None,
+        };
+        Ok(())
+    }
 }
 
 /// Active-case host program: colour-reduce arriving I-frame data.
@@ -261,6 +301,19 @@ impl HostProgram for ActiveMpeg {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.u64(self.i_bytes_in);
+        w.opt_u64(self.reported);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.i_bytes_in = r.u64()?;
+        self.reported = r.opt_u64()?;
+        Ok(())
+    }
 }
 
 /// Runs MPEG-filter in one configuration, validating the surviving
@@ -272,59 +325,62 @@ impl HostProgram for ActiveMpeg {
 pub fn run(variant: Variant, p: &Params) -> AppRun {
     let video = Arc::new(data::mpeg_stream(p.video_bytes as usize));
     let want = reference_i_bytes(&video);
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, ClusterConfig::paper());
-    let file = cl
-        .add_file(ts[0], video.as_ref().clone())
-        .expect("cluster setup");
-    let host = hs[0];
+    let build = || {
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 1, ClusterConfig::paper());
+        let file = cl
+            .add_file(ts[0], video.as_ref().clone())
+            .expect("cluster setup");
+        let host = hs[0];
 
-    if variant.is_active() {
-        cl.register_handler(
-            sw,
-            MPEG_HANDLER,
-            Box::new(MpegFilter::new(host, p.video_bytes)),
-        )
-        .expect("cluster setup");
-        cl.set_program(
-            host,
-            Box::new(ActiveMpeg {
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.video_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::Mapped {
-                        node: sw,
-                        handler: MPEG_HANDLER,
-                        base_addr: 0,
-                    },
+        if variant.is_active() {
+            cl.register_handler(
+                sw,
+                MPEG_HANDLER,
+                Box::new(MpegFilter::new(host, p.video_bytes)),
+            )
+            .expect("cluster setup");
+            cl.set_program(
+                host,
+                Box::new(ActiveMpeg {
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.video_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::Mapped {
+                            node: sw,
+                            handler: MPEG_HANDLER,
+                            base_addr: 0,
+                        },
+                    }),
+                    i_bytes_in: 0,
+                    reported: None,
                 }),
-                i_bytes_in: 0,
-                reported: None,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        cl.set_program(
-            host,
-            Box::new(NormalMpeg {
-                video: video.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.video_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::HostBuf { addr: 0x1000_0000 },
+            )
+            .expect("cluster setup");
+        } else {
+            cl.set_program(
+                host,
+                Box::new(NormalMpeg {
+                    video: video.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.video_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::HostBuf { addr: 0x1000_0000 },
+                    }),
+                    scanner: FrameScanner::new(),
+                    i_bytes: 0,
+                    buf_base: 0x1000_0000,
                 }),
-                scanner: FrameScanner::new(),
-                i_bytes: 0,
-                buf_base: 0x1000_0000,
-            }),
-        )
-        .expect("cluster setup");
-    }
+            )
+            .expect("cluster setup");
+        }
+        (cl, host)
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let (mut cl, host, report) = drive(&format!("mpeg-{}", variant.label()), build);
     let got = if variant.is_active() {
         let program = cl.take_program(host).expect("program");
         let prog = program

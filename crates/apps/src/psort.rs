@@ -20,11 +20,12 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data::{self, SORT_KEY, SORT_RECORD};
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler ID of the redistribution handler.
 pub const SORT_HANDLER: HandlerId = HandlerId::new_const(5);
@@ -83,10 +84,10 @@ pub fn reference_counts(shares: &[Vec<u8>], p: usize) -> Vec<u64> {
 
 /// Normal-case host program for one node.
 struct NormalSortNode {
-    share: Arc<Vec<u8>>,
-    p: Params,
-    me: usize,
-    peers: Vec<NodeId>,
+    share: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
+    p: Params,           // asan-lint: allow(snapshot-completeness)
+    me: usize,           // asan-lint: allow(snapshot-completeness)
+    peers: Vec<NodeId>,  // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     /// Index of the next unprocessed record (alignment carry).
     next_rec: usize,
@@ -96,7 +97,7 @@ struct NormalSortNode {
     received: u64,
     recv_bytes: u64,
     received_from_peers: u64,
-    expected: u64,
+    expected: u64, // asan-lint: allow(snapshot-completeness)
     read_done: bool,
     sent_eof: bool,
     eofs_seen: usize,
@@ -193,13 +194,49 @@ impl HostProgram for NormalSortNode {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.usize(self.next_rec);
+        w.usize(self.batches.len());
+        for b in &self.batches {
+            w.bytes(b);
+        }
+        w.u64(self.kept);
+        w.u64(self.received);
+        w.u64(self.recv_bytes);
+        w.u64(self.received_from_peers);
+        w.bool(self.read_done);
+        w.bool(self.sent_eof);
+        w.usize(self.eofs_seen);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.next_rec = r.usize()?;
+        let n = r.usize()?;
+        if n != self.batches.len() {
+            return Err(SnapError::Malformed("sort batch count"));
+        }
+        for b in &mut self.batches {
+            *b = r.bytes()?;
+        }
+        self.kept = r.u64()?;
+        self.received = r.u64()?;
+        self.recv_bytes = r.u64()?;
+        self.received_from_peers = r.u64()?;
+        self.read_done = r.bool()?;
+        self.sent_eof = r.bool()?;
+        self.eofs_seen = r.usize()?;
+        Ok(())
+    }
 }
 
 /// The redistribution handler: splits the record stream by key range
 /// and forwards each record to its owner, batching per destination.
 pub struct SortHandler {
-    p: Params,
-    hosts: Vec<NodeId>,
+    p: Params,          // asan-lint: allow(snapshot-completeness)
+    hosts: Vec<NodeId>, // asan-lint: allow(snapshot-completeness)
     /// Partial record carried across packet boundaries, per source
     /// stream (the four nodes' shares interleave at the switch).
     carry: std::collections::BTreeMap<NodeId, Vec<u8>>,
@@ -208,7 +245,7 @@ pub struct SortHandler {
     batch_bufs: Vec<Option<asan_core::BufId>>,
     out_addr: Vec<u32>,
     seen: u64,
-    expect: u64,
+    expect: u64, // asan-lint: allow(snapshot-completeness)
     counts: Vec<u64>,
 }
 
@@ -283,13 +320,58 @@ impl Handler for SortHandler {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.usize(self.carry.len());
+        for (node, tail) in &self.carry {
+            w.u16(node.0);
+            w.bytes(tail);
+        }
+        w.usize(self.batches.len());
+        for i in 0..self.batches.len() {
+            w.bytes(&self.batches[i]);
+            w.opt_u64(self.batch_bufs[i].map(|b| u64::from(b.0)));
+            w.u32(self.out_addr[i]);
+            w.u64(self.counts[i]);
+        }
+        w.u64(self.seen);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.usize()?;
+        self.carry.clear();
+        for _ in 0..n {
+            let node = NodeId(r.u16()?);
+            let tail = r.bytes()?;
+            self.carry.insert(node, tail);
+        }
+        let n = r.usize()?;
+        if n != self.batches.len() {
+            return Err(SnapError::Malformed("sort handler batch count"));
+        }
+        for i in 0..n {
+            self.batches[i] = r.bytes()?;
+            self.batch_bufs[i] = match r.opt_u64()? {
+                Some(v) => {
+                    Some(asan_core::BufId(u8::try_from(v).map_err(|_| {
+                        SnapError::Malformed("buffer id out of range")
+                    })?))
+                }
+                None => None,
+            };
+            self.out_addr[i] = r.u32()?;
+            self.counts[i] = r.u64()?;
+        }
+        self.seen = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Active-case host program for one node.
 struct ActiveSortNode {
     reader: BlockReader,
     received: u64,
-    expected: u64,
+    expected: u64, // asan-lint: allow(snapshot-completeness)
     eof: bool,
     read_done: bool,
 }
@@ -328,6 +410,21 @@ impl HostProgram for ActiveSortNode {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.u64(self.received);
+        w.bool(self.eof);
+        w.bool(self.read_done);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.received = r.u64()?;
+        self.eof = r.bool()?;
+        self.read_done = r.bool()?;
+        Ok(())
+    }
 }
 
 impl ActiveSortNode {
@@ -351,82 +448,85 @@ pub fn run(variant: Variant, p: &Params) -> AppRun {
         .collect();
     let want = reference_counts(&shares, p.nodes);
 
-    let (mut cl, hs, ts, sw) = standard_cluster(p.nodes, p.nodes, ClusterConfig::paper());
-    let files: Vec<_> = (0..p.nodes)
-        .map(|i| {
-            cl.add_file(ts[i], shares[i].clone())
-                .expect("cluster setup")
-        })
-        .collect();
     let share_bytes = per_node * SORT_RECORD as u64;
+    let build = || {
+        let (mut cl, hs, ts, sw) = standard_cluster(p.nodes, p.nodes, ClusterConfig::paper());
+        let files: Vec<_> = (0..p.nodes)
+            .map(|i| {
+                cl.add_file(ts[i], shares[i].clone())
+                    .expect("cluster setup")
+            })
+            .collect();
 
-    if variant.is_active() {
-        cl.register_handler(
-            sw,
-            SORT_HANDLER,
-            Box::new(SortHandler::new(
-                p.clone(),
-                hs.clone(),
-                share_bytes * p.nodes as u64,
-            )),
-        )
-        .expect("cluster setup");
-        for i in 0..p.nodes {
-            cl.set_program(
-                hs[i],
-                Box::new(ActiveSortNode {
-                    reader: BlockReader::new(BlockPlan {
-                        file: files[i],
-                        total: share_bytes,
-                        block: p.io_block,
-                        outstanding: variant.outstanding(),
-                        dest: Dest::Mapped {
-                            node: sw,
-                            handler: SORT_HANDLER,
-                            base_addr: (i as u32) << 24,
-                        },
-                    }),
-                    received: 0,
-                    expected: want[i],
-                    eof: false,
-                    read_done: false,
-                }),
+        if variant.is_active() {
+            cl.register_handler(
+                sw,
+                SORT_HANDLER,
+                Box::new(SortHandler::new(
+                    p.clone(),
+                    hs.clone(),
+                    share_bytes * p.nodes as u64,
+                )),
             )
             .expect("cluster setup");
-        }
-    } else {
-        for i in 0..p.nodes {
-            cl.set_program(
-                hs[i],
-                Box::new(NormalSortNode {
-                    share: Arc::new(shares[i].clone()),
-                    p: p.clone(),
-                    me: i,
-                    peers: hs.clone(),
-                    reader: BlockReader::new(BlockPlan {
-                        file: files[i],
-                        total: share_bytes,
-                        block: p.io_block,
-                        outstanding: variant.outstanding(),
-                        dest: Dest::HostBuf { addr: 0x1000_0000 },
+            for i in 0..p.nodes {
+                cl.set_program(
+                    hs[i],
+                    Box::new(ActiveSortNode {
+                        reader: BlockReader::new(BlockPlan {
+                            file: files[i],
+                            total: share_bytes,
+                            block: p.io_block,
+                            outstanding: variant.outstanding(),
+                            dest: Dest::Mapped {
+                                node: sw,
+                                handler: SORT_HANDLER,
+                                base_addr: (i as u32) << 24,
+                            },
+                        }),
+                        received: 0,
+                        expected: want[i],
+                        eof: false,
+                        read_done: false,
                     }),
-                    next_rec: 0,
-                    batches: vec![Vec::new(); p.nodes],
-                    kept: 0,
-                    received: 0,
-                    recv_bytes: 0,
-                    received_from_peers: 0,
-                    expected: want[i],
-                    read_done: false,
-                    sent_eof: false,
-                    eofs_seen: 0,
-                }),
-            )
-            .expect("cluster setup");
+                )
+                .expect("cluster setup");
+            }
+        } else {
+            for i in 0..p.nodes {
+                cl.set_program(
+                    hs[i],
+                    Box::new(NormalSortNode {
+                        share: Arc::new(shares[i].clone()),
+                        p: p.clone(),
+                        me: i,
+                        peers: hs.clone(),
+                        reader: BlockReader::new(BlockPlan {
+                            file: files[i],
+                            total: share_bytes,
+                            block: p.io_block,
+                            outstanding: variant.outstanding(),
+                            dest: Dest::HostBuf { addr: 0x1000_0000 },
+                        }),
+                        next_rec: 0,
+                        batches: vec![Vec::new(); p.nodes],
+                        kept: 0,
+                        received: 0,
+                        recv_bytes: 0,
+                        received_from_peers: 0,
+                        expected: want[i],
+                        read_done: false,
+                        sent_eof: false,
+                        eofs_seen: 0,
+                    }),
+                )
+                .expect("cluster setup");
+            }
         }
-    }
+        (cl, hs)
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let (mut cl, hs, report) = drive(&format!("psort-{}", variant.label()), build);
     // Validate per-node counts.
     let mut total_received = 0u64;
     for i in 0..p.nodes {

@@ -18,10 +18,12 @@ use asan_core::cluster::{Cluster, ClusterConfig, HostCtx, HostMsg, HostProgram};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::{HandlerId, LinkConfig, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimTime;
 
 use crate::cost;
 use crate::data::{reduce_vector, vector_add};
+use crate::runner::drive;
 
 /// Handler ID of the combine handler (same on every switch).
 pub const REDUCE_HANDLER: HandlerId = HandlerId::new_const(9);
@@ -123,19 +125,19 @@ pub fn reduction_cluster(p: usize, cfg: ClusterConfig) -> ReductionCluster {
 /// The combine handler on one switch of the tree.
 pub struct ReduceHandler {
     /// Vectors expected at this switch (hosts below, or child switches).
-    expect: usize,
+    expect: usize, // asan-lint: allow(snapshot-completeness)
     received: usize,
     acc: Vec<u8>,
     acc_buf: Option<asan_core::BufId>,
     /// Where the combined vector goes: parent switch, or (at the root)
     /// the result distribution.
-    parent: Option<NodeId>,
-    mode: Mode,
-    hosts: Vec<NodeId>,
+    parent: Option<NodeId>, // asan-lint: allow(snapshot-completeness)
+    mode: Mode,         // asan-lint: allow(snapshot-completeness)
+    hosts: Vec<NodeId>, // asan-lint: allow(snapshot-completeness)
     /// Hosts attached directly below this switch (broadcast fan-out).
-    host_children: Vec<NodeId>,
+    host_children: Vec<NodeId>, // asan-lint: allow(snapshot-completeness)
     /// Switches attached directly below this switch.
-    switch_children: Vec<NodeId>,
+    switch_children: Vec<NodeId>, // asan-lint: allow(snapshot-completeness)
 }
 
 impl ReduceHandler {
@@ -236,16 +238,40 @@ impl Handler for ReduceHandler {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.usize(self.received);
+        w.bytes(&self.acc);
+        w.opt_u64(self.acc_buf.map(|b| u64::from(b.0)));
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.received = r.usize()?;
+        let acc = r.bytes()?;
+        if acc.len() != VECTOR_BYTES {
+            return Err(SnapError::Malformed("reduce accumulator length"));
+        }
+        self.acc = acc;
+        self.acc_buf = match r.opt_u64()? {
+            Some(v) => {
+                Some(asan_core::BufId(u8::try_from(v).map_err(|_| {
+                    SnapError::Malformed("buffer id out of range")
+                })?))
+            }
+            None => None,
+        };
+        Ok(())
+    }
 }
 
 /// One node of the collective, normal (MST) or active.
 struct ReduceNode {
-    me: usize,
-    p: usize,
-    mode: Mode,
-    active: bool,
-    peers: Vec<NodeId>,
-    leaf: NodeId,
+    me: usize,          // asan-lint: allow(snapshot-completeness)
+    p: usize,           // asan-lint: allow(snapshot-completeness)
+    mode: Mode,         // asan-lint: allow(snapshot-completeness)
+    active: bool,       // asan-lint: allow(snapshot-completeness)
+    peers: Vec<NodeId>, // asan-lint: allow(snapshot-completeness)
+    leaf: NodeId,       // asan-lint: allow(snapshot-completeness)
     vector: Vec<u8>,
     /// MST round (normal case).
     round: u32,
@@ -430,6 +456,28 @@ impl HostProgram for ReduceNode {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.bytes(&self.vector);
+        w.u32(self.round);
+        w.bool(self.got_result.is_some());
+        if let Some(res) = &self.got_result {
+            w.bytes(res);
+        }
+        w.bool(self.done);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let vector = r.bytes()?;
+        if vector.len() != VECTOR_BYTES {
+            return Err(SnapError::Malformed("reduce vector length"));
+        }
+        self.vector = vector;
+        self.round = r.u32()?;
+        self.got_result = if r.bool()? { Some(r.bytes()?) } else { None };
+        self.done = r.bool()?;
+        Ok(())
+    }
 }
 
 /// Result of one reduction run.
@@ -468,83 +516,92 @@ pub fn run(mode: Mode, active: bool, p: usize) -> ReduceRun {
 /// [`run`] with an explicit cluster configuration (used by the
 /// ablation studies to vary the active-switch hardware).
 pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -> ReduceRun {
-    let (mut cl, hosts, switches, host_leaf, parent, root) = reduction_cluster(p, cfg);
+    let build = || {
+        let (mut cl, hosts, switches, host_leaf, parent, root) = reduction_cluster(p, cfg.clone());
 
-    if active {
-        // Install a combine handler on every switch with its fan-in and
-        // its broadcast fan-out.
-        let mut fan_in: std::collections::BTreeMap<NodeId, usize> =
-            std::collections::BTreeMap::new();
-        let mut host_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
-            std::collections::BTreeMap::new();
-        let mut switch_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
-            std::collections::BTreeMap::new();
-        for (i, &leaf) in host_leaf.iter().enumerate() {
-            *fan_in.entry(leaf).or_insert(0) += 1;
-            host_children.entry(leaf).or_default().push(hosts[i]);
-        }
-        for sw in &switches {
-            if let Some(&up) = parent.get(sw) {
-                *fan_in.entry(up).or_insert(0) += 1;
-                switch_children.entry(up).or_default().push(*sw);
+        if active {
+            // Install a combine handler on every switch with its fan-in and
+            // its broadcast fan-out.
+            let mut fan_in: std::collections::BTreeMap<NodeId, usize> =
+                std::collections::BTreeMap::new();
+            let mut host_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            let mut switch_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for (i, &leaf) in host_leaf.iter().enumerate() {
+                *fan_in.entry(leaf).or_insert(0) += 1;
+                host_children.entry(leaf).or_default().push(hosts[i]);
             }
-        }
-        for &sw in &switches {
-            let expect = fan_in.get(&sw).copied().unwrap_or(0);
-            if expect > 0 {
-                let handler = Box::new(ReduceHandler::new(
-                    expect,
-                    parent.get(&sw).copied(),
-                    mode,
-                    hosts.clone(),
-                    host_children.get(&sw).cloned().unwrap_or_default(),
-                    switch_children.get(&sw).cloned().unwrap_or_default(),
-                ));
-                cl.register_handler(sw, REDUCE_HANDLER, handler)
-                    .expect("cluster setup");
-                if mode == Mode::ToAll {
-                    // The broadcast arrives under its own handler ID;
-                    // share the state via a second registration of a
-                    // pure-forwarding handler.
-                    cl.register_handler(
-                        sw,
-                        BCAST_HANDLER,
-                        Box::new(ReduceHandler::new(
-                            usize::MAX,
-                            parent.get(&sw).copied(),
-                            mode,
-                            hosts.clone(),
-                            host_children.get(&sw).cloned().unwrap_or_default(),
-                            switch_children.get(&sw).cloned().unwrap_or_default(),
-                        )),
-                    )
-                    .expect("cluster setup");
+            for sw in &switches {
+                if let Some(&up) = parent.get(sw) {
+                    *fan_in.entry(up).or_insert(0) += 1;
+                    switch_children.entry(up).or_default().push(*sw);
                 }
             }
+            for &sw in &switches {
+                let expect = fan_in.get(&sw).copied().unwrap_or(0);
+                if expect > 0 {
+                    let handler = Box::new(ReduceHandler::new(
+                        expect,
+                        parent.get(&sw).copied(),
+                        mode,
+                        hosts.clone(),
+                        host_children.get(&sw).cloned().unwrap_or_default(),
+                        switch_children.get(&sw).cloned().unwrap_or_default(),
+                    ));
+                    cl.register_handler(sw, REDUCE_HANDLER, handler)
+                        .expect("cluster setup");
+                    if mode == Mode::ToAll {
+                        // The broadcast arrives under its own handler ID;
+                        // share the state via a second registration of a
+                        // pure-forwarding handler.
+                        cl.register_handler(
+                            sw,
+                            BCAST_HANDLER,
+                            Box::new(ReduceHandler::new(
+                                usize::MAX,
+                                parent.get(&sw).copied(),
+                                mode,
+                                hosts.clone(),
+                                host_children.get(&sw).cloned().unwrap_or_default(),
+                                switch_children.get(&sw).cloned().unwrap_or_default(),
+                            )),
+                        )
+                        .expect("cluster setup");
+                    }
+                }
+            }
+            assert_eq!(parent.get(&root), None, "root has no parent");
         }
-        assert_eq!(parent.get(&root), None, "root has no parent");
-    }
 
-    for (i, &h) in hosts.iter().enumerate() {
-        cl.set_program(
-            h,
-            Box::new(ReduceNode {
-                me: i,
-                p,
-                mode,
-                active,
-                peers: hosts.clone(),
-                leaf: host_leaf[i],
-                vector: reduce_vector(i),
-                round: 0,
-                got_result: None,
-                done: false,
-            }),
-        )
-        .expect("cluster setup");
-    }
+        for (i, &h) in hosts.iter().enumerate() {
+            cl.set_program(
+                h,
+                Box::new(ReduceNode {
+                    me: i,
+                    p,
+                    mode,
+                    active,
+                    peers: hosts.clone(),
+                    leaf: host_leaf[i],
+                    vector: reduce_vector(i),
+                    round: 0,
+                    got_result: None,
+                    done: false,
+                }),
+            )
+            .expect("cluster setup");
+        }
+        (cl, hosts)
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let mode_tag = match mode {
+        Mode::ReduceToOne => "reduce-to-one",
+        Mode::Distributed => "distributed-reduce",
+        Mode::ToAll => "reduce-to-all",
+    };
+    let case = if active { "active" } else { "normal" };
+    let (mut cl, hosts, report) = drive(&format!("{mode_tag}-{case}-p{p}"), build);
 
     // Validate against the scalar reference.
     let want = reference_sum(p);

@@ -4,7 +4,9 @@
 //! (host-only, synchronous I/O), `normal+pref` (two outstanding I/O
 //! requests), `active` (host + switch handler) and `active+pref`.
 
-use asan_core::cluster::{Cluster, ClusterConfig};
+use std::env;
+
+use asan_core::cluster::{Cluster, ClusterConfig, RunReport};
 use asan_core::metrics::MetricsReport;
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::{LinkConfig, NodeId};
@@ -119,6 +121,8 @@ pub struct AppRun {
     pub events: u64,
     /// High-water mark of the scheduler's pending-event queue.
     pub peak_queue: u64,
+    /// Fault-injection counters (all zero without an armed plan).
+    pub faults: asan_sim::faults::FaultStats,
 }
 
 impl AppRun {
@@ -174,6 +178,7 @@ impl AppRun {
             metrics,
             events: report.events,
             peak_queue: report.peak_queue,
+            faults: cl.fault_stats(),
         }
     }
 }
@@ -181,6 +186,69 @@ impl AppRun {
 /// The standard 4-variant sweep of a benchmark.
 pub fn sweep(run: impl Fn(Variant) -> AppRun) -> Vec<AppRun> {
     Variant::ALL.iter().map(|&v| run(v)).collect()
+}
+
+/// Runs a benchmark cluster to completion, optionally exercising the
+/// crash-safe checkpoint path. `build` must construct the cluster (and
+/// any auxiliary context `T`) identically every time it is called —
+/// [`Cluster::restore`] rebuilds only dynamic state on top of it.
+///
+/// Environment knobs (unset → a plain uninterrupted run):
+///
+/// - `ASAN_SNAPSHOT_EVENTS=<n>`: pause after `n` events, serialize the
+///   full simulation state, rebuild a **fresh** cluster via `build`,
+///   restore into it, and run that to completion. The run's digests
+///   must be bit-identical to the uninterrupted run's.
+/// - `ASAN_SNAPSHOT_SAVE=<dir>` (with `EVENTS`): also write the paused
+///   snapshot to `<dir>/<tag>.snap` for a later process to resume.
+/// - `ASAN_SNAPSHOT_LOAD=<dir>`: skip the initial run entirely; build
+///   fresh, restore `<dir>/<tag>.snap` (a plain run if the saving
+///   process finished before its pause point and wrote no file), and
+///   run to completion — the cross-process half of the round trip.
+pub fn drive<T>(tag: &str, build: impl Fn() -> (Cluster, T)) -> (Cluster, T, RunReport) {
+    if let Ok(dir) = env::var("ASAN_SNAPSHOT_LOAD") {
+        let (mut cl, cx) = build();
+        let path = std::path::Path::new(&dir).join(format!("{tag}.snap"));
+        match std::fs::read(&path) {
+            Ok(bytes) => cl
+                .restore(&bytes)
+                .unwrap_or_else(|e| panic!("restore {}: {e:?}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => panic!("read {}: {e}", path.display()),
+        }
+        let report = cl.run().expect("restored run completes");
+        return (cl, cx, report);
+    }
+    let (mut cl, cx) = build();
+    let Some(pause) = snapshot_events() else {
+        let report = cl.run().expect("benchmark run completes");
+        return (cl, cx, report);
+    };
+    if let Some(report) = cl.run_events(pause).expect("benchmark run completes") {
+        return (cl, cx, report); // finished before the pause point
+    }
+    let bytes = cl.snapshot();
+    if let Ok(dir) = env::var("ASAN_SNAPSHOT_SAVE") {
+        let path = std::path::Path::new(&dir).join(format!("{tag}.snap"));
+        std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+    drop(cl);
+    let (mut fresh, cx) = build();
+    fresh
+        .restore(&bytes)
+        .expect("snapshot restores into an identical build");
+    let report = fresh.run().expect("restored run completes");
+    (fresh, cx, report)
+}
+
+/// Parses `ASAN_SNAPSHOT_EVENTS`; a set-but-unparsable value is a
+/// configuration error worth failing loudly on.
+fn snapshot_events() -> Option<u64> {
+    let v = env::var("ASAN_SNAPSHOT_EVENTS").ok()?;
+    Some(
+        v.parse()
+            .expect("ASAN_SNAPSHOT_EVENTS must be an event count"),
+    )
 }
 
 #[cfg(test)]

@@ -17,11 +17,12 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data;
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 
 /// Handler ID used by the select filter.
 pub const SELECT_HANDLER: HandlerId = HandlerId::new_const(1);
@@ -72,11 +73,11 @@ pub fn reference_count(table: &[u8], p: &Params) -> u64 {
 
 /// Normal-case host program: scan every record of every block.
 struct NormalSelect {
-    table: Arc<Vec<u8>>,
-    p: Params,
+    table: Arc<Vec<u8>>, // asan-lint: allow(snapshot-completeness)
+    p: Params,           // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     matches: u64,
-    buf_base: u64,
+    buf_base: u64, // asan-lint: allow(snapshot-completeness)
 }
 
 impl HostProgram for NormalSelect {
@@ -110,17 +111,28 @@ impl HostProgram for NormalSelect {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.u64(self.matches);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.matches = r.u64()?;
+        Ok(())
+    }
 }
 
 /// The switch handler: evaluates the predicate inside the data buffers
 /// and forwards only matching records, batched into full packets.
 pub struct SelectHandler {
-    p: Params,
-    host: NodeId,
+    p: Params,    // asan-lint: allow(snapshot-completeness)
+    host: NodeId, // asan-lint: allow(snapshot-completeness)
     /// Handler tag put on outgoing record batches (None for plain data
     /// to a host; a switch handler ID in the two-level pipeline).
-    out_handler: Option<HandlerId>,
-    expect_bytes: u64,
+    out_handler: Option<HandlerId>, // asan-lint: allow(snapshot-completeness)
+    expect_bytes: u64, // asan-lint: allow(snapshot-completeness)
     seen_bytes: u64,
     matches: u64,
     /// Matching-record batch being assembled (mirrors a held buffer).
@@ -207,11 +219,35 @@ impl Handler for SelectHandler {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.u64(self.seen_bytes);
+        w.u64(self.matches);
+        w.bytes(&self.batch);
+        w.opt_u64(self.batch_buf.map(|b| u64::from(b.0)));
+        w.u32(self.out_addr);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.seen_bytes = r.u64()?;
+        self.matches = r.u64()?;
+        self.batch = r.bytes()?;
+        self.batch_buf = match r.opt_u64()? {
+            Some(v) => {
+                Some(asan_core::BufId(u8::try_from(v).map_err(|_| {
+                    SnapError::Malformed("buffer id out of range")
+                })?))
+            }
+            None => None,
+        };
+        self.out_addr = r.u32()?;
+        Ok(())
+    }
 }
 
 /// Active-case host program: issue mapped reads, count arrivals.
 struct ActiveSelect {
-    p: Params,
+    p: Params, // asan-lint: allow(snapshot-completeness)
     reader: BlockReader,
     records_in: u64,
     final_count: Option<u64>,
@@ -245,6 +281,19 @@ impl HostProgram for ActiveSelect {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.reader.snapshot(w);
+        w.u64(self.records_in);
+        w.opt_u64(self.final_count);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reader.restore(r)?;
+        self.records_in = r.u64()?;
+        self.final_count = r.opt_u64()?;
+        Ok(())
+    }
 }
 
 /// Runs Select in one configuration, returning metrics and validating
@@ -266,60 +315,63 @@ pub fn run_with_config(variant: Variant, p: &Params, cfg: ClusterConfig) -> AppR
         "select-table",
     ));
     let want = reference_count(&table, p);
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg);
-    let file = cl
-        .add_file(ts[0], table.as_ref().clone())
-        .expect("cluster setup");
-    let host = hs[0];
+    let build = || {
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 1, cfg.clone());
+        let file = cl
+            .add_file(ts[0], table.as_ref().clone())
+            .expect("cluster setup");
+        let host = hs[0];
 
-    if variant.is_active() {
-        cl.register_handler(
-            sw,
-            SELECT_HANDLER,
-            Box::new(SelectHandler::new(p.clone(), host, p.table_bytes)),
-        )
-        .expect("cluster setup");
-        cl.set_program(
-            host,
-            Box::new(ActiveSelect {
-                p: p.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.table_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::Mapped {
-                        node: sw,
-                        handler: SELECT_HANDLER,
-                        base_addr: 0,
-                    },
+        if variant.is_active() {
+            cl.register_handler(
+                sw,
+                SELECT_HANDLER,
+                Box::new(SelectHandler::new(p.clone(), host, p.table_bytes)),
+            )
+            .expect("cluster setup");
+            cl.set_program(
+                host,
+                Box::new(ActiveSelect {
+                    p: p.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.table_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::Mapped {
+                            node: sw,
+                            handler: SELECT_HANDLER,
+                            base_addr: 0,
+                        },
+                    }),
+                    records_in: 0,
+                    final_count: None,
                 }),
-                records_in: 0,
-                final_count: None,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        cl.set_program(
-            host,
-            Box::new(NormalSelect {
-                table: table.clone(),
-                p: p.clone(),
-                reader: BlockReader::new(BlockPlan {
-                    file,
-                    total: p.table_bytes,
-                    block: p.io_block,
-                    outstanding: variant.outstanding(),
-                    dest: Dest::HostBuf { addr: 0x1000_0000 },
+            )
+            .expect("cluster setup");
+        } else {
+            cl.set_program(
+                host,
+                Box::new(NormalSelect {
+                    table: table.clone(),
+                    p: p.clone(),
+                    reader: BlockReader::new(BlockPlan {
+                        file,
+                        total: p.table_bytes,
+                        block: p.io_block,
+                        outstanding: variant.outstanding(),
+                        dest: Dest::HostBuf { addr: 0x1000_0000 },
+                    }),
+                    matches: 0,
+                    buf_base: 0x1000_0000,
                 }),
-                matches: 0,
-                buf_base: 0x1000_0000,
-            }),
-        )
-        .expect("cluster setup");
-    }
+            )
+            .expect("cluster setup");
+        }
+        (cl, (host, sw))
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let (mut cl, (host, sw), report) = drive(&format!("select-{}", variant.label()), build);
     // Validate the computed answer against the pure-Rust reference.
     let got = if variant.is_active() {
         let program = cl.take_program(host).expect("program installed");

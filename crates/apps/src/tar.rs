@@ -18,11 +18,12 @@ use std::sync::Arc;
 use asan_core::cluster::{ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::blockio::{BlockPlan, BlockReader};
 use crate::cost;
 use crate::data;
-use crate::runner::{standard_cluster, AppRun, Variant};
+use crate::runner::{drive, standard_cluster, AppRun, Variant};
 use crate::tar_fmt;
 
 /// Handler ID of the tar streamer.
@@ -67,10 +68,10 @@ impl Params {
 /// Normal-case host program: read each file, send header + data to the
 /// archive node.
 struct NormalTar {
-    p: Params,
+    p: Params, // asan-lint: allow(snapshot-completeness)
     files: Vec<FileId>,
-    contents: Arc<Vec<Vec<u8>>>,
-    archive: NodeId,
+    contents: Arc<Vec<Vec<u8>>>, // asan-lint: allow(snapshot-completeness)
+    archive: NodeId,             // asan-lint: allow(snapshot-completeness)
     outstanding: u64,
     current: usize,
     reader: Option<BlockReader>,
@@ -140,14 +141,46 @@ impl HostProgram for NormalTar {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.usize(self.current);
+        w.u64(self.sent);
+        w.bool(self.reader.is_some());
+        if let Some(reader) = &self.reader {
+            reader.snapshot(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.current = r.usize()?;
+        self.sent = r.u64()?;
+        if r.bool()? {
+            let file = *self
+                .files
+                .get(self.current)
+                .ok_or(SnapError::Malformed("tar file cursor out of range"))?;
+            let mut reader = BlockReader::new(BlockPlan {
+                file,
+                total: self.p.file_bytes,
+                block: self.p.io_block,
+                outstanding: self.outstanding,
+                dest: Dest::HostBuf { addr: 0x1000_0000 },
+            });
+            reader.restore(r)?;
+            self.reader = Some(reader);
+        } else {
+            self.reader = None;
+        }
+        Ok(())
+    }
 }
 
 /// The tar switch handler: receives a per-file trigger carrying the
 /// header, forwards the header to the archive, then pulls the file from
 /// its TCA straight to the archive node.
 pub struct TarHandler {
-    tca: NodeId,
-    archive: NodeId,
+    tca: NodeId,     // asan-lint: allow(snapshot-completeness)
+    archive: NodeId, // asan-lint: allow(snapshot-completeness)
     files_streamed: u64,
 }
 
@@ -180,6 +213,15 @@ impl Handler for TarHandler {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.u64(self.files_streamed);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.files_streamed = r.u64()?;
+        Ok(())
     }
 }
 
@@ -220,48 +262,50 @@ impl HostProgram for ActiveTar {
 ///
 /// Panics if the archive stream does not carry the expected bytes.
 pub fn run(variant: Variant, p: &Params) -> AppRun {
-    let contents = data::file_set(p.files, p.file_bytes as usize);
-    // Input files on TCA 0; the archive target is TCA 1.
-    let (mut cl, hs, ts, sw) = standard_cluster(1, 2, ClusterConfig::paper());
-    let files: Vec<FileId> = contents
-        .iter()
-        .map(|c| cl.add_file(ts[0], c.clone()).expect("cluster setup"))
-        .collect();
-    let host = hs[0];
-    let archive = ts[1];
-    let contents = Arc::new(contents);
+    let contents = Arc::new(data::file_set(p.files, p.file_bytes as usize));
+    let build = || {
+        // Input files on TCA 0; the archive target is TCA 1.
+        let (mut cl, hs, ts, sw) = standard_cluster(1, 2, ClusterConfig::paper());
+        let files: Vec<FileId> = contents
+            .iter()
+            .map(|c| cl.add_file(ts[0], c.clone()).expect("cluster setup"))
+            .collect();
+        let host = hs[0];
+        let archive = ts[1];
 
-    if variant.is_active() {
-        cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive)))
+        if variant.is_active() {
+            cl.register_handler(sw, TAR_HANDLER, Box::new(TarHandler::new(ts[0], archive)))
+                .expect("cluster setup");
+            cl.set_program(
+                host,
+                Box::new(ActiveTar {
+                    p: p.clone(),
+                    files,
+                    sw,
+                    archive,
+                }),
+            )
             .expect("cluster setup");
-        cl.set_program(
-            host,
-            Box::new(ActiveTar {
-                p: p.clone(),
-                files,
-                sw,
-                archive,
-            }),
-        )
-        .expect("cluster setup");
-    } else {
-        cl.set_program(
-            host,
-            Box::new(NormalTar {
-                p: p.clone(),
-                files,
-                contents: contents.clone(),
-                archive,
-                outstanding: variant.outstanding(),
-                current: 0,
-                reader: None,
-                sent: 0,
-            }),
-        )
-        .expect("cluster setup");
-    }
+        } else {
+            cl.set_program(
+                host,
+                Box::new(NormalTar {
+                    p: p.clone(),
+                    files,
+                    contents: contents.clone(),
+                    archive,
+                    outstanding: variant.outstanding(),
+                    current: 0,
+                    reader: None,
+                    sent: 0,
+                }),
+            )
+            .expect("cluster setup");
+        }
+        (cl, sw)
+    };
 
-    let report = cl.run().expect("simulation completes");
+    let (mut cl, sw, report) = drive(&format!("tar-{}", variant.label()), build);
     let streamed = if variant.is_active() {
         let handler = cl.take_handler(sw, TAR_HANDLER).expect("handler");
         let h = handler

@@ -29,6 +29,20 @@
 //!   perf            wall-clock per benchmark run (normal + active),
 //!                   events/sec and peak queue depth; writes
 //!                   BENCH_PERF.json for perf-regression tracking
+//!   sweep           fault-tolerant parameter sweep: the golden grid
+//!                   plus the MD5-CPU and reduction node-count axes,
+//!                   with a digest-keyed per-cell cache under
+//!                   `--results <dir>` (default sweep-results/). A
+//!                   killed sweep resumes from the cache and writes a
+//!                   byte-identical sweep_results.json at any ASAN_JOBS
+//!   snapcheck       crash-safety check: runs the golden sweep plain,
+//!                   paused+snapshotted (ASAN_SNAPSHOT_EVENTS/_SAVE),
+//!                   and restored in a fresh process (_LOAD); all three
+//!                   outputs must be byte-identical
+//!   fork            warmed-start check: snapshots a paused golden
+//!                   sweep once, then forks several continuations from
+//!                   the same snapshots at different worker counts;
+//!                   every fork must print byte-identical digests
 //!   all             everything above
 //! ```
 //!
@@ -51,7 +65,7 @@ use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{
     breakdown_table, latency_report, metrics_json, overall_csv, overall_table, perf,
-    phase_breakdown_report, pool, speedups, BenchMetrics,
+    phase_breakdown_report, pool, speedups, sweep as sweep_drv, BenchMetrics,
 };
 use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::metrics::MetricsReport;
@@ -377,6 +391,19 @@ fn chaos(sc: &Scale) {
             (faulted.exec.as_ps() as f64 / clean.exec.as_ps().max(1) as f64 - 1.0) * 100.0,
             "ok",
         );
+        // Per-fault-class recovery counts (injected/detected/recovered/
+        // degraded) and the recovery mechanisms that absorbed them.
+        let f = &faulted.faults;
+        println!(
+            "  recovery: corrupt {} | drop {} | disk-err {} | disk-lat {} \
+             | {} retransmits, {} timeout retries",
+            f.packet_corrupt,
+            f.packet_drop,
+            f.disk_error,
+            f.disk_latency,
+            f.retransmits,
+            f.timeouts,
+        );
     }
 
     // The collective reduction sends host-generated vectors (reliable
@@ -400,10 +427,12 @@ fn chaos(sc: &Scale) {
         (trapped.latency.as_ps() as f64 / clean.latency.as_ps().max(1) as f64 - 1.0) * 100.0,
         "ok",
     );
+    let f = &trapped.faults;
     println!(
-        "traps fired: {} | fallback packets: {}",
-        trapped.faults.handler_trap.degraded, trapped.faults.fallback_packets
+        "  recovery: trap {} | {} fallback packets rerouted through the host",
+        f.handler_trap, f.fallback_packets
     );
+    println!("(per-class counts are injected/detected/recovered/degraded)");
     println!();
 }
 
@@ -590,6 +619,194 @@ fn perf_exp(sc: &Scale) {
     println!("wrote BENCH_PERF.json");
 }
 
+/// Boxes one benchmark run as a *re-runnable* sweep cell (the driver
+/// re-invokes it on retry after a transient failure).
+macro_rules! sweep_cell {
+    ($cells:ident, $name:expr, $config:expr, $run:expr) => {
+        $cells.push(sweep_drv::Cell {
+            name: $name.to_string(),
+            config: $config.to_string(),
+            run: Box::new(move || {
+                let r = $run;
+                sweep_drv::CellResult {
+                    digest: r.stats_digest,
+                    events: r.events,
+                    peak_queue: r.peak_queue,
+                }
+            }),
+        });
+    };
+}
+
+/// The sweep grid: the 18 golden (benchmark × config) cells plus the
+/// parameter axes of Figures 15–17 — MD5 switch-CPU counts and
+/// reduction node counts.
+fn sweep_cells(sc: &Scale) -> Vec<sweep_drv::Cell> {
+    let mut cells = Vec::new();
+    for (config, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
+        let p = sc.mpeg();
+        sweep_cell!(cells, "mpeg", config, mpeg::run(variant, &p));
+        let p = sc.hashjoin();
+        sweep_cell!(cells, "hashjoin", config, hashjoin::run(variant, &p));
+        let p = sc.select();
+        sweep_cell!(cells, "select", config, select::run(variant, &p));
+        let p = sc.grep();
+        sweep_cell!(cells, "grep", config, grep::run(variant, &p));
+        let p = sc.tar();
+        sweep_cell!(cells, "tar", config, tar::run(variant, &p));
+        let p = sc.psort();
+        sweep_cell!(cells, "psort", config, psort::run(variant, &p));
+        let p = sc.md5(1);
+        sweep_cell!(cells, "md5", config, md5app::run(variant, &p));
+        let active = variant.is_active();
+        sweep_cell!(
+            cells,
+            "reduce-to-one",
+            config,
+            reduce::run(reduce::Mode::ReduceToOne, active, 8)
+        );
+        sweep_cell!(
+            cells,
+            "distributed-reduce",
+            config,
+            reduce::run(reduce::Mode::Distributed, active, 8)
+        );
+    }
+    for k in [2usize, 4] {
+        let p = sc.md5(k);
+        sweep_cell!(
+            cells,
+            "md5",
+            format!("active-k{k}"),
+            md5app::run(Variant::Active, &p)
+        );
+    }
+    for p in sc.reduce_nodes() {
+        sweep_cell!(
+            cells,
+            "reduce-to-one",
+            format!("normal-p{p}"),
+            reduce::run(reduce::Mode::ReduceToOne, false, p)
+        );
+        sweep_cell!(
+            cells,
+            "reduce-to-one",
+            format!("active-p{p}"),
+            reduce::run(reduce::Mode::ReduceToOne, true, p)
+        );
+        sweep_cell!(
+            cells,
+            "distributed-reduce",
+            format!("active-p{p}"),
+            reduce::run(reduce::Mode::Distributed, true, p)
+        );
+    }
+    cells
+}
+
+/// The fault-tolerant parameter sweep. Cell records go to stdout in
+/// canonical order (deterministic at any worker count and across
+/// kill/resume); the cache-hit summary goes to stderr because it
+/// legitimately differs between a fresh run and a resumed one.
+fn sweep_exp(sc: &Scale, dir: &str) {
+    let cfg = sweep_drv::SweepConfig::new(dir);
+    let outcome = sweep_drv::run(sweep_cells(sc), &cfg).expect("sweep results dir is writable");
+    println!("== Sweep: {} cells ==", outcome.records.len());
+    for rec in &outcome.records {
+        println!(
+            "{:<20} {:<12} {:016x} {:>9} ev {:>5} pq",
+            rec.name, rec.config, rec.result.digest, rec.result.events, rec.result.peak_queue
+        );
+    }
+    println!("results: {dir}/sweep_results.json");
+    eprintln!(
+        "sweep: {} cached, {} computed, {} retries (workers = {})",
+        outcome.cached, outcome.computed, outcome.retries, cfg.workers
+    );
+}
+
+/// Re-runs this binary with `golden` under the given environment,
+/// returning its stdout.
+fn golden_child(sc: &Scale, envs: &[(&str, &str)]) -> String {
+    let exe = env::current_exe().expect("own binary path");
+    let mut cmd = std::process::Command::new(exe);
+    if sc.small {
+        cmd.arg("--small");
+    }
+    cmd.arg("golden");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn golden child");
+    assert!(
+        out.status.success(),
+        "golden child {envs:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("digest output is UTF-8")
+}
+
+/// Crash-safety check across real process boundaries: the golden sweep
+/// must print byte-identical digests when run plain, when paused +
+/// snapshotted + restored in-process, and when restored from the saved
+/// snapshot files in a fresh process.
+fn snapcheck(sc: &Scale) {
+    let dir = env::temp_dir().join(format!("asan-snapcheck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("snapshot dir");
+    let dir_s = dir.to_str().expect("UTF-8 temp path");
+
+    let plain = golden_child(sc, &[]);
+    let paused = golden_child(
+        sc,
+        &[
+            ("ASAN_SNAPSHOT_EVENTS", "500"),
+            ("ASAN_SNAPSHOT_SAVE", dir_s),
+        ],
+    );
+    let restored = golden_child(sc, &[("ASAN_SNAPSHOT_LOAD", dir_s)]);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(plain, paused, "pause+restore changed a golden digest");
+    assert_eq!(
+        plain, restored,
+        "fresh-process restore changed a golden digest"
+    );
+    println!(
+        "snapcheck: {} digests identical across plain / paused / fresh-process restore",
+        plain.lines().count()
+    );
+}
+
+/// Warmed-start check: snapshot a paused golden sweep once, then fork
+/// several continuations from the same snapshot files at different
+/// worker counts — every fork must print byte-identical digests.
+fn fork_exp(sc: &Scale) {
+    let dir = env::temp_dir().join(format!("asan-fork-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("snapshot dir");
+    let dir_s = dir.to_str().expect("UTF-8 temp path");
+
+    let warmed = golden_child(
+        sc,
+        &[
+            ("ASAN_SNAPSHOT_EVENTS", "500"),
+            ("ASAN_SNAPSHOT_SAVE", dir_s),
+        ],
+    );
+    let forks = ["1", "2", "4"];
+    for jobs in forks {
+        let fork = golden_child(sc, &[("ASAN_SNAPSHOT_LOAD", dir_s), ("ASAN_JOBS", jobs)]);
+        assert_eq!(
+            warmed, fork,
+            "fork at ASAN_JOBS={jobs} diverged from the warmed run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "fork: {} continuations byte-identical from one warmed snapshot set",
+        forks.len()
+    );
+}
+
 fn table2() {
     println!("== Table 2: Collective Reduction semantics ==");
     for p in [4usize, 8] {
@@ -615,9 +832,26 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let metrics_flag = args.iter().any(|a| a == "--metrics");
     let sc = Scale { small, csv, json };
+    let results_dir = args
+        .iter()
+        .position(|a| a == "--results")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "sweep-results".to_string());
+    let mut skip_next = false;
     let mut wanted: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--small" && *a != "--csv" && *a != "--json" && *a != "--metrics")
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--results" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--small" && *a != "--csv" && *a != "--json" && *a != "--metrics"
+        })
         .map(String::as_str)
         .collect();
     if metrics_flag {
@@ -679,6 +913,9 @@ fn main() {
             "metrics" => metrics_exp(&sc),
             "golden" => golden(&sc),
             "perf" => perf_exp(&sc),
+            "sweep" => sweep_exp(&sc, &results_dir),
+            "snapcheck" => snapcheck(&sc),
+            "fork" => fork_exp(&sc),
             "twolevel" => twolevel(&sc),
             "multiprog" => multiprog_exp(&sc),
             other => eprintln!("unknown experiment: {other}"),

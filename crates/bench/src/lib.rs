@@ -14,6 +14,7 @@
 pub mod json;
 pub mod perf;
 pub mod pool;
+pub mod sweep;
 
 use asan_apps::runner::AppRun;
 use asan_apps::Variant;
@@ -344,6 +345,7 @@ mod tests {
             metrics: MetricsReport::default(),
             events: 0,
             peak_queue: 0,
+            faults: asan_sim::faults::FaultStats::default(),
         }
     }
 

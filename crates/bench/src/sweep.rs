@@ -1,0 +1,455 @@
+//! Fault-tolerant, resumable parameter-sweep driver.
+//!
+//! A sweep is a grid of independent simulation *cells* (benchmark ×
+//! configuration). Each finished cell is persisted to its own
+//! digest-keyed cache file (`cell-<key>.json`, written atomically via
+//! a temp file + rename), so a sweep killed at any point — including
+//! `SIGKILL` mid-write — resumes by recomputing only the missing
+//! cells. The final `sweep_results.json` is assembled in canonical
+//! (submission) order from deterministic fields only, so an
+//! interrupted-and-resumed sweep is **byte-identical** to an
+//! uninterrupted one at any worker count.
+//!
+//! Transient cell failures (a panicking run, a full disk during the
+//! cache write) are retried with bounded exponential backoff before
+//! the sweep gives up.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration; // asan-lint: allow(no-wall-clock) — host-level retry backoff
+
+use crate::{json, pool};
+
+/// The deterministic outputs of one finished cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellResult {
+    /// Canonical cluster-stats digest of the run.
+    pub digest: u64,
+    /// Events the simulation processed.
+    pub events: u64,
+    /// High-water mark of the scheduler's pending-event queue.
+    pub peak_queue: u64,
+}
+
+/// A re-runnable cell body (re-invoked on retry).
+pub type CellRun = Box<dyn Fn() -> CellResult + Send + Sync>;
+
+/// One cell of the sweep grid.
+pub struct Cell {
+    /// Benchmark name (e.g. `grep`).
+    pub name: String,
+    /// Configuration label (e.g. `active`, `p16`).
+    pub config: String,
+    /// Runs the simulation for this cell.
+    pub run: CellRun,
+}
+
+/// One finished cell, as recorded in the results document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Benchmark name.
+    pub name: String,
+    /// Configuration label.
+    pub config: String,
+    /// The cell's deterministic outputs.
+    pub result: CellResult,
+}
+
+/// Sweep driver knobs.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Directory holding the per-cell cache and the results document.
+    pub dir: PathBuf,
+    /// Attempts per cell before the sweep gives up (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per retry.
+    pub backoff: Duration,
+    /// Worker threads (see [`pool::default_workers`]).
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// Default driver: 3 attempts, 25 ms base backoff, pool default
+    /// workers.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SweepConfig {
+            dir: dir.into(),
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+            workers: pool::default_workers(),
+        }
+    }
+}
+
+/// What a finished sweep did.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Every cell in canonical (submission) order.
+    pub records: Vec<CellRecord>,
+    /// Cells served from the on-disk cache.
+    pub cached: usize,
+    /// Cells computed this run.
+    pub computed: usize,
+    /// Retries spent recovering transient cell failures.
+    pub retries: u64,
+}
+
+/// FNV-1a over the cell descriptor — the cache-file key. Each part is
+/// length-prefixed so no delimiter choice can make two descriptors
+/// collide.
+fn cell_key(name: &str, config: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in [name, config] {
+        for b in (part.len() as u64)
+            .to_le_bytes()
+            .iter()
+            .chain(part.as_bytes())
+        {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn cell_path(dir: &Path, name: &str, config: &str) -> PathBuf {
+    dir.join(format!("cell-{:016x}.json", cell_key(name, config)))
+}
+
+/// Minimal JSON string escaping for cell names/configs.
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn cell_json(rec: &CellRecord) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"config\":\"{}\",\"digest\":\"{:016x}\",\"events\":{},\"peak_queue\":{}}}",
+        esc(&rec.name),
+        esc(&rec.config),
+        rec.result.digest,
+        rec.result.events,
+        rec.result.peak_queue,
+    )
+}
+
+/// Parses one cell document; `None` on any mismatch (malformed file,
+/// foreign cell under a colliding key) so the caller recomputes.
+fn parse_cell(text: &str, name: &str, config: &str) -> Option<CellRecord> {
+    let v = json::parse(text).ok()?;
+    if v.get("name")?.as_str()? != name || v.get("config")?.as_str()? != config {
+        return None;
+    }
+    let digest = u64::from_str_radix(v.get("digest")?.as_str()?, 16).ok()?;
+    Some(CellRecord {
+        name: name.to_string(),
+        config: config.to_string(),
+        result: CellResult {
+            digest,
+            events: v.get("events")?.as_u64()?,
+            peak_queue: v.get("peak_queue")?.as_u64()?,
+        },
+    })
+}
+
+/// Writes `text` to `path` atomically: temp file in the same
+/// directory, then rename. A crash at any instant leaves either the
+/// old file or the new one, never a torn write.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Runs `body` with bounded exponential backoff, counting retries into
+/// `retries`. Panics propagate only after `max_attempts` failures.
+fn with_retry<T>(
+    body: impl Fn() -> T,
+    max_attempts: u32,
+    backoff: Duration,
+    retries: &AtomicU64,
+) -> T {
+    let mut attempt = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(&body)) {
+            Ok(v) => return v,
+            Err(payload) => {
+                attempt += 1;
+                if attempt >= max_attempts.max(1) {
+                    std::panic::resume_unwind(payload);
+                }
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff * 2u32.saturating_pow(attempt - 1));
+            }
+        }
+    }
+}
+
+/// The canonical results document: one cell object per line, in
+/// submission order, deterministic fields only.
+pub fn results_json(records: &[CellRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, rec) in records.iter().enumerate() {
+        out.push_str(&cell_json(rec));
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Runs the sweep: serves finished cells from the cache, computes the
+/// rest on the worker pool (retrying transient failures with bounded
+/// backoff), persists each finished cell atomically, and writes
+/// `sweep_results.json` in canonical order.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the results directory or the
+/// results document cannot be written.
+///
+/// # Panics
+///
+/// Propagates a cell panic once its retry budget is exhausted.
+pub fn run(cells: Vec<Cell>, cfg: &SweepConfig) -> std::io::Result<SweepOutcome> {
+    std::fs::create_dir_all(&cfg.dir)?;
+    let retries = std::sync::Arc::new(AtomicU64::new(0));
+
+    // Serve what the cache already holds.
+    let mut slots: Vec<Option<CellRecord>> = Vec::with_capacity(cells.len());
+    let mut missing: Vec<(usize, Cell)> = Vec::new();
+    for (i, cell) in cells.into_iter().enumerate() {
+        let path = cell_path(&cfg.dir, &cell.name, &cell.config);
+        let cached = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse_cell(&text, &cell.name, &cell.config));
+        slots.push(cached);
+        if slots[i].is_none() {
+            missing.push((i, cell));
+        }
+    }
+    let cached = slots.iter().filter(|s| s.is_some()).count();
+    let computed = missing.len();
+
+    // Compute the rest; each cell persists itself the moment it
+    // finishes, so a kill loses at most the in-flight cells.
+    let jobs: Vec<pool::Job<(usize, CellRecord)>> = missing
+        .into_iter()
+        .map(|(i, cell)| {
+            let dir = cfg.dir.clone();
+            let max_attempts = cfg.max_attempts;
+            let backoff = cfg.backoff;
+            let retries = std::sync::Arc::clone(&retries);
+            Box::new(move || {
+                let rec = with_retry(
+                    || {
+                        let result = (cell.run)();
+                        let rec = CellRecord {
+                            name: cell.name.clone(),
+                            config: cell.config.clone(),
+                            result,
+                        };
+                        let path = cell_path(&dir, &rec.name, &rec.config);
+                        write_atomic(&path, &cell_json(&rec))
+                            .unwrap_or_else(|e| panic!("persist {}: {e}", path.display()));
+                        rec
+                    },
+                    max_attempts,
+                    backoff,
+                    &retries,
+                );
+                (i, rec)
+            }) as pool::Job<(usize, CellRecord)>
+        })
+        .collect();
+    for (i, rec) in pool::run_indexed(jobs, cfg.workers) {
+        slots[i] = Some(rec);
+    }
+
+    let records: Vec<CellRecord> = slots
+        .into_iter()
+        .map(|s| s.expect("every cell resolved"))
+        .collect();
+    write_atomic(&cfg.dir.join("sweep_results.json"), &results_json(&records))?;
+    Ok(SweepOutcome {
+        records,
+        cached,
+        computed,
+        retries: retries.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("asan-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn grid(counter: &Arc<AtomicU32>) -> Vec<Cell> {
+        (0..6u64)
+            .map(|i| {
+                let counter = Arc::clone(counter);
+                Cell {
+                    name: format!("bench{}", i / 2),
+                    config: if i % 2 == 0 { "normal" } else { "active" }.to_string(),
+                    run: Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        CellResult {
+                            digest: 0x1000 + i,
+                            events: 10 * i,
+                            peak_queue: i,
+                        }
+                    }),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn second_run_is_fully_cached_and_byte_identical() {
+        let dir = tmpdir("cache");
+        let runs = Arc::new(AtomicU32::new(0));
+        let cfg = SweepConfig::new(&dir);
+        let first = run(grid(&runs), &cfg).unwrap();
+        assert_eq!((first.cached, first.computed), (0, 6));
+        let bytes1 = std::fs::read(dir.join("sweep_results.json")).unwrap();
+
+        let second = run(grid(&runs), &cfg).unwrap();
+        assert_eq!((second.cached, second.computed), (6, 0));
+        assert_eq!(runs.load(Ordering::Relaxed), 6, "cache hits re-ran cells");
+        let bytes2 = std::fs::read(dir.join("sweep_results.json")).unwrap();
+        assert_eq!(bytes1, bytes2);
+        assert_eq!(first.records, second.records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_cache_resumes_byte_identical_at_any_worker_count() {
+        let dir = tmpdir("resume");
+        let runs = Arc::new(AtomicU32::new(0));
+        let cfg = SweepConfig::new(&dir);
+        run(grid(&runs), &cfg).unwrap();
+        let full = std::fs::read(dir.join("sweep_results.json")).unwrap();
+
+        // Simulate a kill: drop the results document and two cells.
+        std::fs::remove_file(dir.join("sweep_results.json")).unwrap();
+        std::fs::remove_file(cell_path(&dir, "bench0", "normal")).unwrap();
+        std::fs::remove_file(cell_path(&dir, "bench2", "active")).unwrap();
+
+        for workers in [1usize, 4] {
+            let cfg = SweepConfig {
+                workers,
+                ..SweepConfig::new(&dir)
+            };
+            let resumed = run(grid(&runs), &cfg).unwrap();
+            assert!(resumed.cached >= 4, "resume recomputed cached cells");
+            let bytes = std::fs::read(dir.join("sweep_results.json")).unwrap();
+            assert_eq!(bytes, full, "workers = {workers}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cell_is_recomputed() {
+        let dir = tmpdir("corrupt");
+        let runs = Arc::new(AtomicU32::new(0));
+        let cfg = SweepConfig::new(&dir);
+        run(grid(&runs), &cfg).unwrap();
+        let full = std::fs::read(dir.join("sweep_results.json")).unwrap();
+
+        // A torn or foreign cache file must be ignored, not trusted.
+        std::fs::write(cell_path(&dir, "bench1", "normal"), "{\"name\":\"bench1\"").unwrap();
+        std::fs::write(
+            cell_path(&dir, "bench1", "active"),
+            "{\"name\":\"other\",\"config\":\"active\",\"digest\":\"0\",\"events\":0,\"peak_queue\":0}",
+        )
+        .unwrap();
+        let resumed = run(grid(&runs), &cfg).unwrap();
+        assert_eq!(resumed.computed, 2);
+        assert_eq!(std::fs::read(dir.join("sweep_results.json")).unwrap(), full);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_panic_is_retried_with_backoff() {
+        let dir = tmpdir("retry");
+        let attempts = Arc::new(AtomicU32::new(0));
+        let flaky = {
+            let attempts = Arc::clone(&attempts);
+            Cell {
+                name: "flaky".to_string(),
+                config: "normal".to_string(),
+                run: Box::new(move || {
+                    if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                        panic!("transient failure");
+                    }
+                    CellResult {
+                        digest: 7,
+                        events: 1,
+                        peak_queue: 1,
+                    }
+                }),
+            }
+        };
+        let cfg = SweepConfig {
+            backoff: Duration::from_millis(1),
+            ..SweepConfig::new(&dir)
+        };
+        let outcome = run(vec![flaky], &cfg).unwrap();
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(outcome.records[0].result.digest, 7);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let dir = tmpdir("budget");
+        let attempts = Arc::new(AtomicU32::new(0));
+        let doomed = {
+            let attempts = Arc::clone(&attempts);
+            Cell {
+                name: "doomed".to_string(),
+                config: "normal".to_string(),
+                run: Box::new(move || {
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    panic!("permanent failure");
+                }),
+            }
+        };
+        let cfg = SweepConfig {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+            workers: 1,
+            dir: dir.clone(),
+        };
+        let hit = catch_unwind(AssertUnwindSafe(|| run(vec![doomed], &cfg)));
+        assert!(hit.is_err(), "permanent failure must propagate");
+        assert_eq!(attempts.load(Ordering::Relaxed), 3, "exactly max_attempts");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_ne!(cell_key("grep", "active"), cell_key("grep", "normal"));
+        assert_ne!(cell_key("a/b", "c"), cell_key("a", "b/c"));
+        // Stable across processes (pure function of the descriptor).
+        assert_eq!(cell_key("grep", "active"), cell_key("grep", "active"));
+    }
+}

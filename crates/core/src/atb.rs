@@ -12,6 +12,7 @@
 //! streaming ("in order") arrival of mapped data: consecutive MTU-sized
 //! chunks of a mapped file land in consecutive ATB slots.
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Counter;
 
 use crate::buffer::{BufId, BUFFER_BYTES};
@@ -156,6 +157,40 @@ impl Atb {
     /// correct streaming runs).
     pub fn conflict_evictions(&self) -> u64 {
         self.conflict_evictions.get()
+    }
+
+    /// Writes every live mapping and the translation counters.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        for e in &self.entries {
+            match e {
+                Some(entry) => {
+                    w.bool(true);
+                    w.u32(entry.base);
+                    w.u8(entry.buf.0);
+                }
+                None => w.bool(false),
+            }
+        }
+        self.hits.snapshot(w);
+        self.misses.snapshot(w);
+        self.conflict_evictions.snapshot(w);
+    }
+
+    /// Overwrites this ATB's mappings and counters from a snapshot.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for e in &mut self.entries {
+            *e = if r.bool()? {
+                let base = r.u32()?;
+                let buf = BufId(r.u8()?);
+                Some(Entry { base, buf })
+            } else {
+                None
+            };
+        }
+        self.hits = Counter::restore(r)?;
+        self.misses = Counter::restore(r)?;
+        self.conflict_evictions = Counter::restore(r)?;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@
 //! while the tail of the packet is still on the wire — the overlap the
 //! paper credits for much of the active switch's efficiency.
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimTime;
 
 /// Bytes per data buffer (one MTU).
@@ -161,6 +162,35 @@ impl DataBuffer {
     pub fn reset(&mut self) {
         self.len = 0;
         self.valid = [None; LINES];
+    }
+
+    /// Writes the full byte array, payload length, and per-line valid
+    /// times. The whole array is written (not just `len` bytes) because
+    /// a later extending [`write`](DataBuffer::write) can expose bytes
+    /// beyond the current payload.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.bytes(&self.data);
+        w.usize(self.len);
+        for v in &self.valid {
+            w.opt_time(*v);
+        }
+    }
+
+    /// Overwrites this buffer from a snapshot.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let data = r.bytes()?;
+        if data.len() != BUFFER_BYTES {
+            return Err(SnapError::Malformed("data buffer size mismatch"));
+        }
+        self.data.copy_from_slice(&data);
+        self.len = r.usize()?;
+        if self.len > BUFFER_BYTES {
+            return Err(SnapError::Malformed("data buffer payload too long"));
+        }
+        for v in &mut self.valid {
+            *v = r.opt_time()?;
+        }
+        Ok(())
     }
 
     /// The latest line-valid time, i.e. when the whole payload is

@@ -26,6 +26,7 @@ use asan_net::topo::{NodeKind, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, HcaConfig, NodeId};
 use asan_sim::faults::{FaultInjector, FaultPlan, FaultStats};
 use asan_sim::sched::Scheduler;
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::{TimeBreakdown, Traffic};
 use asan_sim::trace::{JsonlSink, TraceSink};
 use asan_sim::{SimDuration, SimTime};
@@ -187,23 +188,28 @@ impl RunReport {
 /// over one deterministic scheduler.
 #[derive(Debug)]
 pub struct Cluster {
-    cfg: ClusterConfig,
+    cfg: ClusterConfig, // asan-lint: allow(snapshot-completeness)
     fabric: Fabric,
     sched: Scheduler<Event>,
     host: HostEngine,
     dispatch: DispatchEngine,
     storage: StorageEngine,
-    fabric_engine: FabricEngine,
-    files: FileStore,
+    fabric_engine: FabricEngine, // asan-lint: allow(snapshot-completeness)
+    files: FileStore,            // asan-lint: allow(snapshot-completeness)
     reqs: BTreeMap<ReqId, IoState>,
     /// Armed fault injector (None ⇒ the pre-fault simulator, bit for
     /// bit).
     injector: Option<FaultInjector>,
     /// TCA nodes with an active engine, for delivery routing.
-    active_tca_nodes: BTreeSet<NodeId>,
+    active_tca_nodes: BTreeSet<NodeId>, // asan-lint: allow(snapshot-completeness)
     /// The observability probe: always-on latency histograms plus the
     /// optional trace sink spans are delivered to.
     probe: Probe,
+    /// Whether the one-time run arming (fault plan, `Start` events) has
+    /// happened; a restored mid-run cluster must not re-arm.
+    armed: bool,
+    /// Running maximum of popped event times (the drain clock).
+    drain: SimTime,
 }
 
 impl Cluster {
@@ -237,6 +243,8 @@ impl Cluster {
             injector,
             active_tca_nodes: BTreeSet::new(),
             probe: Probe::default(),
+            armed: false,
+            drain: SimTime::ZERO,
         }
     }
 
@@ -434,10 +442,32 @@ impl Cluster {
     /// [`SimError::RetriesExhausted`] if a request's retry budget runs
     /// out under fault injection.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        match self.run_events(u64::MAX)? {
+            Some(report) => Ok(report),
+            None => unreachable!("an unbounded run always drains"),
+        }
+    }
+
+    /// Runs at most `budget` events. Returns `Ok(None)` when the budget
+    /// ran out with events still pending — the cluster is paused at a
+    /// consistent point and can be snapshotted with
+    /// [`Cluster::snapshot`] or continued with another call — and
+    /// `Ok(Some(report))` when the event queue drained and the run
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventLimitExceeded`] if the event-count
+    /// guard trips (deadlock/livelock guard), and
+    /// [`SimError::RetriesExhausted`] if a request's retry budget runs
+    /// out under fault injection.
+    pub fn run_events(&mut self, budget: u64) -> Result<Option<RunReport>, SimError> {
         // Compatibility shim for the old `ASAN_TRACE` switch: when no
         // sink was injected explicitly, a non-empty `ASAN_TRACE=<path>`
         // selects the JSONL file sink (appending, so multi-run sessions
-        // accumulate). Resolved once per run, not per event.
+        // accumulate). Resolved once per call, not per event — and
+        // outside the arming gate, so a restored process regains its
+        // sink.
         if !self.probe.has_sink() {
             if let Some(path) = std::env::var_os("ASAN_TRACE") {
                 if !path.is_empty() {
@@ -447,6 +477,56 @@ impl Cluster {
                 }
             }
         }
+        self.arm();
+        let mut left = budget;
+        while left > 0 {
+            let Some((t, ev)) = self.sched.pop() else {
+                break;
+            };
+            if self.sched.processed() > self.cfg.max_events {
+                return Err(SimError::EventLimitExceeded {
+                    at: t,
+                    limit: self.cfg.max_events,
+                });
+            }
+            self.drain = self.drain.max(t);
+            self.handle(t, ev)?;
+            left -= 1;
+        }
+        if !self.sched.is_empty() {
+            return Ok(None); // paused mid-run
+        }
+        // Flush trailing archive writes.
+        self.drain = self.storage.flush(self.drain, &mut self.probe);
+        FabricEngine::outage_accounting(&mut self.injector, &self.fabric);
+        self.probe.flush();
+
+        let drain = self.drain;
+        let finish = self.host.finish_time();
+        let finish = if finish == SimTime::ZERO {
+            drain
+        } else {
+            finish
+        };
+        Ok(Some(RunReport {
+            finish,
+            drain: drain.max(finish),
+            hosts: self.host.reports(finish),
+            switches: self.dispatch.reports(finish),
+            link_bytes: self.fabric.total_link_bytes(),
+            events: self.sched.processed(),
+            peak_queue: self.sched.peak_len() as u64,
+        }))
+    }
+
+    /// One-time run arming: run-scoped faults, the fallback host, and
+    /// the `Start` events. Gated so a restored mid-run cluster (which
+    /// was armed before its snapshot) does not re-arm.
+    fn arm(&mut self) {
+        if self.armed {
+            return;
+        }
+        self.armed = true;
         // Arm the run-scoped faults of the plan, if any. `injector` and
         // `fabric` are disjoint fields, so the plan can be borrowed
         // instead of cloned.
@@ -460,37 +540,79 @@ impl Cluster {
         for h in self.host.nodes_with_programs() {
             self.sched.push(SimTime::ZERO, Event::Start(h));
         }
-        let mut drain = SimTime::ZERO;
-        while let Some((t, ev)) = self.sched.pop() {
-            if self.sched.processed() > self.cfg.max_events {
-                return Err(SimError::EventLimitExceeded {
-                    at: t,
-                    limit: self.cfg.max_events,
-                });
-            }
-            drain = drain.max(t);
-            self.handle(t, ev)?;
-        }
-        // Flush trailing archive writes.
-        let drain = self.storage.flush(drain, &mut self.probe);
-        FabricEngine::outage_accounting(&mut self.injector, &self.fabric);
-        self.probe.flush();
+    }
 
-        let finish = self.host.finish_time();
-        let finish = if finish == SimTime::ZERO {
-            drain
-        } else {
-            finish
-        };
-        Ok(RunReport {
-            finish,
-            drain: drain.max(finish),
-            hosts: self.host.reports(finish),
-            switches: self.dispatch.reports(finish),
-            link_bytes: self.fabric.total_link_bytes(),
-            events: self.sched.processed(),
-            peak_queue: self.sched.peak_len() as u64,
-        })
+    /// Serializes the cluster's complete dynamic state — the pending
+    /// event queue (in exact `(time, seq)` order), every engine's
+    /// internal state, link/credit state, in-flight requests, fault
+    /// injector cursors, and metric histograms — into the versioned
+    /// snapshot encoding.
+    ///
+    /// Static inputs (topology, configuration, file contents, installed
+    /// programs and handlers) are *not* captured: a restoring process
+    /// rebuilds the cluster identically first, then calls
+    /// [`Cluster::restore`], which overwrites the dynamic state.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.section("cluster");
+        w.bool(self.armed);
+        w.time(self.drain);
+        self.sched.snapshot_with(&mut w, |w, e| e.snapshot(w));
+        self.fabric.snapshot(&mut w);
+        self.host.snapshot(&mut w);
+        self.dispatch.snapshot(&mut w);
+        self.storage.snapshot(&mut w);
+        w.usize(self.reqs.len());
+        for (req, st) in &self.reqs {
+            w.u64(req.0);
+            st.snapshot(&mut w);
+        }
+        match &self.injector {
+            Some(inj) => {
+                w.bool(true);
+                inj.snapshot(&mut w);
+            }
+            None => w.bool(false),
+        }
+        self.probe.snapshot_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Overwrites this cluster's dynamic state from a snapshot taken of
+    /// an identically built cluster (same topology, configuration,
+    /// files, programs, handlers, and active-TCA set). Continuing the
+    /// run afterwards produces bit-identical results to the run the
+    /// snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the bytes are malformed, from a
+    /// different snapshot version, or describe a cluster of a different
+    /// shape.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes)?;
+        r.section("cluster")?;
+        self.armed = r.bool()?;
+        self.drain = r.time()?;
+        self.sched = Scheduler::restore_with(&mut r, Event::restore)?;
+        self.fabric.restore(&mut r)?;
+        self.host.restore(&mut r)?;
+        self.dispatch.restore(&mut r, &self.cfg)?;
+        self.storage.restore(&mut r)?;
+        self.reqs.clear();
+        let nreqs = r.usize()?;
+        for _ in 0..nreqs {
+            let req = ReqId(r.u64()?);
+            self.reqs.insert(req, IoState::restore(&mut r)?);
+        }
+        let has_injector = r.bool()?;
+        match (has_injector, self.injector.as_mut()) {
+            (true, Some(inj)) => inj.restore(&mut r)?,
+            (false, None) => {}
+            _ => return Err(SnapError::Malformed("fault plan presence mismatch")),
+        }
+        self.probe.restore_state(&mut r)?;
+        r.finish()
     }
 
     /// Routes one event to the engine that owns it, lending the shared

@@ -11,10 +11,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use asan_net::{HandlerId, NodeId, HEADER_BYTES};
 use asan_sim::faults::{BufferSeize, FaultInjector};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimTime;
 
 use crate::active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
-use crate::cluster::SwitchReport;
+use crate::cluster::{ClusterConfig, SwitchReport};
 use crate::error::SimError;
 use crate::events::{Event, EventBus, FlowState, ReqId};
 use crate::handler::Handler;
@@ -41,7 +42,7 @@ pub struct DispatchEngine {
     /// Memoized configuration for host-side fallback engines, built
     /// once on first trap instead of recloning `ActiveCfg`/`CpuCfg`
     /// inside the event loop for every trapping switch.
-    fallback_cfg: Option<ActiveSwitchConfig>,
+    fallback_cfg: Option<ActiveSwitchConfig>, // asan-lint: allow(snapshot-completeness)
     /// Reorder buffers for mapped flows under faults.
     flows: BTreeMap<ReqId, FlowState>,
 }
@@ -215,6 +216,128 @@ impl DispatchEngine {
                 }
             })
             .collect()
+    }
+
+    /// Writes the engine's dynamic state: the fallback host, the trap
+    /// set, every active engine (switches, active TCAs, fallback
+    /// engines), and the per-request reorder buffers.
+    pub(crate) fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("dispatch");
+        w.opt_u64(self.fallback_host.map(|n| u64::from(n.0)));
+        w.usize(self.trapped.len());
+        for (sw, hid) in &self.trapped {
+            w.u16(sw.0);
+            w.u8(hid.as_u8());
+        }
+        w.usize(self.switches.len());
+        for (&id, s) in &self.switches {
+            w.u16(id.0);
+            s.snapshot(w);
+        }
+        w.usize(self.active_tcas.len());
+        for (&id, s) in &self.active_tcas {
+            w.u16(id.0);
+            s.snapshot(w);
+        }
+        w.usize(self.fallback_engines.len());
+        for (&id, s) in &self.fallback_engines {
+            w.u16(id.0);
+            s.snapshot(w);
+        }
+        w.usize(self.flows.len());
+        for (req, flow) in &self.flows {
+            w.u64(req.0);
+            flow.snapshot(w);
+        }
+    }
+
+    /// Overwrites the engine's dynamic state from a snapshot taken of
+    /// an identically built engine (same switches, active TCAs, and
+    /// registered handlers).
+    ///
+    /// Handler traps are replayed first: each `(switch, handler)` pair
+    /// in the snapshotted trap set has its (freshly re-registered)
+    /// handler migrated from the original engine to a host-side
+    /// fallback engine — exactly as the live trap did — so jump-table
+    /// occupancy matches before engine state is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is malformed or the
+    /// engine set does not match.
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        cfg: &ClusterConfig,
+    ) -> Result<(), SnapError> {
+        r.section("dispatch")?;
+        self.fallback_host = match r.opt_u64()? {
+            Some(v) => Some(NodeId(
+                u16::try_from(v).map_err(|_| SnapError::Malformed("fallback host id"))?,
+            )),
+            None => None,
+        };
+        let ntrap = r.usize()?;
+        for _ in 0..ntrap {
+            let sw = NodeId(r.u16()?);
+            let raw = r.u8()?;
+            if raw >= 64 {
+                return Err(SnapError::Malformed("trapped handler id out of range"));
+            }
+            let hid = HandlerId::new(raw);
+            let handler = self
+                .switches
+                .get_mut(&sw)
+                .or_else(|| self.active_tcas.get_mut(&sw))
+                .and_then(|e| e.take_handler(hid))
+                .ok_or(SnapError::Malformed("trapped handler not registered"))?;
+            let fallback_cfg = self.fallback_cfg.get_or_insert_with(|| {
+                let mut fcfg = cfg.active.clone();
+                fcfg.cpu = cfg.host_cpu.clone();
+                fcfg.num_cpus = 1;
+                fcfg.dispatch_cycles = 64;
+                fcfg
+            });
+            self.fallback_engines
+                .entry(sw)
+                .or_insert_with(|| ActiveSwitch::new(sw, fallback_cfg.clone()))
+                .register(hid, handler);
+            self.trapped.insert((sw, hid));
+        }
+        if r.usize()? != self.switches.len() {
+            return Err(SnapError::Malformed("switch count mismatch"));
+        }
+        for (&id, s) in &mut self.switches {
+            if r.u16()? != id.0 {
+                return Err(SnapError::Malformed("switch node mismatch"));
+            }
+            s.restore(r)?;
+        }
+        if r.usize()? != self.active_tcas.len() {
+            return Err(SnapError::Malformed("active TCA count mismatch"));
+        }
+        for (&id, s) in &mut self.active_tcas {
+            if r.u16()? != id.0 {
+                return Err(SnapError::Malformed("active TCA node mismatch"));
+            }
+            s.restore(r)?;
+        }
+        if r.usize()? != self.fallback_engines.len() {
+            return Err(SnapError::Malformed("fallback engine count mismatch"));
+        }
+        for (&id, s) in &mut self.fallback_engines {
+            if r.u16()? != id.0 {
+                return Err(SnapError::Malformed("fallback engine node mismatch"));
+            }
+            s.restore(r)?;
+        }
+        self.flows.clear();
+        let nflows = r.usize()?;
+        for _ in 0..nflows {
+            let req = ReqId(r.u64()?);
+            self.flows.insert(req, FlowState::restore(r)?);
+        }
+        Ok(())
     }
 
     /// One mapped storage data packet arrived at an active engine under

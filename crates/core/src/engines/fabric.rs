@@ -119,9 +119,12 @@ impl Engine for FabricEngine {
                     });
                 }
                 st.attempt += 1;
-                st.timeout = st.timeout + st.timeout; // exponential backoff
+                // Exponential backoff; saturates so a timer armed near
+                // the u64-picosecond horizon clamps instead of wrapping
+                // to the past (which would busy-loop the watchdog).
+                st.timeout = st.timeout.saturating_add(st.timeout);
                 let next_attempt = st.attempt;
-                let next_at = t + st.timeout;
+                let next_at = t.saturating_add(st.timeout);
                 let missing: Vec<u32> = st
                     .got
                     .iter()

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use asan_cpu::Cpu;
 use asan_io::OsCost;
 use asan_net::{HandlerId, Hca, NodeId, HEADER_BYTES, MTU};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Traffic;
 use asan_sim::{SimDuration, SimTime};
 
@@ -43,6 +44,22 @@ pub trait HostProgram {
     /// a run (`Some(self)` in implementations that support it).
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Writes this program's persistent state into a snapshot. Stateful
+    /// programs (anything whose behaviour depends on values mutated
+    /// across hook calls) must override this together with
+    /// [`HostProgram::restore_state`]; the default writes nothing.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restores the state written by [`HostProgram::snapshot_state`]
+    /// into a freshly constructed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is malformed.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -366,6 +383,65 @@ impl HostEngine {
                 hca_recvs: h.hca.recvs(),
             })
             .collect()
+    }
+
+    /// Writes the engine's dynamic state: the request-ID allocator and
+    /// every host node (CPU, HCA, finish/background state, traffic,
+    /// program state via [`HostProgram::snapshot_state`]).
+    pub(crate) fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("host");
+        w.u64(self.next_req);
+        w.usize(self.hosts.len());
+        for (&id, h) in &self.hosts {
+            w.u16(id.0);
+            h.cpu.snapshot(w);
+            h.hca.snapshot(w);
+            match &h.program {
+                Some(p) => {
+                    w.bool(true);
+                    p.snapshot_state(w);
+                }
+                None => w.bool(false),
+            }
+            w.opt_time(h.finished_at);
+            h.payload.snapshot(w);
+            w.dur(h.background_left);
+            w.opt_time(h.background_done);
+        }
+    }
+
+    /// Overwrites the engine's dynamic state from a snapshot taken of
+    /// an identically built engine (same hosts, same programs
+    /// installed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the stream is malformed or the host
+    /// set / program placement does not match.
+    pub(crate) fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("host")?;
+        self.next_req = r.u64()?;
+        if r.usize()? != self.hosts.len() {
+            return Err(SnapError::Malformed("host count mismatch"));
+        }
+        for (&id, h) in &mut self.hosts {
+            if r.u16()? != id.0 {
+                return Err(SnapError::Malformed("host node mismatch"));
+            }
+            h.cpu.restore(r)?;
+            h.hca.restore(r)?;
+            let has_program = r.bool()?;
+            match (has_program, h.program.as_mut()) {
+                (true, Some(p)) => p.restore_state(r)?,
+                (false, None) => {}
+                _ => return Err(SnapError::Malformed("program placement mismatch")),
+            }
+            h.finished_at = r.opt_time()?;
+            h.payload = Traffic::restore(r)?;
+            h.background_left = r.dur()?;
+            h.background_done = r.opt_time()?;
+        }
+        Ok(())
     }
 
     /// Invokes a host program hook. `io` = completed request;

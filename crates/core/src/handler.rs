@@ -15,6 +15,7 @@
 
 use asan_cpu::Cpu;
 use asan_net::{HandlerId, NodeId};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimTime;
 
 use crate::atb::Atb;
@@ -387,5 +388,24 @@ pub trait Handler {
     /// support it).
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+
+    /// Writes the handler's persistent per-flow state into a snapshot.
+    /// The default writes nothing, which is correct only for stateless
+    /// handlers — any handler whose fields evolve across invocations
+    /// must override both this and
+    /// [`restore_state`](Handler::restore_state) or a restored run will
+    /// diverge from the unbroken one.
+    fn snapshot_state(&self, _w: &mut SnapWriter) {}
+
+    /// Overwrites the handler's persistent state from a snapshot
+    /// written by [`snapshot_state`](Handler::snapshot_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the snapshot bytes cannot be
+    /// decoded into this handler's state.
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }

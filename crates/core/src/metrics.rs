@@ -21,6 +21,7 @@ use std::fmt;
 use asan_net::NodeId;
 use asan_sim::faults::fnv1a_fold;
 use asan_sim::hist::LogHistogram;
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::trace::{Span, SpanKind, TraceSink};
 use asan_sim::{SimDuration, SimTime};
 
@@ -201,7 +202,7 @@ impl fmt::Display for MetricsReport {
 /// default configuration pays no formatting or I/O cost.
 #[derive(Debug, Default)]
 pub struct Probe {
-    sink: Option<Box<dyn TraceSink>>,
+    sink: Option<Box<dyn TraceSink>>, // asan-lint: allow(snapshot-completeness)
     packet_e2e: LogHistogram,
     handler_occupancy: LogHistogram,
     disk_service: LogHistogram,
@@ -281,6 +282,29 @@ impl Probe {
     ) {
         self.buffer_wait.record_duration(wait);
         self.span(SpanKind::Buffer, node, seize, release, bytes);
+    }
+
+    /// Writes the probe's dynamic state (histograms and the span
+    /// sequence cursor). The trace sink is a process-local resource and
+    /// is not captured; a restored run re-installs one if tracing is
+    /// enabled.
+    pub(crate) fn snapshot_state(&self, w: &mut SnapWriter) {
+        self.packet_e2e.snapshot(w);
+        self.handler_occupancy.snapshot(w);
+        self.disk_service.snapshot(w);
+        self.buffer_wait.snapshot(w);
+        w.u64(self.next_id);
+    }
+
+    /// Overwrites the probe's histograms and span cursor from a
+    /// snapshot, keeping any installed sink.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.packet_e2e = LogHistogram::restore(r)?;
+        self.handler_occupancy = LogHistogram::restore(r)?;
+        self.disk_service = LogHistogram::restore(r)?;
+        self.buffer_wait = LogHistogram::restore(r)?;
+        self.next_id = r.u64()?;
+        Ok(())
     }
 
     /// Snapshot of the probe-side histograms as a partially filled

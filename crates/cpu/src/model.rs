@@ -13,6 +13,7 @@
 //! switch hierarchy config and a smaller code footprint).
 
 use asan_mem::hierarchy::{HierarchyConfig, MemoryHierarchy};
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::TimeBreakdown;
 use asan_sim::{SimDuration, SimTime};
 
@@ -98,7 +99,7 @@ impl CpuConfig {
 /// ```
 #[derive(Debug)]
 pub struct Cpu {
-    cfg: CpuConfig,
+    cfg: CpuConfig, // asan-lint: allow(snapshot-completeness)
     mem: MemoryHierarchy,
     now: SimTime,
     breakdown: TimeBreakdown,
@@ -331,6 +332,32 @@ impl Cpu {
         self.breakdown = TimeBreakdown::default();
         self.instructions = 0;
     }
+
+    /// Writes the core's dynamic state: local clock, time breakdown,
+    /// fetch cursor, retired-instruction count, the warm-code flag and
+    /// the full memory hierarchy (cache tags, TLB residency, DRAM rows,
+    /// MSHRs).
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("cpu");
+        w.time(self.now);
+        self.breakdown.snapshot(w);
+        w.u64(self.fetch_cursor);
+        w.u64(self.instructions);
+        w.bool(self.warm_code);
+        self.mem.snapshot(w);
+    }
+
+    /// Overwrites this core's dynamic state from a snapshot taken of a
+    /// core with the same configuration.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("cpu")?;
+        self.now = r.time()?;
+        self.breakdown = TimeBreakdown::restore(r)?;
+        self.fetch_cursor = r.u64()?;
+        self.instructions = r.u64()?;
+        self.warm_code = r.bool()?;
+        self.mem.restore(r)
+    }
 }
 
 #[cfg(test)]
@@ -546,6 +573,63 @@ mod tests {
         });
         big.compute(128 * 1024 / 4);
         assert!(big.breakdown().stall.as_ns() > 0);
+    }
+
+    #[test]
+    fn snapshot_restores_clock_caches_and_fast_path() {
+        use asan_sim::snap::{SnapReader, SnapWriter};
+        for cfg in [CpuConfig::host(), CpuConfig::switch_cpu()] {
+            let mut c = Cpu::new(cfg.clone());
+            c.compute(1234);
+            c.scan(0x3000_0000, 4096, 64, 7, false);
+            c.store(0x3000_2000);
+            c.idle_until(c.now() + SimDuration::from_us(3));
+
+            let mut w = SnapWriter::new();
+            c.snapshot(&mut w);
+            let bytes = w.into_bytes();
+            let mut back = Cpu::new(cfg);
+            let mut r = SnapReader::new(&bytes).unwrap();
+            back.restore(&mut r).unwrap();
+            r.finish().unwrap();
+
+            assert_eq!(back.now(), c.now());
+            assert_eq!(back.breakdown(), c.breakdown());
+            assert_eq!(back.instructions(), c.instructions());
+            // Continue both: identical timing picosecond for picosecond,
+            // including warm-fetch bulk accounting and D-cache residency.
+            for &n in &[5u64, 100, 4099] {
+                c.compute(n);
+                back.compute(n);
+                c.load(0x3000_0000 + n * 8);
+                back.load(0x3000_0000 + n * 8);
+            }
+            assert_eq!(back.now(), c.now());
+            assert_eq!(back.breakdown(), c.breakdown());
+            assert_eq!(back.memory().stats().ifetches, c.memory().stats().ifetches);
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_disabled_fast_path() {
+        use asan_sim::snap::{SnapReader, SnapWriter};
+        let mut c = host();
+        let _ = c.memory_mut(); // drops to the line-by-line fetch path
+        c.compute(64);
+        let mut w = SnapWriter::new();
+        c.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = host(); // constructs with warm_code = true
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        c.compute(10_000);
+        back.compute(10_000);
+        assert_eq!(back.now(), c.now());
+        assert_eq!(
+            back.memory().l1i().stats().hits.get(),
+            c.memory().l1i().stats().hits.get()
+        );
     }
 
     #[test]

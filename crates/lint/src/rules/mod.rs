@@ -13,6 +13,7 @@ mod digest_completeness;
 mod event_exhaustiveness;
 mod hot_path_clone;
 mod lossy_cast;
+mod snapshot_completeness;
 mod unordered_iteration;
 mod wall_clock;
 
@@ -54,6 +55,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(event_exhaustiveness::EventExhaustiveness),
         Box::new(digest_completeness::DigestCompleteness),
         Box::new(hot_path_clone::NoHotPathClone),
+        Box::new(snapshot_completeness::SnapshotCompleteness),
     ]
 }
 

@@ -1,0 +1,236 @@
+//! Rule `snapshot-completeness`: every field of a snapshottable struct
+//! is covered by its snapshot/restore pair.
+//!
+//! The crash-safe checkpoint subsystem (`asan_sim::snap`) round-trips
+//! simulation state through `fn snapshot*` / `fn restore*` methods. A
+//! field added to a snapshottable struct but forgotten in those
+//! bodies silently desynchronizes a restored run from the original —
+//! exactly the drift the golden-digest net can only catch after the
+//! fact. This rule finds every struct whose same-file `impl` blocks
+//! define a `snapshot*` or `restore*` method, unions the identifiers
+//! across **all** of those bodies (some fields are only referenced on
+//! the restore side, e.g. a reader rebuilt from a rediscovered plan),
+//! and requires each named field to appear in that union. Static
+//! configuration that is intentionally rebuilt — not serialized —
+//! carries `// asan-lint: allow(snapshot-completeness)` on its
+//! declaration line.
+
+use std::collections::BTreeMap;
+
+use super::{is_punct, matching_brace, FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Kind, Token};
+
+/// One struct field: name and declaration line.
+struct Field {
+    name: String,
+    line: u32,
+}
+
+pub(crate) struct SnapshotCompleteness;
+
+impl Rule for SnapshotCompleteness {
+    fn name(&self) -> &'static str {
+        "snapshot-completeness"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every field of a struct with snapshot*/restore* methods must appear in those bodies"
+    }
+
+    fn applies(&self, _rel_path: &str) -> bool {
+        // Self-scoping: only files whose impls define snapshot/restore
+        // methods have anything to check.
+        true
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        let hooks = snapshot_idents_by_type(toks);
+        if hooks.is_empty() {
+            return;
+        }
+        let structs = collect_structs(toks);
+        for (ty, idents) in &hooks {
+            let Some(fields) = structs.get(ty.as_str()) else {
+                // The struct lives in another file (or is a tuple
+                // struct delegating through `.0`); nothing named to
+                // check here.
+                continue;
+            };
+            for f in fields {
+                if !idents.contains(&f.name) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        severity: Severity::Deny,
+                        file: ctx.rel_path.to_string(),
+                        line: f.line,
+                        message: format!(
+                            "field `{}::{}` never appears in this file's snapshot*/restore* \
+                             bodies; serialize it (restored runs must be bit-identical) or \
+                             annotate `// asan-lint: allow(snapshot-completeness)`",
+                            ty, f.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Collects `struct Name { field: Type, ... }` declarations (named
+/// fields only — tuple and unit structs have nothing to check).
+fn collect_structs(toks: &[Token]) -> BTreeMap<String, Vec<Field>> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let mut j = i + 2;
+        while j < toks.len() && !matches!(toks[j].text.as_str(), "{" | "(" | ";") {
+            j += 1;
+        }
+        if !is_punct(toks, j, "{") {
+            i = j.max(i + 1);
+            continue;
+        }
+        let close = matching_brace(toks, j);
+        out.insert(name.text.clone(), collect_fields(&toks[j + 1..close]));
+        i = close;
+    }
+    out
+}
+
+/// Splits one struct body into named fields (top-level `name: type`).
+fn collect_fields(body: &[Token]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if depth == 0 && t.kind == Kind::Ident && is_punct(body, i + 1, ":") {
+            let name = t.text.clone();
+            let line = t.line;
+            // Skip the type tokens to the field-separating comma.
+            let mut j = i + 2;
+            let mut tdepth = 0i32;
+            while j < body.len() {
+                let tt = &body[j];
+                if tt.kind == Kind::Punct {
+                    match tt.text.as_str() {
+                        "<" | "(" | "[" => tdepth += 1,
+                        ">" | ")" | "]" => tdepth -= 1,
+                        "," if tdepth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            fields.push(Field { name, line });
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// For every `impl` block in the file that defines a `fn snapshot*` or
+/// `fn restore*` method, the union of identifiers across those method
+/// bodies, keyed by the implemented type's name.
+fn snapshot_idents_by_type(toks: &[Token]) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "impl") {
+            i += 1;
+            continue;
+        }
+        let Some(open) = (i..toks.len()).find(|&j| is_punct(toks, j, "{")) else {
+            break;
+        };
+        let Some(ty) = impl_target(&toks[i + 1..open]) else {
+            i = open + 1;
+            continue;
+        };
+        let close = matching_brace(toks, open);
+        let mut idents = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            let is_hook = toks[j].kind == Kind::Ident
+                && toks[j].text == "fn"
+                && toks.get(j + 1).is_some_and(|t| {
+                    t.kind == Kind::Ident
+                        && (t.text.starts_with("snapshot") || t.text.starts_with("restore"))
+                });
+            if !is_hook {
+                j += 1;
+                continue;
+            }
+            let Some(body_open) = (j..close).find(|&k| is_punct(toks, k, "{")) else {
+                break;
+            };
+            let body_close = matching_brace(toks, body_open);
+            idents.extend(
+                toks[body_open..body_close]
+                    .iter()
+                    .filter(|t| t.kind == Kind::Ident)
+                    .map(|t| t.text.clone()),
+            );
+            j = body_close + 1;
+        }
+        if !idents.is_empty() {
+            out.entry(ty).or_default().extend(idents);
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// The type an `impl` header targets: the first identifier after `for`
+/// (trait impls), else the first identifier outside the generic
+/// parameter list (inherent impls).
+fn impl_target(header: &[Token]) -> Option<String> {
+    let mut depth = 0i32;
+    let mut first_ty: Option<&Token> = None;
+    let mut after_for = false;
+    for t in header {
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != Kind::Ident || depth > 0 {
+            continue;
+        }
+        if t.text == "for" {
+            after_for = true;
+            continue;
+        }
+        if after_for {
+            return Some(t.text.clone());
+        }
+        if first_ty.is_none() && t.text != "dyn" {
+            first_ty = Some(t);
+        }
+    }
+    first_ty.map(|t| t.text.clone())
+}

@@ -1,0 +1,32 @@
+//! Known-bad: `ProgState` grew a `pending` queue and a `phase` cursor,
+//! but its snapshot/restore pair only round-trips `cursor` — a restored
+//! run silently restarts with an empty queue in phase 0, and the
+//! divergence only surfaces as golden-digest drift much later.
+
+pub struct ProgState {
+    pub cursor: u64,
+    pub pending: Vec<u64>,
+    pub phase: u8,
+}
+
+impl Snapshottable for ProgState {
+    fn snapshot_state(&self, w: &mut SnapWriter) {
+        w.u64(self.cursor);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cursor = r.u64()?;
+        Ok(())
+    }
+}
+
+pub struct ChainState {
+    pub sum: u64,
+    pub carry: u64,
+}
+
+impl ChainState {
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.sum);
+    }
+}

@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The seven rules and their fixture basenames.
-const RULES: [&str; 7] = [
+/// The eight rules and their fixture basenames.
+const RULES: [&str; 8] = [
     "no-unordered-iteration",
     "no-wall-clock",
     "no-ambient-randomness",
@@ -15,6 +15,7 @@ const RULES: [&str; 7] = [
     "event-exhaustiveness",
     "digest-completeness",
     "no-hot-path-clone",
+    "snapshot-completeness",
 ];
 
 fn fixture(name: &str) -> PathBuf {

@@ -15,6 +15,7 @@
 //! setting `l2` to `None` and `mshr_entries` to 1 ("supporting only one
 //! outstanding request", §4).
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::{SimDuration, SimTime};
 
 use crate::cache::{AccessKind, Cache, CacheConfig};
@@ -143,7 +144,7 @@ struct Mshr {
 /// ```
 #[derive(Debug)]
 pub struct MemoryHierarchy {
-    cfg: HierarchyConfig,
+    cfg: HierarchyConfig, // asan-lint: allow(snapshot-completeness)
     l1i: Cache,
     l1d: Cache,
     l2: Option<Cache>,
@@ -481,6 +482,79 @@ impl MemoryHierarchy {
         self.stats = HierarchyStats::default();
     }
 
+    /// Writes the dynamic state of every level — both L1s, the L2 and
+    /// TLBs when present, the DRAM channel, outstanding line fills, and
+    /// the aggregate access counters.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        self.l1i.snapshot(w);
+        self.l1d.snapshot(w);
+        w.bool(self.l2.is_some());
+        if let Some(l2) = &self.l2 {
+            l2.snapshot(w);
+        }
+        w.bool(self.itlb.is_some());
+        if let Some(t) = &self.itlb {
+            t.snapshot(w);
+        }
+        w.bool(self.dtlb.is_some());
+        if let Some(t) = &self.dtlb {
+            t.snapshot(w);
+        }
+        self.dram.snapshot(w);
+        w.usize(self.mshrs.len());
+        for m in &self.mshrs {
+            w.u64(m.line);
+            w.time(m.fill_done);
+        }
+        w.u64(self.stats.loads);
+        w.u64(self.stats.stores);
+        w.u64(self.stats.prefetches);
+        w.u64(self.stats.ifetches);
+    }
+
+    /// Overwrites this hierarchy's dynamic state from a snapshot taken
+    /// of a hierarchy built from the same configuration.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.l1i.restore(r)?;
+        self.l1d.restore(r)?;
+        let has_l2 = r.bool()?;
+        if has_l2 != self.l2.is_some() {
+            return Err(SnapError::Malformed("L2 presence mismatch"));
+        }
+        if let Some(l2) = &mut self.l2 {
+            l2.restore(r)?;
+        }
+        let has_itlb = r.bool()?;
+        if has_itlb != self.itlb.is_some() {
+            return Err(SnapError::Malformed("I-TLB presence mismatch"));
+        }
+        if let Some(t) = &mut self.itlb {
+            t.restore(r)?;
+        }
+        let has_dtlb = r.bool()?;
+        if has_dtlb != self.dtlb.is_some() {
+            return Err(SnapError::Malformed("D-TLB presence mismatch"));
+        }
+        if let Some(t) = &mut self.dtlb {
+            t.restore(r)?;
+        }
+        self.dram.restore(r)?;
+        let n = r.usize()?;
+        self.mshrs.clear();
+        for _ in 0..n {
+            let line = r.u64()?;
+            let fill_done = r.time()?;
+            self.mshrs.push(Mshr { line, fill_done });
+        }
+        self.stats = HierarchyStats {
+            loads: r.u64()?,
+            stores: r.u64()?,
+            prefetches: r.u64()?,
+            ifetches: r.u64()?,
+        };
+        Ok(())
+    }
+
     /// Flushes all caches, TLBs and DRAM row state.
     pub fn flush(&mut self) {
         self.l1i.flush();
@@ -730,6 +804,66 @@ mod tests {
         m.flush();
         let out = m.load(0x1000, SimTime::from_us(1));
         assert!(!out.l1_hit);
+    }
+
+    #[test]
+    fn hierarchy_snapshot_preserves_future_timing() {
+        let drive = |m: &mut MemoryHierarchy, base: u64, t0: SimTime| {
+            let mut outs = Vec::new();
+            let mut t = t0;
+            for i in 0..200u64 {
+                let o = match i % 4 {
+                    0 => m.load(base + i * 72, t),
+                    1 => m.store(base + i * 72, t),
+                    2 => m.prefetch(base + (i + 7) * 72, t),
+                    _ => m.ifetch(0x100 + i * 4, t),
+                };
+                outs.push(o);
+                t = t + o.stall + SimDuration::from_ns(3);
+            }
+            outs
+        };
+        let mut m = MemoryHierarchy::new(HierarchyConfig::host());
+        drive(&mut m, 0x4000_0000, SimTime::ZERO);
+
+        let mut w = SnapWriter::new();
+        m.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = MemoryHierarchy::new(HierarchyConfig::host());
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Continue both with the same access stream: every outcome
+        // (stall timing, hit levels, TLB behaviour) must match.
+        let a = drive(&mut m, 0x4000_2000, SimTime::from_us(40));
+        let b = drive(&mut back, 0x4000_2000, SimTime::from_us(40));
+        assert_eq!(a, b);
+        assert_eq!(m.stats().loads, back.stats().loads);
+        assert_eq!(
+            m.dram().stats().bytes.get(),
+            back.dram().stats().bytes.get()
+        );
+    }
+
+    #[test]
+    fn switch_hierarchy_snapshot_round_trips() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::switch_cpu());
+        m.load(0x2000, SimTime::ZERO);
+        m.store(0x4000, SimTime::from_ns(500));
+        let mut w = SnapWriter::new();
+        m.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = MemoryHierarchy::new(HierarchyConfig::switch_cpu());
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        let t = SimTime::from_us(2);
+        assert_eq!(m.load(0x2000, t), back.load(0x2000, t));
+        // Restoring into a mismatched geometry fails loudly.
+        let mut wrong = MemoryHierarchy::new(HierarchyConfig::host());
+        let mut r2 = SnapReader::new(&bytes).unwrap();
+        assert!(wrong.restore(&mut r2).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! LRU replacement; on a miss, the memory hierarchy charges a page-table
 //! walk (two dependent memory reads through the cache hierarchy).
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Counter;
 
 /// Configuration for a [`Tlb`].
@@ -49,12 +50,12 @@ pub struct TlbStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    cfg: TlbConfig,
+    cfg: TlbConfig, // asan-lint: allow(snapshot-completeness)
     /// (page number, recency stamp) pairs; vector scan is fine at 64 entries.
     entries: Vec<(u64, u64)>,
     stamp: u64,
     stats: TlbStats,
-    page_shift: u32,
+    page_shift: u32, // asan-lint: allow(snapshot-completeness)
 }
 
 impl Tlb {
@@ -129,6 +130,40 @@ impl Tlb {
     pub fn flush(&mut self) {
         self.entries.clear();
     }
+
+    /// Writes the resident translations (in insertion order), the
+    /// recency stamp and the statistics.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.stamp);
+        self.stats.hits.snapshot(w);
+        self.stats.misses.snapshot(w);
+        w.usize(self.entries.len());
+        for &(page, lru) in &self.entries {
+            w.u64(page);
+            w.u64(lru);
+        }
+    }
+
+    /// Overwrites this TLB's dynamic state from a snapshot taken of a
+    /// TLB with the same configuration.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stamp = r.u64()?;
+        self.stats = TlbStats {
+            hits: Counter::restore(r)?,
+            misses: Counter::restore(r)?,
+        };
+        let n = r.usize()?;
+        if n > self.cfg.entries {
+            return Err(SnapError::Malformed("TLB snapshot exceeds capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let lru = r.u64()?;
+            self.entries.push((page, lru));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +204,27 @@ mod tests {
         t.access(0);
         t.flush();
         assert!(!t.access(0));
+    }
+
+    #[test]
+    fn snapshot_restores_residency_and_lru() {
+        let mut t = tiny();
+        t.access(0x0000);
+        t.access(0x1000);
+        t.access(0x0000); // page 0 most recent
+        let mut w = SnapWriter::new();
+        t.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = tiny();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.stats().hits.get(), t.stats().hits.get());
+        assert_eq!(back.stats().misses.get(), t.stats().misses.get());
+        // Same LRU victim on the next insertion (page 1 evicted).
+        assert!(!back.access(0x2000));
+        assert!(back.probe(0x0000));
+        assert!(!back.probe(0x1000));
     }
 
     #[test]

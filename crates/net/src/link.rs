@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 
 use asan_sim::hist::LogHistogram;
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Counter;
 use asan_sim::{SimDuration, SimTime};
 
@@ -220,6 +221,61 @@ impl Link {
         self.busy_time
     }
 
+    /// Writes the link's dynamic state: the (possibly restricted)
+    /// credit limit, wire occupancy, in-flight drain times, outage
+    /// windows and all counters/histograms.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.usize(self.cfg.credits);
+        w.time(self.busy_until);
+        w.usize(self.inflight.len());
+        for &t in &self.inflight {
+            w.time(t);
+        }
+        self.bytes.snapshot(w);
+        self.packets.snapshot(w);
+        self.credit_stalls.snapshot(w);
+        self.stall_hist.snapshot(w);
+        w.dur(self.busy_time);
+        w.usize(self.outages.len());
+        for &(from, until) in &self.outages {
+            w.time(from);
+            w.time(until);
+        }
+        self.outage_deferrals.snapshot(w);
+    }
+
+    /// Overwrites this link's dynamic state from a snapshot taken of a
+    /// link with the same static configuration. The snapshotted credit
+    /// limit must not exceed this link's (it may be lower, since
+    /// [`restrict_credits`](Link::restrict_credits) only tightens).
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let credits = r.usize()?;
+        if credits == 0 || credits > self.cfg.credits {
+            return Err(SnapError::Malformed("link credit limit out of range"));
+        }
+        self.cfg.credits = credits;
+        self.busy_until = r.time()?;
+        let n = r.usize()?;
+        self.inflight.clear();
+        for _ in 0..n {
+            self.inflight.push_back(r.time()?);
+        }
+        self.bytes = Counter::restore(r)?;
+        self.packets = Counter::restore(r)?;
+        self.credit_stalls = Counter::restore(r)?;
+        self.stall_hist = LogHistogram::restore(r)?;
+        self.busy_time = r.dur()?;
+        let outages = r.usize()?;
+        self.outages.clear();
+        for _ in 0..outages {
+            let from = r.time()?;
+            let until = r.time()?;
+            self.outages.push((from, until));
+        }
+        self.outage_deferrals = Counter::restore(r)?;
+        Ok(())
+    }
+
     /// Utilization of the wire over `[0, now]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         let t = now.as_ps();
@@ -326,6 +382,47 @@ mod tests {
         // After the window: unaffected again.
         let c = fast_drain(&mut l, 528, SimTime::from_us(10));
         assert_eq!(c.start, SimTime::from_us(10));
+    }
+
+    #[test]
+    fn snapshot_restores_credits_and_wire_state() {
+        let cfg = LinkConfig {
+            credits: 3,
+            ..LinkConfig::paper()
+        };
+        let mut l = Link::new(cfg);
+        l.inject_outage(SimTime::from_us(50), SimTime::from_us(52));
+        l.restrict_credits(2);
+        // Fill both credits, no drains yet: the next send must stall.
+        let a = l.send(528, SimTime::ZERO);
+        let _b = l.send(528, SimTime::ZERO);
+        l.note_drain(SimTime::from_us(10));
+        l.note_drain(SimTime::from_us(20));
+
+        let mut w = SnapWriter::new();
+        l.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut back = Link::new(cfg); // fresh link: 3 credits, no outage
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Identical future behaviour: credit stall to the first drain,
+        // then the outage window still defers later sends.
+        let c1 = l.send(528, a.done);
+        let c2 = back.send(528, a.done);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.start, SimTime::from_us(10));
+        assert_eq!(back.credit_stalls(), l.credit_stalls());
+        let d1 = l.send(528, SimTime::from_us(51));
+        let d2 = back.send(528, SimTime::from_us(51));
+        assert_eq!(d1, d2);
+        assert_eq!(d1.start, SimTime::from_us(52));
+        assert_eq!(back.bytes_carried(), l.bytes_carried());
+        assert_eq!(
+            back.credit_stall_hist().count(),
+            l.credit_stall_hist().count()
+        );
     }
 
     #[test]

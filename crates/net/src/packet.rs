@@ -265,6 +265,29 @@ impl Packet {
         }
     }
 
+    /// Rebuilds a packet from its wire parts *without* recomputing the
+    /// ICRC. Snapshot restore uses this: a packet whose simulated
+    /// corruption made the stored ICRC mismatch its contents must
+    /// round-trip with the mismatch intact, so the receiver still
+    /// detects it after a restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload.len() > MTU`.
+    pub fn from_parts(header: Header, payload: impl Into<Bytes>, icrc: u32) -> Self {
+        let payload = payload.into();
+        assert!(
+            payload.len() <= MTU,
+            "payload {} exceeds MTU {MTU}",
+            payload.len()
+        );
+        Packet {
+            header,
+            payload,
+            icrc,
+        }
+    }
+
     /// The ICRC stamped at construction.
     pub fn icrc(&self) -> u32 {
         self.icrc
@@ -524,6 +547,17 @@ mod tests {
         assert!(e.to_string().contains("700"));
         let e = HeaderError::BadHandlerId(99);
         assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn from_parts_preserves_icrc_mismatch() {
+        let data: Vec<u8> = (0..100u32).map(|i| i as u8).collect();
+        let mut p = packetize(NodeId(0), NodeId(1), None, 0, &data).remove(0);
+        p.corrupt_payload_bit(13);
+        assert!(!p.icrc_ok());
+        let rebuilt = Packet::from_parts(p.header, p.payload.clone(), p.icrc());
+        assert_eq!(rebuilt, p);
+        assert!(!rebuilt.icrc_ok(), "corruption must survive the rebuild");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Traffic;
 use asan_sim::{SimDuration, SimTime};
 
@@ -192,11 +193,11 @@ impl Delivery {
 /// The switched fabric: links, routes, and per-node traffic accounting.
 #[derive(Debug)]
 pub struct Fabric {
-    kinds: Vec<NodeKind>,
-    switch_specs: Vec<Option<SwitchSpec>>,
+    kinds: Vec<NodeKind>,                  // asan-lint: allow(snapshot-completeness)
+    switch_specs: Vec<Option<SwitchSpec>>, // asan-lint: allow(snapshot-completeness)
     links: Vec<Link>,
     /// `next_hop[from][dst] = (neighbor node, link index)`.
-    next_hop: Vec<Vec<Option<(usize, usize)>>>,
+    next_hop: Vec<Vec<Option<(usize, usize)>>>, // asan-lint: allow(snapshot-completeness)
     traffic: Vec<Traffic>,
 }
 
@@ -324,6 +325,43 @@ impl Fabric {
     /// Total sends deferred by injected outage windows, across links.
     pub fn total_outage_deferrals(&self) -> u64 {
         self.links.iter().map(Link::outage_deferrals).sum()
+    }
+
+    /// Writes the fabric's dynamic state: every link direction (wire
+    /// occupancy, credits, in-flight drains, counters) and per-node
+    /// traffic accounting. The topology itself (kinds, routes) is static
+    /// and rebuilt by the caller.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("fabric");
+        w.usize(self.links.len());
+        for l in &self.links {
+            l.snapshot(w);
+        }
+        w.usize(self.traffic.len());
+        for t in &self.traffic {
+            t.snapshot(w);
+        }
+    }
+
+    /// Overwrites this fabric's dynamic state from a snapshot taken of
+    /// a fabric built from the same topology.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("fabric")?;
+        let links = r.usize()?;
+        if links != self.links.len() {
+            return Err(SnapError::Malformed("fabric link count mismatch"));
+        }
+        for l in &mut self.links {
+            l.restore(r)?;
+        }
+        let nodes = r.usize()?;
+        if nodes != self.traffic.len() {
+            return Err(SnapError::Malformed("fabric node count mismatch"));
+        }
+        for t in &mut self.traffic {
+            *t = Traffic::restore(r)?;
+        }
+        Ok(())
     }
 }
 
@@ -453,6 +491,33 @@ mod tests {
         // Store-and-forward pays the full serialization per hop.
         assert!(sf > ct, "store-and-forward {sf} <= cut-through {ct}");
         assert!(sf.since(ct).as_ns() >= 900, "diff = {}", sf.since(ct));
+    }
+
+    #[test]
+    fn fabric_snapshot_preserves_contention_state() {
+        let (mut f, hosts, tcas, _) = single_switch_cluster(2, 1);
+        // Load the switch→host1 output port so future sends contend.
+        f.transmit(528, hosts[0], hosts[1], SimTime::ZERO);
+        f.transmit(528, tcas[0], hosts[1], SimTime::ZERO);
+
+        let mut w = SnapWriter::new();
+        f.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let (mut back, ..) = single_switch_cluster(2, 1);
+        let mut r = SnapReader::new(&bytes).unwrap();
+        back.restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Same occupancy: the next packet sees identical queueing.
+        let a = f.transmit(528, hosts[0], hosts[1], SimTime::from_ns(100));
+        let b = back.transmit(528, hosts[0], hosts[1], SimTime::from_ns(100));
+        assert_eq!(a, b);
+        assert_eq!(back.total_link_bytes(), f.total_link_bytes());
+        assert_eq!(back.traffic(hosts[1]), f.traffic(hosts[1]));
+        // Mismatched topology fails loudly.
+        let (mut wrong, ..) = single_switch_cluster(3, 1);
+        let mut r2 = SnapReader::new(&bytes).unwrap();
+        assert!(wrong.restore(&mut r2).is_err());
     }
 
     #[test]

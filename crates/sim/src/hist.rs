@@ -28,6 +28,7 @@
 //! ```
 
 use crate::faults::fnv1a_fold;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::SimDuration;
 
 /// Linear sub-buckets per power of two (2^5 = 32).
@@ -196,6 +197,51 @@ impl LogHistogram {
         self.max
     }
 
+    /// Writes the histogram sparsely: the aggregate fields plus only
+    /// the non-zero buckets. An empty histogram restores to the
+    /// unallocated state, so snapshotting idle probe slots stays free.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+        let nonzero = self.counts.iter().filter(|&&c| c != 0).count();
+        w.usize(nonzero);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                w.u32(i as u32);
+                w.u64(c);
+            }
+        }
+    }
+
+    /// Reads a histogram written by [`LogHistogram::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let nonzero = r.usize()?;
+        let mut counts = Vec::new();
+        if count > 0 {
+            counts = vec![0; NUM_BUCKETS];
+        }
+        for _ in 0..nonzero {
+            let i = r.usize_from_u32()?;
+            let c = r.u64()?;
+            *counts
+                .get_mut(i)
+                .ok_or(SnapError::Malformed("histogram bucket out of range"))? = c;
+        }
+        Ok(LogHistogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// Folds every non-zero counter into an FNV-1a digest, so a
     /// histogram can sit under the same determinism net as
     /// `ClusterStats`.
@@ -345,6 +391,45 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 31, 32, 900, 1 << 30, u64::MAX] {
+            h.record(v);
+        }
+        let mut w = SnapWriter::new();
+        h.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let mut back = LogHistogram::restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.fold_digest(9), h.fold_digest(9));
+        // Restored histograms keep recording identically.
+        back.record(77);
+        let mut h2 = h.clone();
+        h2.record(77);
+        assert_eq!(back.fold_digest(9), h2.fold_digest(9));
+    }
+
+    #[test]
+    fn empty_snapshot_restores_unallocated() {
+        let h = LogHistogram::new();
+        let mut w = SnapWriter::new();
+        h.snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let back = LogHistogram::restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.fold_digest(1), h.fold_digest(1));
+        // The empty restore keeps the lazy-allocation property.
+        assert!(back.counts.is_empty());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`faults`] — seeded, deterministic fault plans and the injector
 //!   every layer consults (packet corruption/drop, disk errors, link
 //!   outages, handler traps), with per-fault statistics.
+//! * [`snap`] — the versioned, dependency-free binary snapshot codec
+//!   ([`SnapWriter`]/[`SnapReader`]) behind crash-safe checkpoint and
+//!   restore of mid-run simulations.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod hist;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -51,5 +55,6 @@ pub use hist::LogHistogram;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sched::{Scheduler, Traceable};
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};
 pub use trace::{JsonlSink, NullSink, RingSink, Span, SpanKind, TraceSink};

@@ -28,6 +28,7 @@
 //! ```
 
 use crate::queue::EventQueue;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 
 /// Types that can name themselves for diagnostics and traces.
@@ -103,6 +104,27 @@ impl<E: Traceable> Scheduler<E> {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Writes the pending-event set (via `enc`) and the run
+    /// bookkeeping, so a restored scheduler continues both the event
+    /// stream and the processed/peak counters exactly.
+    pub fn snapshot_with(&self, w: &mut SnapWriter, enc: impl FnMut(&mut SnapWriter, &E)) {
+        self.queue.snapshot_with(w, enc);
+        w.u64(self.processed);
+        w.usize(self.peak_len);
+    }
+
+    /// Rebuilds a scheduler from [`Scheduler::snapshot_with`] output.
+    pub fn restore_with(
+        r: &mut SnapReader<'_>,
+        dec: impl FnMut(&mut SnapReader<'_>) -> Result<E, SnapError>,
+    ) -> Result<Self, SnapError> {
+        Ok(Scheduler {
+            queue: EventQueue::restore_with(r, dec)?,
+            processed: r.u64()?,
+            peak_len: r.usize()?,
+        })
+    }
 }
 
 impl<E: Traceable> Default for Scheduler<E> {
@@ -159,6 +181,27 @@ mod tests {
         assert_eq!(s.peak_len(), 2);
         assert_eq!(s.events_per_sec(0.0), 0.0);
         assert_eq!(s.events_per_sec(2.0), 1.0);
+    }
+
+    #[test]
+    fn snapshot_restores_counters_and_events() {
+        let mut s = Scheduler::new();
+        s.push(SimTime::from_ns(1), Ev(1));
+        s.push(SimTime::from_ns(2), Ev(2));
+        s.push(SimTime::from_ns(3), Ev(3));
+        s.pop();
+        let mut w = SnapWriter::new();
+        s.snapshot_with(&mut w, |w, e| w.u32(e.0));
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        let mut s2: Scheduler<Ev> = Scheduler::restore_with(&mut r, |r| Ok(Ev(r.u32()?))).unwrap();
+        r.finish().unwrap();
+        assert_eq!(s2.processed(), 1);
+        assert_eq!(s2.peak_len(), 3);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.pop().unwrap().1, Ev(2));
+        assert_eq!(s2.pop().unwrap().1, Ev(3));
+        assert_eq!(s2.processed(), 3);
     }
 
     #[test]

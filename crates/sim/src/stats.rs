@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::time::{SimDuration, SimTime};
 
 /// A simple named event counter.
@@ -47,6 +48,16 @@ impl Counter {
     #[inline]
     pub fn reset(&mut self) {
         self.0 = 0;
+    }
+
+    /// Writes the count.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+
+    /// Reads a count written by [`Counter::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Counter(r.u64()?))
     }
 }
 
@@ -114,6 +125,22 @@ impl TimeBreakdown {
             idle: self.idle + other.idle,
         }
     }
+
+    /// Writes all three components.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.dur(self.busy);
+        w.dur(self.stall);
+        w.dur(self.idle);
+    }
+
+    /// Reads a breakdown written by [`TimeBreakdown::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimeBreakdown {
+            busy: r.dur()?,
+            stall: r.dur()?,
+            idle: r.dur()?,
+        })
+    }
 }
 
 impl fmt::Display for TimeBreakdown {
@@ -150,6 +177,20 @@ impl Traffic {
     /// Records `n` bytes outbound.
     pub fn record_out(&mut self, n: u64) {
         self.bytes_out += n;
+    }
+
+    /// Writes both directions.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.bytes_in);
+        w.u64(self.bytes_out);
+    }
+
+    /// Reads traffic written by [`Traffic::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Traffic {
+            bytes_in: r.u64()?,
+            bytes_out: r.u64()?,
+        })
     }
 }
 
@@ -201,6 +242,24 @@ impl Summary {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// Writes the running aggregate, including the exact `u128` sum.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Reads a summary written by [`Summary::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Summary {
+            count: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
+    }
 }
 
 /// Tracks a busy/idle state machine over simulated time; used to compute
@@ -241,6 +300,20 @@ impl BusyTracker {
     /// Whether the component is currently busy.
     pub fn is_busy(&self) -> bool {
         self.busy_since.is_some()
+    }
+
+    /// Writes the accumulated busy time and any open busy span.
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.opt_time(self.busy_since);
+        w.dur(self.accumulated);
+    }
+
+    /// Reads a tracker written by [`BusyTracker::snapshot`].
+    pub fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(BusyTracker {
+            busy_since: r.opt_time()?,
+            accumulated: r.dur()?,
+        })
     }
 }
 
@@ -322,6 +395,48 @@ mod tests {
         assert_eq!(s.min(), Some(1));
         assert_eq!(s.max(), Some(9));
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let mut c = Counter::default();
+        c.add(11);
+        let b = TimeBreakdown {
+            busy: SimDuration::from_ns(1),
+            stall: SimDuration::from_ns(2),
+            idle: SimDuration::from_ns(3),
+        };
+        let mut t = Traffic::default();
+        t.record_in(9);
+        t.record_out(4);
+        let mut s = Summary::default();
+        s.record(3);
+        s.record(u64::MAX); // exercises the u128 sum
+        let mut bt = BusyTracker::default();
+        bt.set_busy(SimTime::from_ns(2));
+        bt.set_idle(SimTime::from_ns(5));
+        bt.set_busy(SimTime::from_ns(7)); // open span must survive
+
+        let mut w = SnapWriter::new();
+        c.snapshot(&mut w);
+        b.snapshot(&mut w);
+        t.snapshot(&mut w);
+        s.snapshot(&mut w);
+        bt.snapshot(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes).unwrap();
+        assert_eq!(Counter::restore(&mut r).unwrap(), c);
+        assert_eq!(TimeBreakdown::restore(&mut r).unwrap(), b);
+        assert_eq!(Traffic::restore(&mut r).unwrap(), t);
+        assert_eq!(Summary::restore(&mut r).unwrap(), s);
+        let bt2 = BusyTracker::restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert!(bt2.is_busy());
+        assert_eq!(
+            bt2.busy_time(SimTime::from_ns(10)),
+            bt.busy_time(SimTime::from_ns(10))
+        );
     }
 
     #[test]

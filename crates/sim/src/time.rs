@@ -103,6 +103,15 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Saturating addition: clamps at [`SimTime::MAX`] instead of
+    /// wrapping. Use wherever a schedule point is derived from an
+    /// unbounded duration (e.g. exponentially backed-off timeouts) so
+    /// arithmetic near the time horizon cannot wrap into the past.
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
     /// The later of two instants.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
@@ -216,6 +225,15 @@ impl SimDuration {
     #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition: clamps at `u64::MAX` picoseconds instead
+    /// of wrapping. Exponential-backoff doubling must use this — a
+    /// plain `+` wraps once the doubled timeout passes the `u64`
+    /// horizon and schedules retries in the simulated past.
+    #[inline]
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
     }
 
     /// The longer of two durations.
@@ -400,6 +418,24 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimDuration::from_ns(4));
         let t = SimTime::from_ns(1);
         assert_eq!(t.saturating_since(SimTime::from_ns(2)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_horizon() {
+        let huge = SimDuration::from_ps(u64::MAX - 10);
+        // Duration doubling near the horizon clamps instead of wrapping.
+        assert_eq!(huge.saturating_add(huge).as_ps(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_ps(3).saturating_add(SimDuration::from_ps(4)),
+            SimDuration::from_ps(7)
+        );
+        // A timeout armed off a late `now` clamps to SimTime::MAX.
+        let late = SimTime::from_ps(u64::MAX - 5);
+        assert_eq!(late.saturating_add(huge), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_ps(5).saturating_add(SimDuration::from_ps(6)),
+            SimTime::from_ps(11)
+        );
     }
 
     #[test]
