@@ -16,8 +16,8 @@
 
 use asan_core::cluster::{Cluster, ClusterConfig, HostCtx, HostMsg, HostProgram};
 use asan_core::handler::{Handler, HandlerCtx};
-use asan_net::topo::{SwitchSpec, TopologyBuilder};
-use asan_net::{HandlerId, LinkConfig, NodeId};
+use asan_core::{aggregation_tree, HandlerPlacement};
+use asan_net::{HandlerId, NodeId, TopoSpec};
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::SimTime;
 
@@ -54,6 +54,17 @@ pub enum Mode {
     ToAll,
 }
 
+impl Mode {
+    /// Canonical tag used in checkpoint/bench naming.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mode::ReduceToOne => "reduce-to-one",
+            Mode::Distributed => "distributed-reduce",
+            Mode::ToAll => "reduce-to-all",
+        }
+    }
+}
+
 /// The reduction result as computed by the simulation, for validation.
 pub fn reference_sum(p: usize) -> Vec<u8> {
     let mut acc = reduce_vector(0);
@@ -75,50 +86,27 @@ pub type ReductionCluster = (
     NodeId,
 );
 
+/// The declarative spec of the §5 reduction fabric: a radix-16
+/// fat-tree (8 hosts per leaf, 8-way upward aggregation), pinned to
+/// the seed's endpoint-drain credit model so the golden digests stay
+/// bit-identical with the hand-built topology it replaced.
+pub fn reduction_spec(p: usize) -> TopoSpec {
+    assert!(p >= 2, "reduction needs at least two nodes");
+    TopoSpec::fat_tree(2 * HOSTS_PER_LEAF, p, 0).endpoint_drain()
+}
+
 /// Builds the reduction topology: `p` hosts, 8 per leaf switch, leaf
 /// switches under a tree of 16-port switches. Returns the cluster
 /// pieces plus each host's leaf switch and each switch's parent.
 pub fn reduction_cluster(p: usize, cfg: ClusterConfig) -> ReductionCluster {
-    assert!(p >= 2, "reduction needs at least two nodes");
-    let mut b = TopologyBuilder::new();
-    let n_leaves = p.div_ceil(HOSTS_PER_LEAF);
-    let leaves: Vec<NodeId> = (0..n_leaves)
-        .map(|_| b.add_switch(SwitchSpec::paper()))
-        .collect();
-    let mut hosts = Vec::with_capacity(p);
-    let mut host_leaf = Vec::with_capacity(p);
-    for i in 0..p {
-        let h = b.add_host();
-        let leaf = leaves[i / HOSTS_PER_LEAF];
-        b.connect(h, leaf, LinkConfig::paper());
-        hosts.push(h);
-        host_leaf.push(leaf);
-    }
-    // Build the switch tree upward with fanout 8.
-    let mut parent = std::collections::BTreeMap::new();
-    let mut level = leaves.clone();
-    let mut switches = leaves.clone();
-    while level.len() > 1 {
-        let n_up = level.len().div_ceil(HOSTS_PER_LEAF);
-        let ups: Vec<NodeId> = (0..n_up)
-            .map(|_| b.add_switch(SwitchSpec::paper()))
-            .collect();
-        for (i, &sw) in level.iter().enumerate() {
-            let up = ups[i / HOSTS_PER_LEAF];
-            b.connect(sw, up, LinkConfig::paper());
-            parent.insert(sw, up);
-        }
-        switches.extend(ups.iter().copied());
-        level = ups;
-    }
-    let root = level[0];
+    let (cl, map) = Cluster::from_spec(&reduction_spec(p), cfg);
     (
-        Cluster::new(b, cfg),
-        hosts,
-        switches,
-        host_leaf,
-        parent,
-        root,
+        cl,
+        map.hosts,
+        map.switches,
+        map.host_leaf,
+        map.parent,
+        map.root,
     )
 }
 
@@ -516,62 +504,102 @@ pub fn run(mode: Mode, active: bool, p: usize) -> ReduceRun {
 /// [`run`] with an explicit cluster configuration (used by the
 /// ablation studies to vary the active-switch hardware).
 pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -> ReduceRun {
+    let case = if active { "active" } else { "normal" };
+    let tag = format!("{}-{case}-p{p}", mode.tag());
+    run_spec(
+        mode,
+        active,
+        p,
+        &reduction_spec(p),
+        HandlerPlacement::Nca,
+        cfg,
+        &tag,
+    )
+}
+
+/// Runs one reduction on an arbitrary fat-tree radix and handler
+/// placement — the scale sweep behind the multi-switch speedup figure.
+/// Unlike [`run_with_config`]'s seed-pinned fabric this keeps the
+/// chained per-hop credit model of [`TopoSpec::fat_tree`].
+pub fn run_scaled(
+    mode: Mode,
+    active: bool,
+    p: usize,
+    radix: usize,
+    placement: HandlerPlacement,
+) -> ReduceRun {
+    let spec = TopoSpec::fat_tree(radix, p, 0);
+    let case = if active { "active" } else { "normal" };
+    let tag = format!(
+        "scaled-{}-{case}-p{p}-{}-{}",
+        mode.tag(),
+        spec.label(),
+        placement.label()
+    );
+    run_spec(
+        mode,
+        active,
+        p,
+        &spec,
+        placement,
+        ClusterConfig::paper(),
+        &tag,
+    )
+}
+
+/// Shared body of [`run_with_config`] and [`run_scaled`]: build the
+/// fabric from `spec`, place combine handlers per `placement`, run,
+/// and validate every delivered result against the scalar reference.
+fn run_spec(
+    mode: Mode,
+    active: bool,
+    p: usize,
+    spec: &TopoSpec,
+    placement: HandlerPlacement,
+    cfg: ClusterConfig,
+    tag: &str,
+) -> ReduceRun {
     let build = || {
-        let (mut cl, hosts, switches, host_leaf, parent, root) = reduction_cluster(p, cfg.clone());
+        let (mut cl, map) = Cluster::from_spec(spec, cfg.clone());
+        let hosts = map.hosts.clone();
+        // Where each host fires its vector: its ingress switch of the
+        // placed tree (active), or its own leaf (normal MST).
+        let mut ingress: Vec<NodeId> = map.host_leaf.clone();
 
         if active {
-            // Install a combine handler on every switch with its fan-in and
-            // its broadcast fan-out.
-            let mut fan_in: std::collections::BTreeMap<NodeId, usize> =
-                std::collections::BTreeMap::new();
-            let mut host_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
-                std::collections::BTreeMap::new();
-            let mut switch_children: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
-                std::collections::BTreeMap::new();
-            for (i, &leaf) in host_leaf.iter().enumerate() {
-                *fan_in.entry(leaf).or_insert(0) += 1;
-                host_children.entry(leaf).or_default().push(hosts[i]);
-            }
-            for sw in &switches {
-                if let Some(&up) = parent.get(sw) {
-                    *fan_in.entry(up).or_insert(0) += 1;
-                    switch_children.entry(up).or_default().push(*sw);
-                }
-            }
-            for &sw in &switches {
-                let expect = fan_in.get(&sw).copied().unwrap_or(0);
-                if expect > 0 {
-                    let handler = Box::new(ReduceHandler::new(
-                        expect,
-                        parent.get(&sw).copied(),
+            // Install a combine handler on every tree switch with its
+            // fan-in and its broadcast fan-out.
+            let tree = aggregation_tree(&map, &hosts, placement);
+            cl.place_handlers(&tree, REDUCE_HANDLER, |_, n| {
+                Box::new(ReduceHandler::new(
+                    n.expect,
+                    n.parent,
+                    mode,
+                    hosts.clone(),
+                    n.host_children.clone(),
+                    n.switch_children.clone(),
+                ))
+            })
+            .expect("cluster setup");
+            if mode == Mode::ToAll {
+                // The broadcast arrives under its own handler ID; share
+                // the state via a second registration of a
+                // pure-forwarding handler.
+                cl.place_handlers(&tree, BCAST_HANDLER, |_, n| {
+                    Box::new(ReduceHandler::new(
+                        usize::MAX,
+                        n.parent,
                         mode,
                         hosts.clone(),
-                        host_children.get(&sw).cloned().unwrap_or_default(),
-                        switch_children.get(&sw).cloned().unwrap_or_default(),
-                    ));
-                    cl.register_handler(sw, REDUCE_HANDLER, handler)
-                        .expect("cluster setup");
-                    if mode == Mode::ToAll {
-                        // The broadcast arrives under its own handler ID;
-                        // share the state via a second registration of a
-                        // pure-forwarding handler.
-                        cl.register_handler(
-                            sw,
-                            BCAST_HANDLER,
-                            Box::new(ReduceHandler::new(
-                                usize::MAX,
-                                parent.get(&sw).copied(),
-                                mode,
-                                hosts.clone(),
-                                host_children.get(&sw).cloned().unwrap_or_default(),
-                                switch_children.get(&sw).cloned().unwrap_or_default(),
-                            )),
-                        )
-                        .expect("cluster setup");
-                    }
-                }
+                        n.host_children.clone(),
+                        n.switch_children.clone(),
+                    ))
+                })
+                .expect("cluster setup");
             }
-            assert_eq!(parent.get(&root), None, "root has no parent");
+            for (i, &h) in hosts.iter().enumerate() {
+                ingress[i] = tree.ingress[&h];
+            }
         }
 
         for (i, &h) in hosts.iter().enumerate() {
@@ -583,7 +611,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
                     mode,
                     active,
                     peers: hosts.clone(),
-                    leaf: host_leaf[i],
+                    leaf: ingress[i],
                     vector: reduce_vector(i),
                     round: 0,
                     got_result: None,
@@ -595,13 +623,7 @@ pub fn run_with_config(mode: Mode, active: bool, p: usize, cfg: ClusterConfig) -
         (cl, hosts)
     };
 
-    let mode_tag = match mode {
-        Mode::ReduceToOne => "reduce-to-one",
-        Mode::Distributed => "distributed-reduce",
-        Mode::ToAll => "reduce-to-all",
-    };
-    let case = if active { "active" } else { "normal" };
-    let (mut cl, hosts, report) = drive(&format!("{mode_tag}-{case}-p{p}"), build);
+    let (mut cl, hosts, report) = drive(tag, build);
 
     // Validate against the scalar reference.
     let want = reference_sum(p);
@@ -694,6 +716,40 @@ mod tests {
         let n = run(Mode::ToAll, false, 16);
         let a = run(Mode::ToAll, true, 16);
         assert!(a.latency < n.latency, "{} vs {}", a.latency, n.latency);
+    }
+
+    #[test]
+    fn scaled_runs_all_placements() {
+        // Radix-4 fat-tree, 16 hosts → 8 leaves + 4 + 2 + 1. Every
+        // placement must still produce a correct (validated) result.
+        for placement in HandlerPlacement::ALL {
+            let a = run_scaled(Mode::ReduceToOne, true, 16, 4, placement);
+            assert!(a.latency > SimTime::ZERO, "{}", placement.label());
+        }
+        let n = run_scaled(Mode::ReduceToOne, false, 16, 4, HandlerPlacement::Nca);
+        assert!(n.latency > SimTime::ZERO);
+    }
+
+    #[test]
+    fn scaled_nca_beats_root_at_scale() {
+        // In-network combining at each level beats funneling every
+        // vector to the apex once the tree is deep enough.
+        let nca = run_scaled(Mode::ReduceToOne, true, 64, 4, HandlerPlacement::Nca);
+        let root = run_scaled(Mode::ReduceToOne, true, 64, 4, HandlerPlacement::Root);
+        assert!(
+            nca.latency < root.latency,
+            "nca {} vs root {}",
+            nca.latency,
+            root.latency
+        );
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let a = run_scaled(Mode::Distributed, true, 32, 8, HandlerPlacement::Striped);
+        let b = run_scaled(Mode::Distributed, true, 32, 8, HandlerPlacement::Striped);
+        assert_eq!(a.stats_digest, b.stats_digest);
+        assert_eq!(a.latency, b.latency);
     }
 
     #[test]

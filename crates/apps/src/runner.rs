@@ -8,8 +8,7 @@ use std::env;
 
 use asan_core::cluster::{Cluster, ClusterConfig, RunReport};
 use asan_core::metrics::MetricsReport;
-use asan_net::topo::{SwitchSpec, TopologyBuilder};
-use asan_net::{LinkConfig, NodeId};
+use asan_net::{NodeId, TopoSpec};
 use asan_sim::stats::TimeBreakdown;
 use asan_sim::SimTime;
 
@@ -76,17 +75,8 @@ pub fn standard_cluster(
     tcas: usize,
     cfg: ClusterConfig,
 ) -> (Cluster, Vec<NodeId>, Vec<NodeId>, NodeId) {
-    let mut b = TopologyBuilder::new();
-    let sw = b.add_switch(SwitchSpec::paper());
-    let hs: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
-    let ts: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
-    for &h in &hs {
-        b.connect(h, sw, LinkConfig::paper());
-    }
-    for &t in &ts {
-        b.connect(t, sw, LinkConfig::paper());
-    }
-    (Cluster::new(b, cfg), hs, ts, sw)
+    let (cl, map) = Cluster::from_spec(&TopoSpec::single_switch(hosts, tcas), cfg);
+    (cl, map.hosts, map.tcas, map.root)
 }
 
 /// Result of one benchmark run in one configuration, with everything

@@ -29,6 +29,13 @@
 //!   perf            wall-clock per benchmark run (normal + active),
 //!                   events/sec and peak queue depth; writes
 //!                   BENCH_PERF.json for perf-regression tracking
+//!   scale           multi-switch scale sweep: collective reduction
+//!                   across node counts × fat-tree radices × handler
+//!                   placements vs the host-side MST baseline (add
+//!                   --json for the analyzer's bench-scale-v1 document)
+//!   golden-fabric   multi-switch golden digests: reduction on a
+//!                   radix-4 fat-tree at 64 hosts, every placement ×
+//!                   mode (tests/golden_digests_fabric.txt)
 //!   sweep           fault-tolerant parameter sweep: the golden grid
 //!                   plus the MD5-CPU and reduction node-count axes,
 //!                   with a digest-keyed per-cell cache under
@@ -65,10 +72,11 @@ use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{
     breakdown_table, latency_report, metrics_json, overall_csv, overall_table, perf,
-    phase_breakdown_report, pool, speedups, sweep as sweep_drv, BenchMetrics,
+    phase_breakdown_report, pool, scale, speedups, sweep as sweep_drv, BenchMetrics,
 };
 use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::metrics::MetricsReport;
+use asan_core::HandlerPlacement;
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::LinkConfig;
 use asan_sim::faults::{FaultPlan, HandlerTrap};
@@ -495,6 +503,7 @@ fn chaos_digest() {
 struct RunRecord {
     name: &'static str,
     config: &'static str,
+    topo: &'static str,
     digest: u64,
     metrics: MetricsReport,
     events: u64,
@@ -506,12 +515,13 @@ struct RunRecord {
 /// A macro (not a function) because `AppRun` and `ReduceRun` share the
 /// field names but not a trait.
 macro_rules! sweep_job {
-    ($jobs:ident, $name:literal, $config:ident, $run:expr) => {
+    ($jobs:ident, $name:literal, $config:ident, $topo:literal, $run:expr) => {
         $jobs.push(Box::new(move || {
             let (r, secs) = perf::time_wall(|| $run);
             RunRecord {
                 name: $name,
                 config: $config,
+                topo: $topo,
                 digest: r.stats_digest,
                 metrics: r.metrics,
                 events: r.events,
@@ -531,30 +541,68 @@ fn run_sweep(sc: &Scale) -> Vec<RunRecord> {
     let mut jobs: Vec<pool::Job<RunRecord>> = Vec::new();
     for (config, variant) in [("normal", Variant::Normal), ("active", Variant::Active)] {
         let p = sc.mpeg();
-        sweep_job!(jobs, "mpeg", config, mpeg::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "mpeg",
+            config,
+            "single-switch",
+            mpeg::run(variant, &p)
+        );
         let p = sc.hashjoin();
-        sweep_job!(jobs, "hashjoin", config, hashjoin::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "hashjoin",
+            config,
+            "single-switch",
+            hashjoin::run(variant, &p)
+        );
         let p = sc.select();
-        sweep_job!(jobs, "select", config, select::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "select",
+            config,
+            "single-switch",
+            select::run(variant, &p)
+        );
         let p = sc.grep();
-        sweep_job!(jobs, "grep", config, grep::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "grep",
+            config,
+            "single-switch",
+            grep::run(variant, &p)
+        );
         let p = sc.tar();
-        sweep_job!(jobs, "tar", config, tar::run(variant, &p));
+        sweep_job!(jobs, "tar", config, "single-switch", tar::run(variant, &p));
         let p = sc.psort();
-        sweep_job!(jobs, "psort", config, psort::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "psort",
+            config,
+            "single-switch",
+            psort::run(variant, &p)
+        );
         let p = sc.md5(1);
-        sweep_job!(jobs, "md5", config, md5app::run(variant, &p));
+        sweep_job!(
+            jobs,
+            "md5",
+            config,
+            "single-switch",
+            md5app::run(variant, &p)
+        );
         let active = variant.is_active();
         sweep_job!(
             jobs,
             "reduce-to-one",
             config,
+            "fat-tree-r16",
             reduce::run(reduce::Mode::ReduceToOne, active, 8)
         );
         sweep_job!(
             jobs,
             "distributed-reduce",
             config,
+            "fat-tree-r16",
             reduce::run(reduce::Mode::Distributed, active, 8)
         );
     }
@@ -606,6 +654,7 @@ fn perf_exp(sc: &Scale) {
         .map(|r| perf::PerfSample {
             name: r.name.to_string(),
             config: r.config.to_string(),
+            topo: r.topo.to_string(),
             wall_us: r.wall_us,
             events: r.events,
             events_per_sec: (r.events * 1_000_000).checked_div(r.wall_us).unwrap_or(0),
@@ -617,6 +666,97 @@ fn perf_exp(sc: &Scale) {
     let doc = perf::parse_perf_doc(&text).expect("perf document round-trips");
     print!("{}", perf::perf_report(&doc));
     println!("wrote BENCH_PERF.json");
+}
+
+/// Multi-switch scale sweep: the collective reduction across node
+/// counts × fat-tree radices × handler placements, against the
+/// host-side MST baseline on the same fabric. The cells run on the
+/// worker pool and are collected in submission order, so the document
+/// is byte-identical at any `ASAN_JOBS`.
+fn scale_exp(sc: &Scale) {
+    let (radices, hosts): (Vec<usize>, Vec<usize>) = if sc.small {
+        (vec![4], vec![16, 64])
+    } else {
+        (vec![4, 16], vec![64, 256, 1024])
+    };
+    let mut jobs: Vec<pool::Job<u64>> = Vec::new();
+    for &radix in &radices {
+        for &p in &hosts {
+            jobs.push(Box::new(move || {
+                reduce::run_scaled(
+                    reduce::Mode::ReduceToOne,
+                    false,
+                    p,
+                    radix,
+                    HandlerPlacement::Nca,
+                )
+                .latency
+                .as_ps()
+            }));
+            for placement in HandlerPlacement::ALL {
+                jobs.push(Box::new(move || {
+                    reduce::run_scaled(reduce::Mode::ReduceToOne, true, p, radix, placement)
+                        .latency
+                        .as_ps()
+                }));
+            }
+        }
+    }
+    let mut results = pool::run_indexed(jobs, pool::default_workers()).into_iter();
+    let mut samples = Vec::new();
+    for &radix in &radices {
+        for &p in &hosts {
+            let normal_ps = results.next().expect("baseline cell");
+            for placement in HandlerPlacement::ALL {
+                let active_ps = results.next().expect("active cell");
+                samples.push(scale::ScaleSample {
+                    hosts: p as u64,
+                    topo: format!("fat-tree-r{radix}"),
+                    placement: placement.label().to_string(),
+                    normal_ps,
+                    active_ps,
+                });
+            }
+        }
+    }
+    if sc.json {
+        print!("{}", scale::scale_json(&samples));
+        return;
+    }
+    print!("{}", scale::scale_report(&scale::ScaleDoc { samples }));
+    println!();
+}
+
+/// Multi-switch golden digests: the collective reduction on a radix-4
+/// fat-tree at 64 hosts, every handler placement × result mode, plus
+/// the host-side baseline. The committed
+/// `tests/golden_digests_fabric.txt` holds this output; CI regenerates
+/// and diffs it at ASAN_JOBS 1 and 4 and across snapshot/restore.
+fn golden_fabric() {
+    const P: usize = 64;
+    const RADIX: usize = 4;
+    let mut jobs: Vec<pool::Job<(String, u64)>> = Vec::new();
+    for mode in [reduce::Mode::ReduceToOne, reduce::Mode::Distributed] {
+        jobs.push(Box::new(move || {
+            let r = reduce::run_scaled(mode, false, P, RADIX, HandlerPlacement::Nca);
+            (
+                format!("{}-r{RADIX}-p{P} normal", mode.tag()),
+                r.stats_digest,
+            )
+        }));
+        for placement in HandlerPlacement::ALL {
+            jobs.push(Box::new(move || {
+                let r = reduce::run_scaled(mode, true, P, RADIX, placement);
+                (
+                    format!("{}-r{RADIX}-p{P} {}", mode.tag(), placement.label()),
+                    r.stats_digest,
+                )
+            }));
+        }
+    }
+    for (name, digest) in pool::run_indexed(jobs, pool::default_workers()) {
+        println!("{name} {digest:016x}");
+    }
 }
 
 /// Boxes one benchmark run as a *re-runnable* sweep cell (the driver
@@ -912,7 +1052,9 @@ fn main() {
             "chaos-digest" => chaos_digest(),
             "metrics" => metrics_exp(&sc),
             "golden" => golden(&sc),
+            "golden-fabric" => golden_fabric(),
             "perf" => perf_exp(&sc),
+            "scale" => scale_exp(&sc),
             "sweep" => sweep_exp(&sc, &results_dir),
             "snapcheck" => snapcheck(&sc),
             "fork" => fork_exp(&sc),

@@ -14,6 +14,7 @@
 pub mod json;
 pub mod perf;
 pub mod pool;
+pub mod scale;
 pub mod sweep;
 
 use asan_apps::runner::AppRun;

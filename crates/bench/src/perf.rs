@@ -32,6 +32,9 @@ pub struct PerfSample {
     pub name: String,
     /// Configuration label ("normal", "active").
     pub config: String,
+    /// Topology the run simulated ([`asan_net::TopoSpec::label`]:
+    /// "single-switch", "fat-tree-r16", …).
+    pub topo: String,
     /// Wall-clock run time, integral microseconds.
     pub wall_us: u64,
     /// Events the simulation processed.
@@ -58,7 +61,7 @@ pub struct PerfDoc {
 /// stay readable.
 pub fn perf_json(samples: &[PerfSample], total_wall_us: u64, workers: usize) -> String {
     let mut out = format!(
-        "{{\"schema\":\"bench-perf-v1\",\"workers\":{workers},\
+        "{{\"schema\":\"bench-perf-v2\",\"workers\":{workers},\
          \"total_wall_us\":{total_wall_us},\"runs\":["
     );
     for (i, s) in samples.iter().enumerate() {
@@ -66,16 +69,20 @@ pub fn perf_json(samples: &[PerfSample], total_wall_us: u64, workers: usize) -> 
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"config\":\"{}\",\"wall_us\":{},\"events\":{},\
-             \"events_per_sec\":{},\"peak_queue\":{}}}",
-            s.name, s.config, s.wall_us, s.events, s.events_per_sec, s.peak_queue
+            "{{\"name\":\"{}\",\"config\":\"{}\",\"topo\":\"{}\",\"wall_us\":{},\
+             \"events\":{},\"events_per_sec\":{},\"peak_queue\":{}}}",
+            s.name, s.config, s.topo, s.wall_us, s.events, s.events_per_sec, s.peak_queue
         ));
     }
     out.push_str("]}\n");
     out
 }
 
-/// Parses a perf document produced by [`perf_json`].
+/// Parses a perf document produced by [`perf_json`]. Accepts both the
+/// current `bench-perf-v2` schema and the pre-topology `bench-perf-v1`
+/// (whose runs all predate multi-switch fabrics and default to
+/// `"single-switch"`), so old committed trajectory points stay
+/// diffable.
 ///
 /// # Errors
 ///
@@ -88,15 +95,25 @@ pub fn parse_perf_doc(text: &str) -> Result<PerfDoc, String> {
             .ok_or_else(|| format!("missing numeric field {k:?}"))
     };
     let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
-    if schema != "bench-perf-v1" {
-        return Err(format!("unknown perf schema {schema:?}"));
-    }
+    let v2 = match schema {
+        "bench-perf-v1" => false,
+        "bench-perf-v2" => true,
+        _ => return Err(format!("unknown perf schema {schema:?}")),
+    };
     let runs_arr = doc
         .get("runs")
         .and_then(Value::as_arr)
         .ok_or("missing \"runs\" array")?;
     let mut runs = Vec::new();
     for r in runs_arr {
+        let topo = if v2 {
+            r.get("topo")
+                .and_then(Value::as_str)
+                .ok_or("missing \"topo\"")?
+                .to_string()
+        } else {
+            "single-switch".to_string()
+        };
         runs.push(PerfSample {
             name: r
                 .get("name")
@@ -108,6 +125,7 @@ pub fn parse_perf_doc(text: &str) -> Result<PerfDoc, String> {
                 .and_then(Value::as_str)
                 .ok_or("missing \"config\"")?
                 .to_string(),
+            topo,
             wall_us: field(r, "wall_us")?,
             events: field(r, "events")?,
             events_per_sec: field(r, "events_per_sec")?,
@@ -127,16 +145,17 @@ pub fn perf_report(doc: &PerfDoc) -> String {
     let mut out = String::new();
     out.push_str("== Perf: wall-clock per benchmark run ==\n");
     out.push_str(&format!(
-        "{:<20} {:<8} {:>12} {:>12} {:>14} {:>11}\n",
-        "benchmark", "config", "wall (ms)", "events", "events/sec", "peak queue"
+        "{:<20} {:<8} {:<14} {:>12} {:>12} {:>14} {:>11}\n",
+        "benchmark", "config", "topology", "wall (ms)", "events", "events/sec", "peak queue"
     ));
     let mut events_total = 0u64;
     for s in &doc.runs {
         events_total += s.events;
         out.push_str(&format!(
-            "{:<20} {:<8} {:>12.2} {:>12} {:>14} {:>11}\n",
+            "{:<20} {:<8} {:<14} {:>12.2} {:>12} {:>14} {:>11}\n",
             s.name,
             s.config,
+            s.topo,
             s.wall_us as f64 / 1000.0,
             s.events,
             s.events_per_sec,
@@ -156,6 +175,61 @@ pub fn perf_report(doc: &PerfDoc) -> String {
     out
 }
 
+/// Diffs two trajectory points: run `analyze perf <old> <new>` to see
+/// the simulator getting faster or slower per benchmark. Runs are
+/// matched by (name, config, topology); rows present on only one side
+/// are listed as added/removed instead of silently dropped.
+pub fn perf_diff(old: &PerfDoc, new: &PerfDoc) -> String {
+    let key = |s: &PerfSample| (s.name.clone(), s.config.clone(), s.topo.clone());
+    let mut out = String::new();
+    out.push_str("== Perf diff: events/sec, old -> new ==\n");
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<14} {:>14} {:>14} {:>9}\n",
+        "benchmark", "config", "topology", "old ev/s", "new ev/s", "delta"
+    ));
+    for s in &new.runs {
+        match old.runs.iter().find(|o| key(o) == key(s)) {
+            Some(o) if o.events_per_sec > 0 => {
+                let delta = (s.events_per_sec as f64 / o.events_per_sec as f64 - 1.0) * 100.0;
+                out.push_str(&format!(
+                    "{:<20} {:<8} {:<14} {:>14} {:>14} {:>+8.1}%\n",
+                    s.name, s.config, s.topo, o.events_per_sec, s.events_per_sec, delta
+                ));
+            }
+            Some(o) => {
+                out.push_str(&format!(
+                    "{:<20} {:<8} {:<14} {:>14} {:>14} {:>9}\n",
+                    s.name, s.config, s.topo, o.events_per_sec, s.events_per_sec, "n/a"
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "{:<20} {:<8} {:<14} {:>14} {:>14} {:>9}\n",
+                    s.name, s.config, s.topo, "-", s.events_per_sec, "new"
+                ));
+            }
+        }
+    }
+    for o in &old.runs {
+        if !new.runs.iter().any(|s| key(s) == key(o)) {
+            out.push_str(&format!(
+                "{:<20} {:<8} {:<14} {:>14} {:>14} {:>9}\n",
+                o.name, o.config, o.topo, o.events_per_sec, "-", "removed"
+            ));
+        }
+    }
+    let total = |d: &PerfDoc| d.total_wall_us.max(1) as f64 / 1e6;
+    out.push_str(&format!(
+        "total wall: {:.2} s -> {:.2} s ({:+.1}%) | workers {} -> {}\n",
+        total(old),
+        total(new),
+        (total(new) / total(old) - 1.0) * 100.0,
+        old.workers,
+        new.workers,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +238,7 @@ mod tests {
         PerfSample {
             name: name.to_string(),
             config: config.to_string(),
+            topo: "single-switch".to_string(),
             wall_us: 1_500,
             events: 30_000,
             events_per_sec: 20_000_000,
@@ -202,9 +277,42 @@ mod tests {
         assert!(parse_perf_doc("not json").is_err());
         assert!(parse_perf_doc("{\"schema\":\"bench-perf-v1\"}").is_err());
         assert!(
-            parse_perf_doc("{\"schema\":\"bench-perf-v2\",\"workers\":1}").is_err(),
+            parse_perf_doc("{\"schema\":\"bench-perf-v3\",\"workers\":1}").is_err(),
             "unknown schema must be rejected"
         );
+    }
+
+    #[test]
+    fn parse_perf_doc_accepts_v1_without_topo() {
+        let v1 = "{\"schema\":\"bench-perf-v1\",\"workers\":2,\"total_wall_us\":10,\
+                  \"runs\":[{\"name\":\"grep\",\"config\":\"active\",\"wall_us\":5,\
+                  \"events\":100,\"events_per_sec\":20,\"peak_queue\":3}]}";
+        let doc = parse_perf_doc(v1).expect("v1 parses");
+        assert_eq!(doc.runs[0].topo, "single-switch");
+    }
+
+    #[test]
+    fn perf_diff_matches_rows_and_flags_changes() {
+        let old = PerfDoc {
+            workers: 2,
+            total_wall_us: 1_000_000,
+            runs: vec![sample("grep", "active"), sample("tar", "normal")],
+        };
+        let mut faster = sample("grep", "active");
+        faster.events_per_sec = 30_000_000;
+        let mut fabric = sample("reduce-to-one", "active");
+        fabric.topo = "fat-tree-r16".to_string();
+        let new = PerfDoc {
+            workers: 4,
+            total_wall_us: 800_000,
+            runs: vec![faster, fabric],
+        };
+        let d = perf_diff(&old, &new);
+        assert!(d.contains("+50.0%"), "diff:\n{d}");
+        assert!(d.contains("fat-tree-r16"), "diff:\n{d}");
+        assert!(d.contains("new"), "added row flagged:\n{d}");
+        assert!(d.contains("removed"), "removed row flagged:\n{d}");
+        assert!(d.contains("workers 2 -> 4"), "totals:\n{d}");
     }
 
     #[test]

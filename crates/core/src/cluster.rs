@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use asan_cpu::CpuConfig;
 use asan_io::{OsCost, StorageConfig};
-use asan_net::topo::{NodeKind, TopologyBuilder};
+use asan_net::topo::{NodeKind, TopoMap, TopoSpec, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, HcaConfig, NodeId};
 use asan_sim::faults::{FaultInjector, FaultPlan, FaultStats};
 use asan_sim::sched::Scheduler;
@@ -37,6 +37,7 @@ use crate::error::SimError;
 use crate::events::{Event, EventBus, FileStore, IoState};
 use crate::handler::Handler;
 use crate::metrics::{MetricsReport, PhaseBreakdown, Probe};
+use crate::placement::{AggNode, AggregationTree};
 use crate::stats::{ClusterStats, FabricSnapshot};
 
 pub use crate::engines::{HostCtx, HostProgram};
@@ -248,6 +249,18 @@ impl Cluster {
         }
     }
 
+    /// Builds a cluster from a declarative [`TopoSpec`], returning the
+    /// generated [`TopoMap`] so callers can place programs and handlers
+    /// on the generated shape (see [`crate::placement`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`asan_net::TopoError`] in the spec.
+    pub fn from_spec(spec: &TopoSpec, cfg: ClusterConfig) -> (Cluster, TopoMap) {
+        let (topo, map) = spec.builder();
+        (Cluster::new(topo, cfg), map)
+    }
+
     /// Installs a trace sink: every span the engines emit from now on
     /// (packet, handler, disk, buffer) is delivered to it. Without a
     /// sink the probe only maintains its histograms — no formatting or
@@ -326,6 +339,23 @@ impl Cluster {
         handler: Box<dyn Handler>,
     ) -> Result<(), SimError> {
         self.dispatch.register(node, id, handler)
+    }
+
+    /// Places one handler per switch of an [`AggregationTree`] (see
+    /// [`crate::placement::aggregation_tree`]): `make` is called once
+    /// per tree switch, ascending node id, with that switch's role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotASwitch`] if a tree node is not a switch
+    /// of this cluster.
+    pub fn place_handlers(
+        &mut self,
+        tree: &AggregationTree,
+        id: HandlerId,
+        mut make: impl FnMut(NodeId, &AggNode) -> Box<dyn Handler>,
+    ) -> Result<(), SimError> {
+        self.dispatch.place(tree, id, &mut make)
     }
 
     /// Removes a handler after a run so the caller can read back state

@@ -99,6 +99,21 @@ impl DispatchEngine {
         Ok(())
     }
 
+    /// Places one handler per switch of an aggregation tree: the
+    /// placement policy decided *where* (see [`crate::placement`]),
+    /// this installs the handlers there, ascending node id.
+    pub(crate) fn place(
+        &mut self,
+        tree: &crate::placement::AggregationTree,
+        id: HandlerId,
+        make: &mut dyn FnMut(NodeId, &crate::placement::AggNode) -> Box<dyn Handler>,
+    ) -> Result<(), SimError> {
+        for (&sw, role) in &tree.nodes {
+            self.register(sw, id, make(sw, role))?;
+        }
+        Ok(())
+    }
+
     /// Removes a handler: the original engine first, then any host-side
     /// fallback engine a trap migrated it to.
     pub(crate) fn take_handler(&mut self, node: NodeId, id: HandlerId) -> Option<Box<dyn Handler>> {

@@ -757,7 +757,7 @@ impl EventBus<'_> {
         ready: SimTime,
     ) -> asan_net::Delivery {
         let d = self.fabric.transmit(wire_bytes, src, dst, ready);
-        self.probe.packet(dst, ready, d.arrival, wire_bytes);
+        self.probe.packet(dst, ready, d.arrival, wire_bytes, d.hops);
         d
     }
 

@@ -19,6 +19,9 @@
 //!   storage) the simulation decomposes into;
 //! * [`metrics`] — the observability probe the engines report spans to,
 //!   and the latency-histogram / phase-breakdown [`MetricsReport`];
+//! * [`placement`] — handler placement on multi-switch fabrics: the
+//!   [`HandlerPlacement`] policies and the [`AggregationTree`] they
+//!   produce over a [`asan_net::TopoMap`];
 //! * [`cluster`] — the whole-system simulator (§4): the thin composer
 //!   that routes events to the engines and assembles the paper's
 //!   metrics (execution time, host utilization, host I/O traffic,
@@ -44,6 +47,7 @@ pub mod error;
 pub mod events;
 pub mod handler;
 pub mod metrics;
+pub mod placement;
 pub mod stats;
 
 pub use active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
@@ -53,3 +57,4 @@ pub use dba::BufferAdmin;
 pub use error::SimError;
 pub use handler::{Handler, HandlerCtx, MsgInfo, OutMsg, SwitchIoReq};
 pub use metrics::{MetricsReport, PhaseBreakdown, Probe};
+pub use placement::{aggregation_tree, AggNode, AggregationTree, HandlerPlacement};

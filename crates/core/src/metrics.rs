@@ -80,6 +80,10 @@ pub struct MetricsReport {
     /// Credit-stall durations on fabric links (merged over every link
     /// direction).
     pub credit_stall: LogHistogram,
+    /// Links traversed per delivered packet (unitless counts, not
+    /// picoseconds): 1–2 on a single switch, deeper on multi-switch
+    /// fabrics — the per-switch transit dimension of a run.
+    pub packet_hops: LogHistogram,
     /// Where the run's simulated cycles went.
     pub phases: PhaseBreakdown,
 }
@@ -96,6 +100,7 @@ impl MetricsReport {
         h = self.disk_service.fold_digest(h);
         h = self.buffer_wait.fold_digest(h);
         h = self.credit_stall.fold_digest(h);
+        h = self.packet_hops.fold_digest(h);
         let PhaseBreakdown {
             host_ps,
             fabric_ps,
@@ -151,7 +156,13 @@ impl MetricsReport {
                 h.mean(),
             ));
         }
-        out.push_str("}}");
+        out.push_str(&format!(
+            "}},\"packet_hops\":{{\"count\":{},\"p50\":{},\"max\":{},\"mean\":{}}}}}",
+            self.packet_hops.count(),
+            self.packet_hops.percentile(50),
+            self.packet_hops.max(),
+            self.packet_hops.mean(),
+        ));
         out
     }
 }
@@ -192,6 +203,13 @@ impl fmt::Display for MetricsReport {
                 format!("{}", SimDuration::from_ps(h.percentile(99))),
             )?;
         }
+        writeln!(
+            f,
+            "  fabric hops/packet: p50 {} max {} over {} packets",
+            self.packet_hops.percentile(50),
+            self.packet_hops.max(),
+            self.packet_hops.count(),
+        )?;
         Ok(())
     }
 }
@@ -207,6 +225,7 @@ pub struct Probe {
     handler_occupancy: LogHistogram,
     disk_service: LogHistogram,
     buffer_wait: LogHistogram,
+    packet_hops: LogHistogram,
     /// Deterministic span sequence number (emission order).
     next_id: u64,
 }
@@ -250,9 +269,18 @@ impl Probe {
         }
     }
 
-    /// One packet delivered: injected at `start`, last byte at `end`.
-    pub(crate) fn packet(&mut self, dst: NodeId, start: SimTime, end: SimTime, wire: u64) {
+    /// One packet delivered: injected at `start`, last byte at `end`,
+    /// after crossing `hops` links.
+    pub(crate) fn packet(
+        &mut self,
+        dst: NodeId,
+        start: SimTime,
+        end: SimTime,
+        wire: u64,
+        hops: usize,
+    ) {
         self.packet_e2e.record_duration(end.saturating_since(start));
+        self.packet_hops.record(hops as u64);
         self.span(SpanKind::Packet, dst, start, end, wire);
     }
 
@@ -293,6 +321,7 @@ impl Probe {
         self.handler_occupancy.snapshot(w);
         self.disk_service.snapshot(w);
         self.buffer_wait.snapshot(w);
+        self.packet_hops.snapshot(w);
         w.u64(self.next_id);
     }
 
@@ -303,6 +332,7 @@ impl Probe {
         self.handler_occupancy = LogHistogram::restore(r)?;
         self.disk_service = LogHistogram::restore(r)?;
         self.buffer_wait = LogHistogram::restore(r)?;
+        self.packet_hops = LogHistogram::restore(r)?;
         self.next_id = r.u64()?;
         Ok(())
     }
@@ -317,6 +347,7 @@ impl Probe {
             disk_service: self.disk_service.clone(),
             buffer_wait: self.buffer_wait.clone(),
             credit_stall: LogHistogram::new(),
+            packet_hops: self.packet_hops.clone(),
             phases: PhaseBreakdown::default(),
         }
     }
@@ -330,7 +361,7 @@ mod tests {
     #[test]
     fn probe_records_histograms_without_a_sink() {
         let mut p = Probe::default();
-        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528);
+        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528, 2);
         p.handler(NodeId(2), SimTime::from_ns(5), SimTime::from_ns(9), 512);
         p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
         p.buffer(
@@ -346,6 +377,8 @@ mod tests {
         assert_eq!(m.disk_service.count(), 1);
         assert_eq!(m.buffer_wait.count(), 1);
         assert_eq!(m.buffer_wait.max(), 1000);
+        assert_eq!(m.packet_hops.count(), 1);
+        assert_eq!(m.packet_hops.max(), 2);
         assert!(!p.has_sink());
     }
 
@@ -353,7 +386,7 @@ mod tests {
     fn probe_delivers_spans_to_the_sink_in_order() {
         let mut p = Probe::default();
         p.set_sink(Box::new(RingSink::new(16)));
-        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528);
+        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528, 1);
         p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
         let ring = p
             .sink()

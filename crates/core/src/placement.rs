@@ -1,0 +1,362 @@
+//! Handler placement on multi-switch fabrics.
+//!
+//! On a single switch there is exactly one place a handler can run. On
+//! a [`TopoSpec`](asan_net::TopoSpec)-generated fabric the question of
+//! *which* active switch combines a collective becomes a policy: this
+//! module turns a [`TopoMap`] plus a participant set into an
+//! [`AggregationTree`] — per-switch fan-in, parent edges for forwarding
+//! partial results upward, and each host's ingress switch — under one
+//! of three [`HandlerPlacement`] policies.
+//!
+//! Everything here is deterministic: participants are walked in caller
+//! order, switches in ascending node-id order (`BTreeMap`/`BTreeSet`),
+//! and the [`TopoMap`] itself is a pure function of its spec, so the
+//! same spec + participants + policy always yields the same tree
+//! (docs/DETERMINISM.md, invariant 9).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asan_net::{NodeId, TopoMap};
+
+/// Which active switch(es) a collective's combine handler runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerPlacement {
+    /// One handler at the topology root; every participant sends its
+    /// contribution all the way up. Maximum fan-in at one switch, no
+    /// in-network combining below the apex — the baseline that shows
+    /// why hierarchical placement matters.
+    Root,
+    /// A handler on every switch between the participants and their
+    /// nearest common ancestor: each level combines its children's
+    /// partials before forwarding one result upward. This is the
+    /// paper's §5 reduction tree generalized to any participant set.
+    Nca,
+    /// Leaf switches combine their local participants, then forward
+    /// the per-leaf partials across the fabric to one deterministically
+    /// striped aggregator leaf. Trades upper-tree combining for
+    /// spreading aggregation load across leaves when many collectives
+    /// run concurrently.
+    Striped,
+}
+
+impl HandlerPlacement {
+    /// All policies, in bench-sweep order.
+    pub const ALL: [HandlerPlacement; 3] = [
+        HandlerPlacement::Root,
+        HandlerPlacement::Nca,
+        HandlerPlacement::Striped,
+    ];
+
+    /// Canonical label for bench/CI naming.
+    pub fn label(self) -> &'static str {
+        match self {
+            HandlerPlacement::Root => "root",
+            HandlerPlacement::Nca => "nca",
+            HandlerPlacement::Striped => "striped",
+        }
+    }
+}
+
+/// One switch's role in an [`AggregationTree`].
+#[derive(Debug, Clone)]
+pub struct AggNode {
+    /// Contributions this switch combines before emitting one result:
+    /// directly-attached participant hosts plus child switches.
+    pub expect: usize,
+    /// Where the combined partial goes (`None` at the tree root, where
+    /// the final result materializes).
+    pub parent: Option<NodeId>,
+    /// Participant hosts that send directly to this switch, in
+    /// participant order.
+    pub host_children: Vec<NodeId>,
+    /// Child switches that forward partials here, ascending node id.
+    pub switch_children: Vec<NodeId>,
+}
+
+/// A placed aggregation: which switches run the combine handler, how
+/// much each expects, and where each participant injects.
+#[derive(Debug, Clone)]
+pub struct AggregationTree {
+    /// Per-switch roles, keyed by switch id (deterministic iteration).
+    pub nodes: BTreeMap<NodeId, AggNode>,
+    /// Each participant host's ingress switch (where it sends its
+    /// contribution).
+    pub ingress: BTreeMap<NodeId, NodeId>,
+    /// The switch where the final combined result materializes.
+    pub root: NodeId,
+}
+
+impl AggregationTree {
+    /// Total contributions expected across the tree (diagnostic: equals
+    /// participants + internal forwards).
+    pub fn total_expect(&self) -> usize {
+        self.nodes.values().map(|n| n.expect).sum()
+    }
+}
+
+/// Builds the aggregation tree for `participants` on `map` under
+/// `placement`. See [`HandlerPlacement`] for the policies.
+///
+/// # Panics
+///
+/// Panics if `participants` is empty, contains a node that is not a
+/// host of `map`, or (for [`HandlerPlacement::Nca`]) if the
+/// participants' leaves do not share an apex in `map`'s parent chains.
+pub fn aggregation_tree(
+    map: &TopoMap,
+    participants: &[NodeId],
+    placement: HandlerPlacement,
+) -> AggregationTree {
+    assert!(!participants.is_empty(), "no participants to place");
+    let leaf_of: Vec<NodeId> = participants
+        .iter()
+        .map(|&h| {
+            map.leaf_of(h)
+                .unwrap_or_else(|| panic!("participant {h} is not a host of this topology"))
+        })
+        .collect();
+    match placement {
+        HandlerPlacement::Root => place_root(map, participants),
+        HandlerPlacement::Nca => place_nca(map, participants, &leaf_of),
+        HandlerPlacement::Striped => place_striped(participants, &leaf_of),
+    }
+}
+
+fn place_root(map: &TopoMap, participants: &[NodeId]) -> AggregationTree {
+    let node = AggNode {
+        expect: participants.len(),
+        parent: None,
+        host_children: participants.to_vec(),
+        switch_children: Vec::new(),
+    };
+    AggregationTree {
+        nodes: BTreeMap::from([(map.root, node)]),
+        ingress: participants.iter().map(|&h| (h, map.root)).collect(),
+        root: map.root,
+    }
+}
+
+fn place_nca(map: &TopoMap, participants: &[NodeId], leaf_of: &[NodeId]) -> AggregationTree {
+    // Chains from each distinct participant leaf to its apex.
+    let distinct: BTreeSet<NodeId> = leaf_of.iter().copied().collect();
+    let chains: Vec<Vec<NodeId>> = distinct.iter().map(|&l| map.chain_to_root(l)).collect();
+    // The nearest common ancestor: the deepest switch shared by every
+    // chain, found by walking the common suffix from the apex down.
+    let mut depth = 0;
+    loop {
+        let first = &chains[0];
+        if depth >= first.len() {
+            break;
+        }
+        let cand = first[first.len() - 1 - depth];
+        if chains
+            .iter()
+            .all(|c| depth < c.len() && c[c.len() - 1 - depth] == cand)
+        {
+            depth += 1;
+        } else {
+            break;
+        }
+    }
+    assert!(depth > 0, "participant leaves share no aggregation apex");
+    let first = &chains[0];
+    let nca = first[first.len() - depth];
+    // Tree switches: every chain's segment from its leaf up to the NCA.
+    let mut members: BTreeSet<NodeId> = BTreeSet::new();
+    for chain in &chains {
+        for &sw in chain {
+            members.insert(sw);
+            if sw == nca {
+                break;
+            }
+        }
+    }
+    let mut nodes: BTreeMap<NodeId, AggNode> = members
+        .iter()
+        .map(|&sw| {
+            (
+                sw,
+                AggNode {
+                    expect: 0,
+                    parent: if sw == nca {
+                        None
+                    } else {
+                        map.parent.get(&sw).copied()
+                    },
+                    host_children: Vec::new(),
+                    switch_children: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    for (i, &h) in participants.iter().enumerate() {
+        nodes
+            .get_mut(&leaf_of[i])
+            .expect("participant leaf is a tree member")
+            .host_children
+            .push(h);
+    }
+    for &sw in &members {
+        let Some(up) = nodes[&sw].parent else {
+            continue;
+        };
+        nodes
+            .get_mut(&up)
+            .expect("parent is a tree member")
+            .switch_children
+            .push(sw);
+    }
+    for node in nodes.values_mut() {
+        node.expect = node.host_children.len() + node.switch_children.len();
+    }
+    AggregationTree {
+        ingress: participants
+            .iter()
+            .zip(leaf_of)
+            .map(|(&h, &l)| (h, l))
+            .collect(),
+        nodes,
+        root: nca,
+    }
+}
+
+fn place_striped(participants: &[NodeId], leaf_of: &[NodeId]) -> AggregationTree {
+    let leaves: Vec<NodeId> = leaf_of
+        .iter()
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    // Deterministic stripe key: the participant count stands in for a
+    // flow hash, so different-sized collectives aggregate on different
+    // leaves while any one collective is fully reproducible.
+    let agg = leaves[participants.len() % leaves.len()];
+    let mut nodes: BTreeMap<NodeId, AggNode> = leaves
+        .iter()
+        .map(|&l| {
+            (
+                l,
+                AggNode {
+                    expect: 0,
+                    parent: if l == agg { None } else { Some(agg) },
+                    host_children: Vec::new(),
+                    switch_children: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    for (i, &h) in participants.iter().enumerate() {
+        nodes
+            .get_mut(&leaf_of[i])
+            .expect("leaf present")
+            .host_children
+            .push(h);
+    }
+    let peers: Vec<NodeId> = leaves.iter().copied().filter(|&l| l != agg).collect();
+    let agg_node = nodes.get_mut(&agg).expect("aggregator present");
+    agg_node.switch_children = peers;
+    for node in nodes.values_mut() {
+        node.expect = node.host_children.len() + node.switch_children.len();
+    }
+    AggregationTree {
+        ingress: participants
+            .iter()
+            .zip(leaf_of)
+            .map(|(&h, &l)| (h, l))
+            .collect(),
+        nodes,
+        root: agg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asan_net::TopoSpec;
+
+    fn fat_tree_map(radix: usize, hosts: usize) -> TopoMap {
+        TopoSpec::fat_tree(radix, hosts, 0).build().1
+    }
+
+    #[test]
+    fn nca_over_all_hosts_matches_the_full_tree() {
+        // 32 hosts, radix 16 → 4 leaves + root; full participation puts
+        // a handler on every switch with leaf fan-in 8 and root fan-in 4.
+        let map = fat_tree_map(16, 32);
+        let tree = aggregation_tree(&map, &map.hosts, HandlerPlacement::Nca);
+        assert_eq!(tree.nodes.len(), map.switches.len());
+        assert_eq!(tree.root, map.root);
+        for (&sw, node) in &tree.nodes {
+            if sw == map.root {
+                assert_eq!(node.expect, 4);
+                assert!(node.parent.is_none());
+            } else {
+                assert_eq!(node.expect, 8);
+                assert_eq!(node.parent, Some(map.root));
+            }
+        }
+        assert_eq!(tree.total_expect(), 32 + 4);
+        assert_eq!(tree.ingress[&map.hosts[0]], map.host_leaf[0]);
+    }
+
+    #[test]
+    fn nca_of_a_subset_stops_below_the_root() {
+        // Hosts 0..8 share one leaf in a radix-16 tree: the NCA is that
+        // leaf, and no upper switch joins the tree.
+        let map = fat_tree_map(16, 32);
+        let subset: Vec<_> = map.hosts[..8].to_vec();
+        let tree = aggregation_tree(&map, &subset, HandlerPlacement::Nca);
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.root, map.host_leaf[0]);
+        assert_eq!(tree.nodes[&tree.root].expect, 8);
+    }
+
+    #[test]
+    fn root_placement_funnels_everything_to_the_apex() {
+        let map = fat_tree_map(8, 20);
+        let tree = aggregation_tree(&map, &map.hosts, HandlerPlacement::Root);
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.root, map.root);
+        assert_eq!(tree.nodes[&map.root].expect, 20);
+        assert!(tree.ingress.values().all(|&sw| sw == map.root));
+    }
+
+    #[test]
+    fn striped_placement_combines_locally_then_crosses() {
+        let map = fat_tree_map(16, 32); // 4 leaves
+        let tree = aggregation_tree(&map, &map.hosts, HandlerPlacement::Striped);
+        assert_eq!(tree.nodes.len(), 4);
+        let agg = tree.root;
+        assert_eq!(tree.nodes[&agg].expect, 8 + 3);
+        for (&sw, node) in &tree.nodes {
+            if sw != agg {
+                assert_eq!(node.expect, 8);
+                assert_eq!(node.parent, Some(agg));
+            }
+        }
+        // Hosts still inject at their own leaf.
+        assert_eq!(tree.ingress[&map.hosts[0]], map.host_leaf[0]);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let map = fat_tree_map(4, 64);
+        for p in HandlerPlacement::ALL {
+            let a = aggregation_tree(&map, &map.hosts, p);
+            let b = aggregation_tree(&map, &map.hosts, p);
+            assert_eq!(a.root, b.root, "{}", p.label());
+            assert_eq!(
+                a.nodes.keys().collect::<Vec<_>>(),
+                b.nodes.keys().collect::<Vec<_>>()
+            );
+            assert_eq!(a.total_expect(), b.total_expect());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a host")]
+    fn non_host_participant_rejected() {
+        let map = fat_tree_map(4, 8);
+        aggregation_tree(&map, &[map.root], HandlerPlacement::Nca);
+    }
+}

@@ -502,3 +502,140 @@ fn tar_style_switch_initiated_read_bypasses_host() {
     // The drain time includes the archive write completing.
     assert!(r.drain > r.finish);
 }
+
+/// One level of an in-network sum placed by an [`AggregationTree`]:
+/// combine `expect` contributions, then forward the partial to the
+/// parent switch (or deliver to the collector host at the tree root).
+struct SumStage {
+    expect: usize,
+    parent: Option<NodeId>,
+    collector: NodeId,
+    got: usize,
+    sum: u64,
+}
+
+impl Handler for SumStage {
+    fn on_message(&mut self, ctx: &mut HandlerCtx<'_>) {
+        let data = ctx.payload();
+        ctx.charge_stream(data.len(), 2);
+        self.sum += u64::from_le_bytes(data[..8].try_into().unwrap());
+        self.got += 1;
+        if self.got == self.expect {
+            match self.parent {
+                Some(up) => ctx.send(up, Some(HandlerId::new(7)), 0, &self.sum.to_le_bytes()),
+                None => ctx.send(self.collector, None, 0, &self.sum.to_le_bytes()),
+            }
+        }
+    }
+}
+
+/// Fires one value into the placed tree; the collector waits for the
+/// combined result.
+struct Contributor {
+    value: u64,
+    ingress: NodeId,
+    wait: bool,
+    result: Option<u64>,
+}
+
+impl HostProgram for Contributor {
+    fn on_start(&mut self, ctx: &mut HostCtx<'_>) {
+        ctx.send(
+            self.ingress,
+            Some(HandlerId::new(7)),
+            0,
+            self.value.to_le_bytes().to_vec(),
+        );
+        if !self.wait {
+            ctx.finish();
+        }
+    }
+    fn on_message(&mut self, ctx: &mut HostCtx<'_>, msg: &HostMsg) {
+        self.result = Some(u64::from_le_bytes(msg.data[..8].try_into().unwrap()));
+        ctx.finish();
+    }
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[test]
+fn spec_fabric_aggregates_through_placed_handlers() {
+    use asan_core::{aggregation_tree, HandlerPlacement};
+    use asan_net::TopoSpec;
+
+    // 8 hosts on a radix-4 fat-tree (4 leaves, 2 mids, 1 root); every
+    // placement must deliver the same in-network sum to host 0 over
+    // deterministic multi-hop routes.
+    for placement in HandlerPlacement::ALL {
+        let spec = TopoSpec::fat_tree(4, 8, 0);
+        let (mut cl, map) = Cluster::from_spec(&spec, ClusterConfig::paper());
+        let tree = aggregation_tree(&map, &map.hosts, placement);
+        let collector = map.hosts[0];
+        cl.place_handlers(&tree, HandlerId::new(7), |_, n| {
+            Box::new(SumStage {
+                expect: n.expect,
+                parent: n.parent,
+                collector,
+                got: 0,
+                sum: 0,
+            })
+        })
+        .unwrap();
+        for (i, &h) in map.hosts.iter().enumerate() {
+            cl.set_program(
+                h,
+                Box::new(Contributor {
+                    value: (i + 1) as u64,
+                    ingress: tree.ingress[&h],
+                    wait: h == collector,
+                    result: None,
+                }),
+            )
+            .unwrap();
+        }
+        let report = cl.run().unwrap();
+        let program = cl.take_program(collector).unwrap();
+        let c = program
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Contributor>())
+            .expect("contributor");
+        assert_eq!(c.result, Some(36), "{}: 1+2+…+8", placement.label());
+        assert!(report.finish.as_ps() > 0);
+    }
+}
+
+#[test]
+fn place_handlers_rejects_non_switch_nodes() {
+    use asan_core::placement::{AggNode, AggregationTree};
+    use asan_net::TopoSpec;
+
+    let spec = TopoSpec::fat_tree(4, 4, 0);
+    let (mut cl, map) = Cluster::from_spec(&spec, ClusterConfig::paper());
+    // A hand-forged tree whose "switch" is actually a host.
+    let bogus = AggregationTree {
+        nodes: [(
+            map.hosts[0],
+            AggNode {
+                expect: 1,
+                parent: None,
+                host_children: vec![map.hosts[0]],
+                switch_children: vec![],
+            },
+        )]
+        .into_iter()
+        .collect(),
+        ingress: [(map.hosts[0], map.hosts[0])].into_iter().collect(),
+        root: map.hosts[0],
+    };
+    let err = cl.place_handlers(&bogus, HandlerId::new(7), |_, n| {
+        Box::new(SumStage {
+            expect: n.expect,
+            parent: n.parent,
+            collector: map.hosts[0],
+            got: 0,
+            sum: 0,
+        })
+    });
+    assert!(err.is_err(), "placing on a host must fail");
+}

@@ -304,3 +304,57 @@ fn active_tca_roundtrips() {
     };
     assert_roundtrips(build, &[3, 11, 29, 55]);
 }
+
+/// A multi-switch fabric (radix-4 fat-tree, chained per-hop credit
+/// drains) must round-trip exactly like the single-switch cluster:
+/// the mapped storage stream crosses two switch hops before the
+/// handler runs, and every pause point must restore bit-identically.
+fn build_fabric_active(len: usize) -> Cluster {
+    use asan_net::TopoSpec;
+
+    let spec = TopoSpec::fat_tree(4, 4, 1);
+    let (mut cl, map) = Cluster::from_spec(&spec, ClusterConfig::paper());
+    let file = cl.add_file(map.tcas[0], vec![0x5A; len]).unwrap();
+    // Handler on host 0's leaf: the stream flows TCA → root → leaf.
+    let ingress = map.host_leaf[0];
+    cl.set_program(
+        map.hosts[0],
+        Box::new(ActiveCount {
+            file,
+            sw: ingress,
+            result: None,
+        }),
+    )
+    .unwrap();
+    cl.register_handler(
+        ingress,
+        HandlerId::new(1),
+        Box::new(CountHandler {
+            needle: 0x5A,
+            host: map.hosts[0],
+            count: 0,
+            total: 0,
+            expect: len as u64,
+        }),
+    )
+    .unwrap();
+    cl
+}
+
+#[test]
+fn multi_switch_fabric_roundtrips_at_many_pause_points() {
+    assert_roundtrips(|| build_fabric_active(8 * 1024), &[1, 9, 33, 80, 150]);
+}
+
+#[test]
+fn multi_switch_snapshot_bytes_are_deterministic() {
+    let mut a = build_fabric_active(8 * 1024);
+    let mut b = build_fabric_active(8 * 1024);
+    assert!(a.run_events(9).unwrap().is_none());
+    assert!(b.run_events(9).unwrap().is_none());
+    assert_eq!(
+        a.snapshot(),
+        b.snapshot(),
+        "multi-switch snapshot bytes not deterministic"
+    );
+}

@@ -40,4 +40,7 @@ pub use packet::{
     crc32, packetize, reassemble, HandlerId, Header, NodeId, Packet, ReassembleError, HEADER_BYTES,
     MTU,
 };
-pub use topo::{single_switch_cluster, Delivery, Fabric, NodeKind, SwitchSpec, TopologyBuilder};
+pub use topo::{
+    single_switch_cluster, Delivery, Fabric, NodeKind, SwitchSpec, TopoError, TopoMap, TopoSpec,
+    TopologyBuilder,
+};

@@ -7,16 +7,34 @@
 //! soon as it has the header (plus the 100 ns routing latency of §4),
 //! rather than after store-and-forward of the whole packet.
 //!
+//! Topologies come from two places: hand-wired [`TopologyBuilder`]
+//! calls, or a declarative [`TopoSpec`] (single switch, fat tree,
+//! explicit edge list) that also returns a [`TopoMap`] describing the
+//! generated structure — which host hangs off which leaf, each
+//! switch's parent, and the root — so higher layers can place handlers
+//! without re-deriving the shape.
+//!
+//! Routing is deterministic shortest-path: one breadth-first search per
+//! destination fills a dense next-hop table, visiting neighbors in
+//! edge-insertion order so equal-length paths always resolve the same
+//! way (see docs/DETERMINISM.md). Multi-hop packets pay per-link
+//! credits at *each* hop; with [`TopoSpec`]-generated fabrics an
+//! upstream link's credit is held until the packet has left the
+//! *downstream* hop (chained backpressure), while hand-built and
+//! single-switch fabrics keep the seed behavior of freeing the credit
+//! at that hop's own arrival.
+//!
 //! Packet *data* is not carried here — the cluster layer moves the real
 //! bytes; the fabric answers "when does it arrive, and what did it cost".
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::Traffic;
 use asan_sim::{SimDuration, SimTime};
 
-use crate::link::{Link, LinkConfig};
+use crate::link::{Link, LinkConfig, LinkTiming};
 use crate::packet::NodeId;
 
 /// What a node is; affects nothing in the fabric timing, but lets the
@@ -60,12 +78,62 @@ impl SwitchSpec {
     }
 }
 
+/// Why a topology cannot be finalized into a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoError {
+    /// The graph has no nodes at all.
+    EmptyTopology,
+    /// Some node cannot reach some other node.
+    Disconnected {
+        /// A node with no route…
+        from: NodeId,
+        /// …to this destination.
+        to: NodeId,
+    },
+    /// The same unordered node pair was connected twice; parallel links
+    /// would make shortest-path tie-breaking depend on insertion
+    /// accidents, so they are rejected outright.
+    DuplicateLink {
+        /// One endpoint of the repeated pair.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A switch with zero connected ports: it can forward nothing and
+    /// is always a spec bug.
+    IsolatedSwitch(NodeId),
+    /// A [`TopoSpec`] parameter is out of range (zero-radix fat tree,
+    /// edge referencing an unknown node, …).
+    BadSpec(&'static str),
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopoError::EmptyTopology => write!(f, "topology has no nodes"),
+            TopoError::Disconnected { from, to } => {
+                write!(f, "topology is disconnected: {from} cannot reach {to}")
+            }
+            TopoError::DuplicateLink { a, b } => {
+                write!(f, "duplicate link between {a} and {b}")
+            }
+            TopoError::IsolatedSwitch(s) => {
+                write!(f, "switch {s} has zero connected ports")
+            }
+            TopoError::BadSpec(why) => write!(f, "bad topology spec: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
 /// Builder for a cluster topology.
 #[derive(Debug, Default)]
 pub struct TopologyBuilder {
     kinds: Vec<NodeKind>,
     switch_specs: Vec<Option<SwitchSpec>>,
     edges: Vec<(usize, usize, LinkConfig)>,
+    hop_backpressure: bool,
 }
 
 impl TopologyBuilder {
@@ -106,17 +174,43 @@ impl TopologyBuilder {
         self
     }
 
-    /// Finalizes into a [`Fabric`], computing shortest-path routes.
+    /// Selects the credit-drain model for multi-hop routes. `false`
+    /// (the default, and the seed behavior every single-switch golden
+    /// digest is pinned to) frees each hop's credit at that hop's own
+    /// arrival; `true` chains the drain to the packet leaving the
+    /// *next* hop, so congestion on a downstream link backpressures
+    /// upstream senders hop by hop.
+    pub fn set_hop_backpressure(&mut self, on: bool) -> &mut Self {
+        self.hop_backpressure = on;
+        self
+    }
+
+    /// Finalizes into a [`Fabric`], computing deterministic
+    /// shortest-path routes (BFS per destination, neighbors visited in
+    /// edge-insertion order).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the graph is disconnected (every node must reach every
-    /// other node).
-    pub fn build(self) -> Fabric {
+    /// [`TopoError::EmptyTopology`] for a node-less graph,
+    /// [`TopoError::DuplicateLink`] if an unordered node pair is
+    /// connected twice, [`TopoError::IsolatedSwitch`] for a switch with
+    /// no ports, and [`TopoError::Disconnected`] if any node cannot
+    /// reach any other.
+    pub fn try_build(self) -> Result<Fabric, TopoError> {
         let n = self.kinds.len();
+        if n == 0 {
+            return Err(TopoError::EmptyTopology);
+        }
+        let mut seen_pairs = BTreeSet::new();
         let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (neighbor, link idx)
         let mut links = Vec::with_capacity(self.edges.len() * 2);
         for &(a, b, cfg) in &self.edges {
+            if !seen_pairs.insert((a.min(b), a.max(b))) {
+                return Err(TopoError::DuplicateLink {
+                    a: NodeId(a as u16),
+                    b: NodeId(b as u16),
+                });
+            }
             let ab = links.len();
             links.push(Link::new(cfg));
             let ba = links.len();
@@ -124,8 +218,18 @@ impl TopologyBuilder {
             adj[a].push((b, ab));
             adj[b].push((a, ba));
         }
-        // BFS from every node to fill next_hop[from][dst] = (neighbor, link).
-        let mut next_hop = vec![vec![None; n]; n];
+        if n > 1 {
+            for (i, kind) in self.kinds.iter().enumerate() {
+                if *kind == NodeKind::Switch && adj[i].is_empty() {
+                    return Err(TopoError::IsolatedSwitch(NodeId(i as u16)));
+                }
+            }
+        }
+        // BFS from every destination fills the dense next-hop table
+        // `next_hop[from * n + dst] = (neighbor, link)`; `NO_ROUTE`
+        // marks from == dst. 8 bytes per entry keeps thousand-node
+        // fabrics in tens of megabytes.
+        let mut next_hop = vec![NO_ROUTE; n * n];
         for dst in 0..n {
             let mut visited = vec![false; n];
             let mut q = VecDeque::new();
@@ -141,25 +245,439 @@ impl TopologyBuilder {
                             .find(|&&(nb, _)| nb == u)
                             .map(|&(_, l)| l)
                             .expect("symmetric adjacency");
-                        next_hop[v][dst] = Some((u, link));
+                        next_hop[v * n + dst] = (u as u32, link as u32);
                         q.push_back(v);
                     }
                 }
             }
-            for (v, hop) in next_hop.iter().enumerate().take(n) {
-                assert!(
-                    v == dst || hop[dst].is_some(),
-                    "topology is disconnected: {v} cannot reach {dst}"
-                );
+            for v in 0..n {
+                if v != dst && next_hop[v * n + dst] == NO_ROUTE {
+                    return Err(TopoError::Disconnected {
+                        from: NodeId(v as u16),
+                        to: NodeId(dst as u16),
+                    });
+                }
             }
         }
-        Fabric {
+        Ok(Fabric {
             kinds: self.kinds,
             switch_specs: self.switch_specs,
             links,
             next_hop,
+            hop_backpressure: self.hop_backpressure,
             traffic: vec![Traffic::default(); n],
+        })
+    }
+
+    /// Finalizes into a [`Fabric`], computing shortest-path routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`TopoError`] — most commonly a disconnected graph
+    /// (every node must reach every other node).
+    pub fn build(self) -> Fabric {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// `next_hop` sentinel for "no route" (only ever `from == dst`).
+const NO_ROUTE: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// A declarative topology: what to generate, plus the link/switch
+/// parameters and credit-drain model to generate it with. `build`
+/// returns both the [`Fabric`] and a [`TopoMap`] describing the shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoSpec {
+    kind: TopoKind,
+    hop_backpressure: bool,
+    switch: SwitchSpec,
+    link: LinkConfig,
+}
+
+/// The topology families a [`TopoSpec`] can generate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TopoKind {
+    /// All hosts and TCAs on one switch (the paper's §4 cluster).
+    SingleSwitch { hosts: usize, tcas: usize },
+    /// A fat tree of `radix`-port switches: `radix/2` hosts per leaf,
+    /// `radix/2`-way aggregation per upper level, TCAs at the root.
+    FatTree {
+        radix: usize,
+        hosts: usize,
+        tcas: usize,
+    },
+    /// An explicit node/edge list (Clos meshes, irregular testbeds).
+    Explicit {
+        kinds: Vec<NodeKind>,
+        edges: Vec<(u16, u16)>,
+    },
+}
+
+impl TopoSpec {
+    /// The paper's canonical cluster: `hosts` hosts and `tcas` TCAs on
+    /// one switch. Node order: switch, hosts, TCAs (the seed order all
+    /// single-switch golden digests are pinned to). Keeps the seed's
+    /// endpoint-drain credit model — on a one-switch fabric the two
+    /// models only differ on host→switch→host transits, and the pinned
+    /// digests predate chained drains.
+    pub fn single_switch(hosts: usize, tcas: usize) -> Self {
+        TopoSpec {
+            kind: TopoKind::SingleSwitch { hosts, tcas },
+            hop_backpressure: false,
+            switch: SwitchSpec::paper(),
+            link: LinkConfig::paper(),
         }
+    }
+
+    /// A fat tree of `radix`-port switches: `radix/2` of each leaf's
+    /// ports face hosts, and each level aggregates `radix/2`-way into
+    /// the next until a single root remains; TCAs attach to the root.
+    /// Node order: leaf switches, hosts, upper switch levels bottom-up,
+    /// TCAs. Chained per-hop credit drains are on by default.
+    pub fn fat_tree(radix: usize, hosts: usize, tcas: usize) -> Self {
+        TopoSpec {
+            kind: TopoKind::FatTree { radix, hosts, tcas },
+            hop_backpressure: true,
+            switch: SwitchSpec::paper(),
+            link: LinkConfig::paper(),
+        }
+    }
+
+    /// An explicit topology: `kinds[i]` is node `i`'s kind, `edges` are
+    /// full-duplex links in insertion order. Needs at least one switch
+    /// (the [`TopoMap`] root); hosts must attach directly to a switch.
+    pub fn explicit(kinds: Vec<NodeKind>, edges: Vec<(u16, u16)>) -> Self {
+        TopoSpec {
+            kind: TopoKind::Explicit { kinds, edges },
+            hop_backpressure: true,
+            switch: SwitchSpec::paper(),
+            link: LinkConfig::paper(),
+        }
+    }
+
+    /// Reverts to the seed's endpoint-drain credit model (each hop's
+    /// credit frees at that hop's own arrival). The legacy reduction
+    /// tree is pinned to this; new fabrics should keep chained drains.
+    pub fn endpoint_drain(mut self) -> Self {
+        self.hop_backpressure = false;
+        self
+    }
+
+    /// Replaces the switch parameters used for every generated switch.
+    pub fn with_switch(mut self, spec: SwitchSpec) -> Self {
+        self.switch = spec;
+        self
+    }
+
+    /// Replaces the link parameters used for every generated link.
+    pub fn with_link(mut self, cfg: LinkConfig) -> Self {
+        self.link = cfg;
+        self
+    }
+
+    /// Canonical label for bench/CI naming: `single-switch`,
+    /// `fat-tree-r<radix>`, `explicit`.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            TopoKind::SingleSwitch { .. } => "single-switch".to_string(),
+            TopoKind::FatTree { radix, .. } => format!("fat-tree-r{radix}"),
+            TopoKind::Explicit { .. } => "explicit".to_string(),
+        }
+    }
+
+    /// Generates the topology as a [`TopologyBuilder`] (for callers
+    /// that need to finish wiring themselves) plus its [`TopoMap`].
+    ///
+    /// # Errors
+    ///
+    /// [`TopoError::BadSpec`] for out-of-range parameters (fat-tree
+    /// radix below 4, explicit edges referencing unknown nodes, a host
+    /// not attached to any switch, …).
+    pub fn try_builder(&self) -> Result<(TopologyBuilder, TopoMap), TopoError> {
+        match &self.kind {
+            TopoKind::SingleSwitch { hosts, tcas } => self.build_single(*hosts, *tcas),
+            TopoKind::FatTree { radix, hosts, tcas } => self.build_fat_tree(*radix, *hosts, *tcas),
+            TopoKind::Explicit { kinds, edges } => self.build_explicit(kinds, edges),
+        }
+    }
+
+    /// [`Self::try_builder`], panicking on a bad spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`TopoError`].
+    pub fn builder(&self) -> (TopologyBuilder, TopoMap) {
+        self.try_builder().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generates the topology and finalizes it into a routed
+    /// [`Fabric`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`TopoError`] from the spec or from route construction.
+    pub fn try_build(&self) -> Result<(Fabric, TopoMap), TopoError> {
+        let (b, map) = self.try_builder()?;
+        Ok((b.try_build()?, map))
+    }
+
+    /// [`Self::try_build`], panicking on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`TopoError`].
+    pub fn build(&self) -> (Fabric, TopoMap) {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn build_single(
+        &self,
+        hosts: usize,
+        tcas: usize,
+    ) -> Result<(TopologyBuilder, TopoMap), TopoError> {
+        let mut b = TopologyBuilder::new();
+        b.set_hop_backpressure(self.hop_backpressure);
+        let sw = b.add_switch(self.switch);
+        let host_ids: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
+        let tca_ids: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
+        for &h in &host_ids {
+            b.connect(h, sw, self.link);
+        }
+        for &t in &tca_ids {
+            b.connect(t, sw, self.link);
+        }
+        let map = TopoMap {
+            host_leaf: vec![sw; hosts],
+            hosts: host_ids,
+            tcas: tca_ids,
+            switches: vec![sw],
+            parent: BTreeMap::new(),
+            root: sw,
+        };
+        Ok((b, map))
+    }
+
+    fn build_fat_tree(
+        &self,
+        radix: usize,
+        hosts: usize,
+        tcas: usize,
+    ) -> Result<(TopologyBuilder, TopoMap), TopoError> {
+        if radix < 4 {
+            // half = radix/2 must be >= 2 or the aggregation loop can
+            // never converge to a single root.
+            return Err(TopoError::BadSpec("fat-tree radix must be at least 4"));
+        }
+        if hosts == 0 {
+            return Err(TopoError::BadSpec("fat-tree needs at least one host"));
+        }
+        let half = radix / 2;
+        let mut b = TopologyBuilder::new();
+        b.set_hop_backpressure(self.hop_backpressure);
+        let n_leaves = hosts.div_ceil(half);
+        let leaves: Vec<NodeId> = (0..n_leaves).map(|_| b.add_switch(self.switch)).collect();
+        let mut host_ids = Vec::with_capacity(hosts);
+        let mut host_leaf = Vec::with_capacity(hosts);
+        for i in 0..hosts {
+            let h = b.add_host();
+            let leaf = leaves[i / half];
+            b.connect(h, leaf, self.link);
+            host_ids.push(h);
+            host_leaf.push(leaf);
+        }
+        // Build the switch tree upward, `half`-way aggregation per level.
+        let mut parent = BTreeMap::new();
+        let mut level = leaves.clone();
+        let mut switches = leaves;
+        while level.len() > 1 {
+            let n_up = level.len().div_ceil(half);
+            let ups: Vec<NodeId> = (0..n_up).map(|_| b.add_switch(self.switch)).collect();
+            for (i, &sw) in level.iter().enumerate() {
+                let up = ups[i / half];
+                b.connect(sw, up, self.link);
+                parent.insert(sw, up);
+            }
+            switches.extend(ups.iter().copied());
+            level = ups;
+        }
+        let root = level[0];
+        let tca_ids: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
+        for &t in &tca_ids {
+            b.connect(t, root, self.link);
+        }
+        let map = TopoMap {
+            hosts: host_ids,
+            tcas: tca_ids,
+            switches,
+            host_leaf,
+            parent,
+            root,
+        };
+        Ok((b, map))
+    }
+
+    fn build_explicit(
+        &self,
+        kinds: &[NodeKind],
+        edges: &[(u16, u16)],
+    ) -> Result<(TopologyBuilder, TopoMap), TopoError> {
+        if kinds.is_empty() {
+            return Err(TopoError::EmptyTopology);
+        }
+        let mut b = TopologyBuilder::new();
+        b.set_hop_backpressure(self.hop_backpressure);
+        for k in kinds {
+            match k {
+                NodeKind::Host => b.add_host(),
+                NodeKind::Switch => b.add_switch(self.switch),
+                NodeKind::Tca => b.add_tca(),
+            };
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); kinds.len()];
+        for &(a, bn) in edges {
+            let (ai, bi) = (a as usize, bn as usize);
+            if ai >= kinds.len() || bi >= kinds.len() {
+                return Err(TopoError::BadSpec("edge references unknown node"));
+            }
+            if ai == bi {
+                return Err(TopoError::BadSpec("self-loop edge"));
+            }
+            adj[ai].push(bi);
+            adj[bi].push(ai);
+            b.connect(NodeId(a), NodeId(bn), self.link);
+        }
+        let mut hosts = Vec::new();
+        let mut tcas = Vec::new();
+        let mut switches = Vec::new();
+        for (i, k) in kinds.iter().enumerate() {
+            let id = NodeId(i as u16);
+            match k {
+                NodeKind::Host => hosts.push(id),
+                NodeKind::Tca => tcas.push(id),
+                NodeKind::Switch => switches.push(id),
+            }
+        }
+        if switches.is_empty() {
+            return Err(TopoError::BadSpec(
+                "explicit topology needs at least one switch",
+            ));
+        }
+        // Each host's leaf: its first switch neighbor, edge order.
+        let mut host_leaf = Vec::with_capacity(hosts.len());
+        for &h in &hosts {
+            let leaf = adj[h.0 as usize]
+                .iter()
+                .copied()
+                .find(|&nb| kinds[nb] == NodeKind::Switch)
+                .ok_or(TopoError::BadSpec("host must attach directly to a switch"))?;
+            host_leaf.push(NodeId(leaf as u16));
+        }
+        // Root: the switch with minimum eccentricity over hosts (ties
+        // break to the lowest id) — the natural rendezvous for
+        // root-placement policies on irregular graphs.
+        let root = switches
+            .iter()
+            .copied()
+            .map(|s| (eccentricity(&adj, s.0 as usize, &hosts), s))
+            .min_by_key(|&(ecc, s)| (ecc, s.0))
+            .map(|(_, s)| s)
+            .expect("at least one switch");
+        // Parent chains: BFS over the switch-only subgraph from the
+        // root, neighbors in edge order. Switches only reachable
+        // through a host keep no parent (they are their own apex).
+        let mut parent = BTreeMap::new();
+        let mut visited = vec![false; kinds.len()];
+        visited[root.0 as usize] = true;
+        let mut q = VecDeque::from([root.0 as usize]);
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if kinds[v] == NodeKind::Switch && !visited[v] {
+                    visited[v] = true;
+                    parent.insert(NodeId(v as u16), NodeId(u as u16));
+                    q.push_back(v);
+                }
+            }
+        }
+        Ok((
+            b,
+            TopoMap {
+                hosts,
+                tcas,
+                switches,
+                host_leaf,
+                parent,
+                root,
+            },
+        ))
+    }
+}
+
+/// Max BFS distance from `start` to any of `targets` (`usize::MAX` when
+/// some target is unreachable).
+fn eccentricity(adj: &[Vec<usize>], start: usize, targets: &[NodeId]) -> usize {
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[start] = 0;
+    let mut q = VecDeque::from([start]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    targets
+        .iter()
+        .map(|t| dist[t.0 as usize])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Structure of a [`TopoSpec`]-generated topology, for layers that
+/// place computation on it (handler placement, aggregation trees)
+/// without re-deriving the shape from raw routes.
+#[derive(Debug, Clone)]
+pub struct TopoMap {
+    /// Host node ids, in creation order.
+    pub hosts: Vec<NodeId>,
+    /// TCA node ids, in creation order.
+    pub tcas: Vec<NodeId>,
+    /// All switch ids, leaves first then upper levels bottom-up.
+    pub switches: Vec<NodeId>,
+    /// `host_leaf[i]` is the switch `hosts[i]` attaches to.
+    pub host_leaf: Vec<NodeId>,
+    /// Each non-root switch's parent in the aggregation tree.
+    pub parent: BTreeMap<NodeId, NodeId>,
+    /// The apex switch (single switch: the switch; fat tree: the top of
+    /// the tree; explicit: minimum host eccentricity, ties to lowest id).
+    pub root: NodeId,
+}
+
+impl TopoMap {
+    /// The leaf switch `host` attaches to, if `host` is a known host.
+    pub fn leaf_of(&self, host: NodeId) -> Option<NodeId> {
+        self.hosts
+            .iter()
+            .position(|&h| h == host)
+            .map(|i| self.host_leaf[i])
+    }
+
+    /// The parent chain from `sw` (inclusive) to its apex (the root, or
+    /// the last switch with a recorded parent).
+    pub fn chain_to_root(&self, sw: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![sw];
+        let mut cur = sw;
+        while let Some(&up) = self.parent.get(&cur) {
+            chain.push(up);
+            cur = up;
+        }
+        chain
+    }
+
+    /// The distinct leaf switches hosts attach to, ascending.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        let set: BTreeSet<NodeId> = self.host_leaf.iter().copied().collect();
+        set.into_iter().collect()
     }
 }
 
@@ -191,13 +709,24 @@ impl Delivery {
 }
 
 /// The switched fabric: links, routes, and per-node traffic accounting.
+///
+/// The first four fields are static configuration: they are fixed by
+/// the [`TopologyBuilder`]/[`TopoSpec`] that produced this fabric and
+/// never change during a run, so `snapshot`/`restore` intentionally
+/// skip them — a restoring process rebuilds the identical topology from
+/// the same spec before calling [`Fabric::restore`] (which verifies the
+/// link and node counts match). Only the link occupancy and traffic
+/// counters below are dynamic state.
 #[derive(Debug)]
 pub struct Fabric {
     kinds: Vec<NodeKind>,                  // asan-lint: allow(snapshot-completeness)
     switch_specs: Vec<Option<SwitchSpec>>, // asan-lint: allow(snapshot-completeness)
     links: Vec<Link>,
-    /// `next_hop[from][dst] = (neighbor node, link index)`.
-    next_hop: Vec<Vec<Option<(usize, usize)>>>, // asan-lint: allow(snapshot-completeness)
+    /// `next_hop[from * n + dst] = (neighbor node, link index)`, dense,
+    /// [`NO_ROUTE`] on the diagonal.
+    next_hop: Vec<(u32, u32)>, // asan-lint: allow(snapshot-completeness)
+    /// Credit-drain model (see [`TopologyBuilder::set_hop_backpressure`]).
+    hop_backpressure: bool, // asan-lint: allow(snapshot-completeness)
     traffic: Vec<Traffic>,
 }
 
@@ -212,9 +741,27 @@ impl Fabric {
         self.kinds[node.0 as usize]
     }
 
+    /// Whether multi-hop routes chain credit drains to the downstream
+    /// hop (see [`TopologyBuilder::set_hop_backpressure`]).
+    pub fn hop_backpressure(&self) -> bool {
+        self.hop_backpressure
+    }
+
     /// Bytes in/out observed at `node`'s network interface.
     pub fn traffic(&self, node: NodeId) -> Traffic {
         self.traffic[node.0 as usize]
+    }
+
+    /// The routing-table entry `(neighbor, link)` for the first hop
+    /// from `from` toward `dst`; `None` when `from == dst`.
+    #[inline]
+    fn route(&self, from: usize, dst: usize) -> Option<(usize, usize)> {
+        let (nb, link) = self.next_hop[from * self.kinds.len() + dst];
+        if nb == u32::MAX {
+            None
+        } else {
+            Some((nb as usize, link as usize))
+        }
     }
 
     /// Number of hops on the route from `src` to `dst` (0 if equal).
@@ -223,7 +770,7 @@ impl Fabric {
         let dst = dst.0 as usize;
         let mut hops = 0;
         while cur != dst {
-            let (nb, _) = self.next_hop[cur][dst].expect("connected");
+            let (nb, _) = self.route(cur, dst).expect("connected");
             cur = nb;
             hops += 1;
         }
@@ -245,13 +792,16 @@ impl Fabric {
         ready: SimTime,
     ) -> Delivery {
         assert_ne!(src, dst, "transmit to self");
+        if self.hop_backpressure {
+            return self.transmit_chained(wire_bytes, src, dst, ready);
+        }
         let dst_idx = dst.0 as usize;
         let mut cur = src.0 as usize;
         let mut header_ready = ready;
         let mut hops = 0;
-        let mut last_timing: Option<crate::link::LinkTiming> = None;
+        let mut last_timing: Option<LinkTiming> = None;
         while cur != dst_idx {
-            let (nb, link_idx) = self.next_hop[cur][dst_idx].expect("connected");
+            let (nb, link_idx) = self.route(cur, dst_idx).expect("connected");
             // Intermediate switches add their routing latency before the
             // header can go out; endpoints inject directly. A
             // store-and-forward switch additionally waits for the whole
@@ -265,9 +815,8 @@ impl Fabric {
                 }
             }
             let timing = self.links[link_idx].send(wire_bytes, header_ready);
-            // Receiver's input buffer frees when the packet has fully
-            // left it toward the next hop; for the last hop, when the
-            // endpoint absorbed it. Approximated as its full arrival.
+            // Endpoint-drain model (seed behavior): the receiver's input
+            // buffer frees at the packet's own arrival on this hop.
             self.links[link_idx].note_drain(timing.done);
             header_ready = timing.header_at;
             last_timing = Some(timing);
@@ -282,6 +831,59 @@ impl Fabric {
             payload_start: t.header_at,
             arrival: t.done,
             hops,
+        }
+    }
+
+    /// Multi-hop transmit with chained credit drains: hop `i`'s credit
+    /// (the downstream switch's input buffer) is held until the packet
+    /// has fully left hop `i + 1`, so a congested downstream link
+    /// backpressures every upstream link on the path. The final hop
+    /// drains at the endpoint's own arrival, as before.
+    fn transmit_chained(
+        &mut self,
+        wire_bytes: u64,
+        src: NodeId,
+        dst: NodeId,
+        ready: SimTime,
+    ) -> Delivery {
+        let dst_idx = dst.0 as usize;
+        let mut cur = src.0 as usize;
+        let mut header_ready = ready;
+        let mut path: Vec<(usize, LinkTiming)> = Vec::with_capacity(8);
+        while cur != dst_idx {
+            let (nb, link_idx) = self.route(cur, dst_idx).expect("connected");
+            if !path.is_empty() {
+                if let Some(spec) = self.switch_specs[cur] {
+                    if !spec.cut_through {
+                        header_ready = path.last().expect("hop > 0").1.done;
+                    }
+                    header_ready += spec.routing_latency;
+                }
+            }
+            let timing = self.links[link_idx].send(wire_bytes, header_ready);
+            header_ready = timing.header_at;
+            path.push((link_idx, timing));
+            cur = nb;
+        }
+        // Shortest paths never revisit a link, so noting every drain
+        // after the walk is equivalent to noting each as soon as its
+        // drain time is known.
+        for i in 0..path.len() {
+            let drain = if i + 1 < path.len() {
+                path[i + 1].1.done
+            } else {
+                path[i].1.done
+            };
+            self.links[path[i].0].note_drain(drain);
+        }
+        let t = path.last().expect("at least one hop").1;
+        self.traffic[src.0 as usize].record_out(wire_bytes);
+        self.traffic[dst_idx].record_in(wire_bytes);
+        Delivery {
+            header_at: t.header_at,
+            payload_start: t.header_at,
+            arrival: t.done,
+            hops: path.len(),
         }
     }
 
@@ -329,8 +931,8 @@ impl Fabric {
 
     /// Writes the fabric's dynamic state: every link direction (wire
     /// occupancy, credits, in-flight drains, counters) and per-node
-    /// traffic accounting. The topology itself (kinds, routes) is static
-    /// and rebuilt by the caller.
+    /// traffic accounting. The topology itself (kinds, routes, drain
+    /// model) is static and rebuilt by the caller.
     pub fn snapshot(&self, w: &mut SnapWriter) {
         w.section("fabric");
         w.usize(self.links.len());
@@ -372,17 +974,8 @@ pub fn single_switch_cluster(
     hosts: usize,
     tcas: usize,
 ) -> (Fabric, Vec<NodeId>, Vec<NodeId>, NodeId) {
-    let mut b = TopologyBuilder::new();
-    let sw = b.add_switch(SwitchSpec::paper());
-    let host_ids: Vec<NodeId> = (0..hosts).map(|_| b.add_host()).collect();
-    let tca_ids: Vec<NodeId> = (0..tcas).map(|_| b.add_tca()).collect();
-    for &h in &host_ids {
-        b.connect(h, sw, LinkConfig::paper());
-    }
-    for &t in &tca_ids {
-        b.connect(t, sw, LinkConfig::paper());
-    }
-    (b.build(), host_ids, tca_ids, sw)
+    let (fabric, map) = TopoSpec::single_switch(hosts, tcas).build();
+    (fabric, map.hosts, map.tcas, map.root)
 }
 
 #[cfg(test)]
@@ -399,6 +992,7 @@ mod tests {
         assert_eq!(f.kind(sw), NodeKind::Switch);
         assert_eq!(f.kind(hosts[0]), NodeKind::Host);
         assert_eq!(f.kind(tcas[0]), NodeKind::Tca);
+        assert!(!f.hop_backpressure());
     }
 
     #[test]
@@ -417,6 +1011,55 @@ mod tests {
         assert_eq!(d.hops, 2);
         // Hop 1 header at 26 ns; +100 ns routing; hop 2: 528 ns ser +10 prop.
         assert_eq!(d.arrival.as_ns(), 26 + 100 + 528 + 10);
+    }
+
+    #[test]
+    fn chained_drains_do_not_change_uncontended_timing() {
+        let spec = TopoSpec::fat_tree(4, 4, 0);
+        let (mut bp, map) = spec.build();
+        let (mut legacy, _) = spec.clone().endpoint_drain().build();
+        assert!(bp.hop_backpressure());
+        assert!(!legacy.hop_backpressure());
+        let (a, b) = (map.hosts[0], map.hosts[3]);
+        let d1 = bp.transmit(528, a, b, SimTime::ZERO);
+        let d2 = legacy.transmit(528, a, b, SimTime::ZERO);
+        assert_eq!(d1, d2);
+        assert!(d1.hops >= 3, "cross-leaf route, got {} hops", d1.hops);
+    }
+
+    #[test]
+    fn chained_drains_backpressure_upstream_links() {
+        // Two hosts fan into one leaf whose uplinks are the bottleneck:
+        // with single-credit links, a send stalls on the previous
+        // packet's drain. Chained drains release an upstream credit
+        // only when the packet leaves the *downstream* hop, so stalls
+        // last longer and the burst finishes later than under the
+        // seed's endpoint-drain model.
+        let run = |chained: bool| {
+            let mut spec = TopoSpec::fat_tree(4, 4, 0).with_link(LinkConfig {
+                credits: 1,
+                ..LinkConfig::paper()
+            });
+            if !chained {
+                spec = spec.endpoint_drain();
+            }
+            let (mut f, map) = spec.build();
+            let dst = map.hosts[3]; // other leaf: all routes share uplinks
+            let mut last = SimTime::ZERO;
+            for _ in 0..4 {
+                let a = f.transmit(4096, map.hosts[0], dst, SimTime::ZERO).arrival;
+                let b = f.transmit(4096, map.hosts[1], dst, SimTime::ZERO).arrival;
+                last = last.max(a).max(b);
+            }
+            (f.total_credit_stalls(), last)
+        };
+        let (chained_stalls, chained_last) = run(true);
+        let (endpoint_stalls, endpoint_last) = run(false);
+        assert!(chained_stalls > 0 && endpoint_stalls > 0);
+        assert!(
+            chained_last > endpoint_last,
+            "chained burst {chained_last} should outlast endpoint burst {endpoint_last}"
+        );
     }
 
     #[test]
@@ -534,5 +1177,119 @@ mod tests {
     fn self_transmit_rejected() {
         let (mut f, hosts, _, _) = single_switch_cluster(1, 1);
         f.transmit(16, hosts[0], hosts[0], SimTime::ZERO);
+    }
+
+    #[test]
+    fn try_build_reports_each_error() {
+        assert_eq!(
+            TopologyBuilder::new().try_build().unwrap_err(),
+            TopoError::EmptyTopology
+        );
+
+        let mut disc = TopologyBuilder::new();
+        let a = disc.add_host();
+        let b = disc.add_host();
+        let err = disc.try_build().unwrap_err();
+        // BFS runs destination 0 first, so node 1's missing route to
+        // node 0 is reported.
+        assert_eq!(err, TopoError::Disconnected { from: b, to: a });
+        assert!(err.to_string().contains("disconnected"));
+
+        let mut dup = TopologyBuilder::new();
+        let sw = dup.add_switch(SwitchSpec::paper());
+        let h = dup.add_host();
+        dup.connect(h, sw, LinkConfig::paper());
+        dup.connect(sw, h, LinkConfig::paper()); // same pair, reversed
+        assert_eq!(
+            dup.try_build().unwrap_err(),
+            TopoError::DuplicateLink { a: sw, b: h }
+        );
+
+        let mut iso = TopologyBuilder::new();
+        let s1 = iso.add_switch(SwitchSpec::paper());
+        let h1 = iso.add_host();
+        let s2 = iso.add_switch(SwitchSpec::paper()); // zero ports
+        iso.connect(h1, s1, LinkConfig::paper());
+        assert_eq!(iso.try_build().unwrap_err(), TopoError::IsolatedSwitch(s2));
+    }
+
+    #[test]
+    fn spec_single_switch_matches_hand_built_cluster() {
+        let (f, map) = TopoSpec::single_switch(3, 2).build();
+        assert_eq!(f.num_nodes(), 6);
+        assert_eq!(map.hosts.len(), 3);
+        assert_eq!(map.tcas.len(), 2);
+        assert_eq!(map.switches, vec![map.root]);
+        assert_eq!(map.root, NodeId(0)); // seed order: switch first
+        assert_eq!(map.hosts[0], NodeId(1));
+        assert!(map.parent.is_empty());
+        assert_eq!(map.leaf_of(map.hosts[2]), Some(map.root));
+        assert_eq!(map.leaves(), vec![map.root]);
+    }
+
+    #[test]
+    fn spec_fat_tree_shapes_and_parents() {
+        // 20 hosts, radix 8 → half = 4: 5 leaves, then 2 mids, then root.
+        let (f, map) = TopoSpec::fat_tree(8, 20, 1).build();
+        assert_eq!(map.hosts.len(), 20);
+        assert_eq!(map.switches.len(), 5 + 2 + 1);
+        assert_eq!(map.tcas.len(), 1);
+        assert_eq!(f.num_nodes(), 20 + 8 + 1);
+        // Every leaf chains to the root.
+        for &h in &map.hosts {
+            let leaf = map.leaf_of(h).unwrap();
+            assert_eq!(*map.chain_to_root(leaf).last().unwrap(), map.root);
+        }
+        assert_eq!(map.leaves().len(), 5);
+        // TCAs hang off the root.
+        assert_eq!(f.path_len(map.tcas[0], map.root), 1);
+        // Hosts on the same leaf are two hops apart; the tree is
+        // deeper across leaves.
+        assert_eq!(f.path_len(map.hosts[0], map.hosts[1]), 2);
+        assert!(f.path_len(map.hosts[0], map.hosts[19]) > 2);
+    }
+
+    #[test]
+    fn spec_explicit_roots_and_errors() {
+        use NodeKind::{Host, Switch};
+        // h0 - s1 - s2 - h3: both switches are candidates; s1 wins the
+        // eccentricity tie-break by id.
+        let spec = TopoSpec::explicit(
+            vec![Host, Switch, Switch, Host],
+            vec![(0, 1), (1, 2), (2, 3)],
+        );
+        let (_, map) = spec.build();
+        assert_eq!(map.root, NodeId(1));
+        assert_eq!(map.host_leaf, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(map.parent.get(&NodeId(2)), Some(&NodeId(1)));
+
+        let bad = TopoSpec::explicit(vec![Host, Switch], vec![(0, 7)]);
+        assert!(matches!(bad.try_build(), Err(TopoError::BadSpec(_))));
+        let no_switch = TopoSpec::explicit(vec![Host, Host], vec![(0, 1)]);
+        assert!(matches!(no_switch.try_build(), Err(TopoError::BadSpec(_))));
+        assert!(matches!(
+            TopoSpec::fat_tree(1, 8, 0).try_build(),
+            Err(TopoError::BadSpec(_))
+        ));
+        // Radix 2 gives half = 1: no aggregation, the tree can never
+        // converge to a root — must be rejected, not loop forever.
+        assert!(matches!(
+            TopoSpec::fat_tree(2, 8, 0).try_build(),
+            Err(TopoError::BadSpec(_))
+        ));
+        assert!(matches!(
+            TopoSpec::fat_tree(8, 0, 0).try_build(),
+            Err(TopoError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn spec_labels_are_canonical() {
+        assert_eq!(TopoSpec::single_switch(2, 1).label(), "single-switch");
+        assert_eq!(TopoSpec::fat_tree(4, 64, 0).label(), "fat-tree-r4");
+        assert_eq!(
+            TopoSpec::explicit(vec![NodeKind::Switch], vec![]).label(),
+            "explicit"
+        );
     }
 }

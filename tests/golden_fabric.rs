@@ -1,0 +1,69 @@
+//! Multi-switch golden-digest regression test: the scaled collective
+//! reduction on the radix-4 fat tree at 64 hosts, under every handler
+//! placement, must match the committed
+//! [`tests/golden_digests_fabric.txt`](golden_digests_fabric.txt) byte
+//! for byte.
+//!
+//! This is the fabric counterpart of `tests/golden.rs`: where that file
+//! pins the nine single-switch paper benchmarks, this one pins the
+//! multi-hop topology — the BFS route tables, per-link credit chains,
+//! and cross-switch handler placement all feed these digests, so any
+//! perturbation of the fabric model surfaces here. The file is
+//! regenerated with
+//! `cargo run --release -p asan-bench --bin repro -- golden-fabric`.
+
+use asan_apps::reduce::{self, Mode};
+use asan_core::HandlerPlacement;
+
+const GOLDEN: &str = include_str!("golden_digests_fabric.txt");
+const P: usize = 64;
+const RADIX: usize = 4;
+
+/// Rebuilds the golden-fabric rows in file order: per mode, the
+/// host-side baseline then every placement's active run.
+fn digests() -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for mode in [Mode::ReduceToOne, Mode::Distributed] {
+        let base = reduce::run_scaled(mode, false, P, RADIX, HandlerPlacement::Nca);
+        rows.push((
+            format!("{}-r{RADIX}-p{P} normal", mode.tag()),
+            base.stats_digest,
+        ));
+        for placement in HandlerPlacement::ALL {
+            let r = reduce::run_scaled(mode, true, P, RADIX, placement);
+            rows.push((
+                format!("{}-r{RADIX}-p{P} {}", mode.tag(), placement.label()),
+                r.stats_digest,
+            ));
+        }
+    }
+    rows
+}
+
+#[test]
+fn fabric_digests_match_committed_golden_file() {
+    let mut produced = String::new();
+    for (name, digest) in digests() {
+        produced.push_str(&format!("{name} {digest:016x}\n"));
+    }
+    let mut mismatches = Vec::new();
+    for (want, got) in GOLDEN.lines().zip(produced.lines()) {
+        if want != got {
+            mismatches.push(format!("golden: {want}\n   got: {got}"));
+        }
+    }
+    assert_eq!(
+        GOLDEN.lines().count(),
+        produced.lines().count(),
+        "fabric golden file and produced digests differ in length:\n{produced}"
+    );
+    assert!(
+        mismatches.is_empty(),
+        "multi-switch simulation results changed ({} of {} digests):\n{}\n\nIf \
+         intentional, regenerate with `cargo run --release -p asan-bench --bin repro \
+         -- golden-fabric > tests/golden_digests_fabric.txt` and explain the change.",
+        mismatches.len(),
+        GOLDEN.lines().count(),
+        mismatches.join("\n")
+    );
+}

@@ -559,6 +559,43 @@ fn frame_scanner_conserves_bytes() {
     });
 }
 
+/// Every generated fat tree is connected with symmetric shortest
+/// routes: for any pair of nodes a route exists in both directions and
+/// has the same hop count, hosts reach their leaf in one hop, and no
+/// path exceeds the tree's diameter (up to the root and back down).
+#[test]
+fn fat_tree_routes_connected_and_symmetric() {
+    use asan_net::topo::TopoSpec;
+    sweep("fat-tree-routes", 25, |case, rng| {
+        let radix = 2 * rng.range(2, 5) as usize; // even radix 4..8
+        let hosts = rng.range(2, 40) as usize;
+        let tcas = rng.below(3) as usize;
+        let spec = TopoSpec::fat_tree(radix, hosts, tcas);
+        let (fabric, map) = spec.try_build().expect("fat tree must build");
+        let n = fabric.num_nodes();
+        // Levels: hosts -> leaves -> ... -> root. Diameter bounds any
+        // shortest path at twice the host depth.
+        let depth = fabric.path_len(map.hosts[0], map.root);
+        for a in 0..n as u16 {
+            for b in 0..n as u16 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                let fwd = fabric.path_len(a, b); // panics if disconnected
+                let rev = fabric.path_len(b, a);
+                assert_eq!(fwd, rev, "case {case}: asymmetric route {a:?}<->{b:?}");
+                assert!(fwd <= 2 * depth, "case {case}: path beyond diameter");
+                assert_eq!(fwd == 0, a == b, "case {case}");
+            }
+        }
+        for (&h, &leaf) in map.hosts.iter().zip(&map.host_leaf) {
+            assert_eq!(
+                fabric.path_len(h, leaf),
+                1,
+                "case {case}: host not on its leaf"
+            );
+        }
+    });
+}
+
 /// Fabric transmissions are causal: with non-decreasing ready times on
 /// one flow, arrivals are non-decreasing too.
 #[test]
