@@ -10,7 +10,7 @@
 //! `normal+pref` beats plain `active`; `active+pref` is best; active
 //! host utilization is ≈ 0 and host traffic ≈ 0.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};

@@ -18,7 +18,7 @@
 //! host caches; the switch CPU sees misses on its 128 KB bit-vector
 //! (≫ its 1 KB D-cache) but the impact is small.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};

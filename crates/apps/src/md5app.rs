@@ -10,7 +10,7 @@
 //! Digests are real (RFC 1321): the simulated runs produce exactly the
 //! digest of the reference implementation.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::active::ActiveSwitchConfig;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};

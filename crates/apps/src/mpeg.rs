@@ -16,7 +16,7 @@
 //! (`active`), 1.36 (`active+pref`) over `normal`; host traffic reduced
 //! by 36.5 % in both active cases.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};

@@ -12,7 +12,7 @@
 //! (both jobs done) shows the throughput effect that execution time
 //! alone hides.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::ClusterConfig;
 use asan_sim::{SimDuration, SimTime};

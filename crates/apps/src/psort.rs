@@ -15,7 +15,7 @@
 //! Shape (Figures 13–14): like Grep; per-node traffic in the active
 //! case is ~40 % of normal at p = 4 (limit `p/(3p−2)` → 1/3).
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};

@@ -12,7 +12,7 @@
 //! the normal cases is ~21× that of the active cases*; active host I/O
 //! traffic is ~25 % of normal.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};

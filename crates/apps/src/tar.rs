@@ -13,7 +13,7 @@
 //! (I/O-bound); active host utilization ≈ 0; active host I/O traffic is
 //! just the 512 B headers per file.
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::cluster::{ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::handler::{Handler, HandlerCtx};
@@ -68,7 +68,7 @@ impl Params {
 /// Normal-case host program: read each file, send header + data to the
 /// archive node.
 struct NormalTar {
-    p: Params, // asan-lint: allow(snapshot-completeness)
+    p: Params,
     files: Vec<FileId>,
     contents: Arc<Vec<Vec<u8>>>, // asan-lint: allow(snapshot-completeness)
     archive: NodeId,             // asan-lint: allow(snapshot-completeness)

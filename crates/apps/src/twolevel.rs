@@ -17,7 +17,7 @@
 //! level further down: the active disk also relieves the *SAN* links,
 //! and the switch can still add value on top (here, aggregation).
 
-use std::sync::Arc;
+use std::sync::Arc; // asan-lint: allow(domain-isolation) — immutable payload handoff, no locks or threads
 
 use asan_core::active::ActiveSwitchConfig;
 use asan_core::cluster::{ClusterConfig, Dest, HostCtx, HostMsg, HostProgram, ReqId};

@@ -16,7 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering}; // asan-lint: allow(domain-isolation) — host-level retry counter for the sweep driver, not model state
 use std::time::Duration; // asan-lint: allow(no-wall-clock) — host-level retry backoff
 
 use crate::{json, pool};
@@ -190,7 +190,7 @@ fn with_retry<T>(
                     std::panic::resume_unwind(payload);
                 }
                 retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff * 2u32.saturating_pow(attempt - 1));
+                std::thread::sleep(backoff * 2u32.saturating_pow(attempt - 1)); // asan-lint: allow(domain-isolation) — host-level backoff between repro retries
             }
         }
     }
@@ -223,7 +223,7 @@ pub fn results_json(records: &[CellRecord]) -> String {
 /// Propagates a cell panic once its retry budget is exhausted.
 pub fn run(cells: Vec<Cell>, cfg: &SweepConfig) -> std::io::Result<SweepOutcome> {
     std::fs::create_dir_all(&cfg.dir)?;
-    let retries = std::sync::Arc::new(AtomicU64::new(0));
+    let retries = std::sync::Arc::new(AtomicU64::new(0)); // asan-lint: allow(domain-isolation) — retry counter shared with worker closures
 
     // Serve what the cache already holds.
     let mut slots: Vec<Option<CellRecord>> = Vec::with_capacity(cells.len());
@@ -249,7 +249,7 @@ pub fn run(cells: Vec<Cell>, cfg: &SweepConfig) -> std::io::Result<SweepOutcome>
             let dir = cfg.dir.clone();
             let max_attempts = cfg.max_attempts;
             let backoff = cfg.backoff;
-            let retries = std::sync::Arc::clone(&retries);
+            let retries = std::sync::Arc::clone(&retries); // asan-lint: allow(domain-isolation) — retry counter shared with worker closures
             Box::new(move || {
                 let rec = with_retry(
                     || {
@@ -292,8 +292,8 @@ pub fn run(cells: Vec<Cell>, cfg: &SweepConfig) -> std::io::Result<SweepOutcome>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
-    use std::sync::Arc;
+    use std::sync::atomic::AtomicU32; // asan-lint: allow(domain-isolation) — test-only probe counters
+    use std::sync::Arc; // asan-lint: allow(domain-isolation) — test-only probe counters
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("asan-sweep-{tag}-{}", std::process::id()));

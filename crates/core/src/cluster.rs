@@ -189,7 +189,7 @@ impl RunReport {
 /// over one deterministic scheduler.
 #[derive(Debug)]
 pub struct Cluster {
-    cfg: ClusterConfig, // asan-lint: allow(snapshot-completeness)
+    cfg: ClusterConfig,
     fabric: Fabric,
     sched: Scheduler<Event>,
     host: HostEngine,

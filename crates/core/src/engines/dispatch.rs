@@ -42,7 +42,7 @@ pub struct DispatchEngine {
     /// Memoized configuration for host-side fallback engines, built
     /// once on first trap instead of recloning `ActiveCfg`/`CpuCfg`
     /// inside the event loop for every trapping switch.
-    fallback_cfg: Option<ActiveSwitchConfig>, // asan-lint: allow(snapshot-completeness)
+    fallback_cfg: Option<ActiveSwitchConfig>,
     /// Reorder buffers for mapped flows under faults.
     flows: BTreeMap<ReqId, FlowState>,
 }

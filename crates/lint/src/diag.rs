@@ -21,7 +21,7 @@ impl fmt::Display for Severity {
     }
 }
 
-/// One finding, anchored to a file and line.
+/// One finding, anchored to a file, line, and column.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// Rule identifier (the name accepted by `allow(...)`).
@@ -32,22 +32,52 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column (characters). `0` when a finding has no single
+    /// anchoring token (rendered as column 1).
+    pub col: u32,
     /// Human-readable explanation with the suggested fix.
     pub message: String,
+}
+
+impl Diagnostic {
+    /// The stable ordering key: workspace-relative path, line, column,
+    /// rule. Two lint runs over the same tree byte-diff cleanly
+    /// because every diagnostic stream is sorted by this key.
+    pub fn sort_key(&self) -> (&str, u32, u32, &'static str) {
+        (self.file.as_str(), self.line, self.col, self.rule)
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}[{}] {}:{}: {}",
-            self.severity, self.rule, self.file, self.line, self.message
+            "{}[{}] {}:{}:{}: {}",
+            self.severity,
+            self.rule,
+            self.file,
+            self.line,
+            self.col.max(1),
+            self.message
         )
     }
 }
 
+/// Run-level counters rendered alongside the diagnostics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    /// Files lexed and checked.
+    pub checked_files: usize,
+    /// Catalog version (bumped whenever the rule set changes).
+    pub catalog_version: u32,
+    /// Findings suppressed by `--baseline`.
+    pub baselined: usize,
+    /// Findings `check --fix` can rewrite mechanically.
+    pub fixable: usize,
+}
+
 /// Renders the full human-format report.
-pub fn render_human(diags: &[Diagnostic], checked_files: usize) -> String {
+pub fn render_human(diags: &[Diagnostic], sum: &Summary) -> String {
     let mut out = String::new();
     for d in diags {
         out.push_str(&d.to_string());
@@ -58,34 +88,49 @@ pub fn render_human(diags: &[Diagnostic], checked_files: usize) -> String {
         .filter(|d| d.severity == Severity::Deny)
         .count();
     out.push_str(&format!(
-        "asan-lint: {checked_files} files checked, {} finding(s) ({denies} deny)\n",
+        "asan-lint: {} files checked, {} finding(s) ({denies} deny",
+        sum.checked_files,
         diags.len(),
     ));
+    if sum.baselined > 0 {
+        out.push_str(&format!(", {} baselined", sum.baselined));
+    }
+    if sum.fixable > 0 {
+        out.push_str(&format!(", {} fixable", sum.fixable));
+    }
+    out.push_str(")\n");
     out
 }
 
 /// Renders the machine-readable JSON report (stable field order; no
 /// external JSON crate, so strings are escaped by hand).
-pub fn render_json(diags: &[Diagnostic], checked_files: usize) -> String {
-    let mut out = String::from("{\n  \"checked_files\": ");
-    out.push_str(&checked_files.to_string());
-    out.push_str(",\n  \"violations\": ");
+pub fn render_json(diags: &[Diagnostic], sum: &Summary) -> String {
     let denies = diags
         .iter()
         .filter(|d| d.severity == Severity::Deny)
         .count();
+    let mut out = String::from("{\n  \"catalog_version\": ");
+    out.push_str(&sum.catalog_version.to_string());
+    out.push_str(",\n  \"checked_files\": ");
+    out.push_str(&sum.checked_files.to_string());
+    out.push_str(",\n  \"violations\": ");
     out.push_str(&denies.to_string());
+    out.push_str(",\n  \"baselined\": ");
+    out.push_str(&sum.baselined.to_string());
+    out.push_str(",\n  \"fixable\": ");
+    out.push_str(&sum.fixable.to_string());
     out.push_str(",\n  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            "\n    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
             json_str(d.rule),
             json_str(&d.severity.to_string()),
             json_str(&d.file),
             d.line,
+            d.col.max(1),
             json_str(&d.message),
         ));
     }
@@ -97,7 +142,7 @@ pub fn render_json(diags: &[Diagnostic], checked_files: usize) -> String {
 }
 
 /// Escapes a string for JSON output.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -125,29 +170,52 @@ mod tests {
             severity: Severity::Deny,
             file: "crates/core/src/lib.rs".into(),
             line: 7,
+            col: 13,
             message: "say \"no\" to wall clocks".into(),
+        }
+    }
+
+    fn summary() -> Summary {
+        Summary {
+            checked_files: 3,
+            catalog_version: 2,
+            baselined: 0,
+            fixable: 0,
         }
     }
 
     #[test]
     fn human_format_has_location_and_counts() {
-        let text = render_human(&[sample()], 3);
-        assert!(text.contains("deny[no-wall-clock] crates/core/src/lib.rs:7:"));
+        let text = render_human(&[sample()], &summary());
+        assert!(text.contains("deny[no-wall-clock] crates/core/src/lib.rs:7:13:"));
         assert!(text.contains("3 files checked, 1 finding(s) (1 deny)"));
     }
 
     #[test]
     fn json_escapes_and_counts() {
-        let text = render_json(&[sample()], 3);
+        let text = render_json(&[sample()], &summary());
         assert!(text.contains("\"violations\": 1"));
+        assert!(text.contains("\"catalog_version\": 2"));
         assert!(text.contains("\\\"no\\\""));
         assert!(text.contains("\"line\": 7"));
+        assert!(text.contains("\"col\": 13"));
     }
 
     #[test]
     fn json_empty_is_clean() {
-        let text = render_json(&[], 0);
+        let text = render_json(&[], &Summary::default());
         assert!(text.contains("\"violations\": 0"));
         assert!(text.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn sort_key_orders_by_path_line_col_rule() {
+        let mut a = sample();
+        a.line = 2;
+        let mut b = sample();
+        b.line = 10;
+        let mut v = [b, a];
+        v.sort_by(|x, y| x.sort_key().cmp(&y.sort_key()));
+        assert_eq!(v[0].line, 2);
     }
 }

@@ -9,6 +9,13 @@
 //! comments are additionally scanned for `asan-lint: allow(...)`
 //! escape-hatch directives), so the rule passes only ever see real
 //! code tokens.
+//!
+//! Positions are computed from a precomputed table of line-start
+//! offsets rather than threaded through every consumption loop: each
+//! token records the character offset it starts at, and `(line, col)`
+//! are derived from that offset once. Multi-line constructs (block
+//! comments, escaped-newline strings, raw strings) therefore cannot
+//! desynchronize the line counter by construction.
 
 /// What a token is; rules mostly care about [`Kind::Ident`] and
 /// [`Kind::Punct`].
@@ -38,6 +45,8 @@ pub struct Token {
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// 1-based source column (in characters) the token starts at.
+    pub col: u32,
 }
 
 /// One `// asan-lint: allow(rule-a, rule-b)` directive.
@@ -73,30 +82,65 @@ impl Lexed {
 
 const JOINED: [&str; 10] = ["..=", "::", "=>", "->", "..", "==", "!=", "<=", ">=", "&&"];
 
+/// Maps character offsets to 1-based `(line, col)` positions.
+struct LineMap {
+    /// Character offset of the first character of each line.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    fn new(b: &[char]) -> Self {
+        let mut starts = vec![0usize];
+        for (i, c) in b.iter().enumerate() {
+            if *c == '\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    fn pos(&self, offset: usize) -> (u32, u32) {
+        // partition_point returns the count of line starts <= offset;
+        // the last of those is the token's line.
+        let line = self.starts.partition_point(|&s| s <= offset);
+        let col = offset - self.starts[line - 1] + 1;
+        (
+            u32::try_from(line).expect("line fits u32"),
+            u32::try_from(col).expect("col fits u32"),
+        )
+    }
+}
+
 /// Lexes `src`, separating code tokens from comments and literals.
 pub fn lex(src: &str) -> Lexed {
     let b: Vec<char> = src.chars().collect();
+    let map = LineMap::new(&b);
     let mut out = Lexed::default();
     let mut i = 0usize;
-    let mut line = 1u32;
+    let push = |out: &mut Lexed, kind: Kind, text: String, start: usize| {
+        let (line, col) = map.pos(start);
+        out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    };
     while i < b.len() {
         let c = b[i];
         match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
             c if c.is_whitespace() => i += 1,
             '/' if b.get(i + 1) == Some(&'/') => {
                 let start = i;
                 while i < b.len() && b[i] != '\n' {
                     i += 1;
                 }
-                scan_directive(&b[start..i], line, &mut out.allows);
+                scan_directive(&b[start..i], map.pos(start).0, &mut out.allows);
             }
             '/' if b.get(i + 1) == Some(&'*') => {
-                // Rust block comments nest.
-                let (start, start_line) = (i, line);
+                // Rust block comments nest; an unterminated comment
+                // swallows the rest of the file, like rustc's lexer.
+                let start = i;
                 let mut depth = 0usize;
                 while i < b.len() {
                     if b[i] == '/' && b.get(i + 1) == Some(&'*') {
@@ -109,21 +153,19 @@ pub fn lex(src: &str) -> Lexed {
                             break;
                         }
                     } else {
-                        if b[i] == '\n' {
-                            line += 1;
-                        }
                         i += 1;
                     }
                 }
-                scan_directive(&b[start..i], start_line, &mut out.allows);
+                scan_directive(&b[start..i], map.pos(start).0, &mut out.allows);
             }
             '"' => {
-                let l = line;
-                i = consume_string(&b, i + 1, &mut line);
-                out.tokens.push(lit(l));
+                let start = i;
+                i = consume_string(&b, i + 1);
+                push(&mut out, Kind::Lit, String::new(), start);
             }
             '\'' => {
                 // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let start = i;
                 let mut j = i + 1;
                 if j < b.len() && (b[j].is_alphabetic() || b[j] == '_') && b[j] != '\\' {
                     let mut k = j;
@@ -131,17 +173,12 @@ pub fn lex(src: &str) -> Lexed {
                         k += 1;
                     }
                     if b.get(k) != Some(&'\'') {
-                        out.tokens.push(Token {
-                            kind: Kind::Life,
-                            text: String::new(),
-                            line,
-                        });
+                        push(&mut out, Kind::Life, String::new(), start);
                         i = k;
                         continue;
                     }
                 }
                 // Char literal: consume up to the closing quote.
-                let l = line;
                 while j < b.len() {
                     match b[j] {
                         '\\' => j += 2,
@@ -149,15 +186,11 @@ pub fn lex(src: &str) -> Lexed {
                             j += 1;
                             break;
                         }
-                        '\n' => {
-                            line += 1;
-                            j += 1;
-                        }
                         _ => j += 1,
                     }
                 }
                 i = j;
-                out.tokens.push(lit(l));
+                push(&mut out, Kind::Lit, String::new(), start);
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -176,21 +209,16 @@ pub fn lex(src: &str) -> Lexed {
                         }
                     }
                     if b.get(j) == Some(&'"') {
-                        let l = line;
                         i = if ident == "b" && hashes == 0 {
-                            consume_string(&b, j + 1, &mut line)
+                            consume_string(&b, j + 1)
                         } else {
-                            consume_raw_string(&b, j + 1, hashes, &mut line)
+                            consume_raw_string(&b, j + 1, hashes)
                         };
-                        out.tokens.push(lit(l));
+                        push(&mut out, Kind::Lit, String::new(), start);
                         continue;
                     }
                 }
-                out.tokens.push(Token {
-                    kind: Kind::Ident,
-                    text: ident,
-                    line,
-                });
+                push(&mut out, Kind::Ident, ident, start);
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -209,56 +237,30 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     i += 1;
                 }
-                out.tokens.push(Token {
-                    kind: Kind::Num,
-                    text: b[start..i].iter().collect(),
-                    line,
-                });
+                push(&mut out, Kind::Num, b[start..i].iter().collect(), start);
             }
             _ => {
+                let start = i;
                 let rest: String = b[i..(i + 3).min(b.len())].iter().collect();
                 let op = JOINED
                     .iter()
                     .find(|j| rest.starts_with(**j))
                     .map_or_else(|| c.to_string(), |j| (*j).to_string());
                 i += op.chars().count();
-                out.tokens.push(Token {
-                    kind: Kind::Punct,
-                    text: op,
-                    line,
-                });
+                push(&mut out, Kind::Punct, op, start);
             }
         }
     }
     out
 }
 
-fn lit(line: u32) -> Token {
-    Token {
-        kind: Kind::Lit,
-        text: String::new(),
-        line,
-    }
-}
-
 /// Consumes a normal (escaped) string body starting after the opening
 /// quote; returns the index just past the closing quote.
-fn consume_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+fn consume_string(b: &[char], mut i: usize) -> usize {
     while i < b.len() {
         match b[i] {
-            '\\' => {
-                // Escaped char; a `\<newline>` continuation still
-                // advances the line counter.
-                if b.get(i + 1) == Some(&'\n') {
-                    *line += 1;
-                }
-                i += 2;
-            }
+            '\\' => i += 2,
             '"' => return i + 1,
-            '\n' => {
-                *line += 1;
-                i += 1;
-            }
             _ => i += 1,
         }
     }
@@ -267,11 +269,8 @@ fn consume_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
 
 /// Consumes a raw string body (no escapes) terminated by `"` plus
 /// `hashes` `#` characters.
-fn consume_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+fn consume_raw_string(b: &[char], mut i: usize, hashes: usize) -> usize {
     while i < b.len() {
-        if b[i] == '\n' {
-            *line += 1;
-        }
         if b[i] == '"' && (1..=hashes).all(|k| b.get(i + k) == Some(&'#')) {
             return i + 1 + hashes;
         }
@@ -281,8 +280,19 @@ fn consume_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -
 }
 
 /// Extracts an `asan-lint: allow(rule, …)` directive from a comment.
+/// Doc comments are exempt: prose *documenting* the escape hatch
+/// (`/// carries \`// asan-lint: allow(x)\`…`) must not register a
+/// suppression — and since the unused-allow audit, a phantom directive
+/// would itself be a finding.
 fn scan_directive(comment: &[char], line: u32, allows: &mut Vec<Allow>) {
     let text: String = comment.iter().collect();
+    let is_doc = text.starts_with("//!")
+        || text.starts_with("/*!")
+        || (text.starts_with("///") && !text.starts_with("////"))
+        || (text.starts_with("/**") && !text.starts_with("/***"));
+    if is_doc {
+        return;
+    }
     let Some(pos) = text.find("asan-lint:") else {
         return;
     };
@@ -350,6 +360,14 @@ mod tests {
     }
 
     #[test]
+    fn doc_comments_do_not_register_directives() {
+        let src = "//! carries `// asan-lint: allow(no-wall-clock)` on its line\n\
+                   /// same for `asan-lint: allow(all)` in item docs\n\
+                   fn f() {}\n";
+        assert!(lex(src).allows.is_empty());
+    }
+
+    #[test]
     fn joined_puncts() {
         let toks: Vec<String> = lex("a => b :: c .. d ..= e")
             .tokens
@@ -374,5 +392,48 @@ mod tests {
         let l = lex(src);
         let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
         assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn columns_are_one_based_characters() {
+        let src = "let x = 1;\n  let yy = x;\n";
+        let l = lex(src);
+        let x = l.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (1, 5));
+        let yy = l.tokens.iter().find(|t| t.text == "yy").unwrap();
+        assert_eq!((yy.line, yy.col), (2, 7));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_hide_code() {
+        let src = "let a = r##\"HashMap \"# still\"##; let real = HashSet::new();\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"HashSet".to_string()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings_hide_code() {
+        let src = "let a = b\"HashMap\"; let b2 = br#\"HashSet\"#; let real = BTreeMap::new();\n";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"BTreeMap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment_at_eof_swallows_rest() {
+        let src = "let a = 1;\n/* outer /* inner */ HashMap";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn lifetime_in_generic_args_does_not_eat_following_code() {
+        let src = "fn f(x: Ref<'a, u8>) -> u8 { let c = 'q'; HashMap::o() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"q".to_string()));
     }
 }

@@ -20,6 +20,14 @@ impl Rule for NoAmbientRandomness {
         "deny thread_rng / rand::random / OS entropy; RNG flows through asan_sim::rng"
     }
 
+    fn scope(&self) -> &'static str {
+        "every checked file"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
+    }
+
     fn applies(&self, _rel_path: &str) -> bool {
         true
     }
@@ -41,6 +49,7 @@ impl Rule for NoAmbientRandomness {
                     severity: Severity::Deny,
                     file: ctx.rel_path.to_string(),
                     line: t.line,
+                    col: t.col,
                     message: format!(
                         "ambient randomness (`{}`); derive a seeded stream from \
                          `asan_sim::rng::SimRng` instead so runs stay replayable",

@@ -34,6 +34,7 @@ struct Field {
     name: String,
     ty: Vec<String>,
     line: u32,
+    col: u32,
 }
 
 pub(crate) struct DigestCompleteness;
@@ -45,6 +46,14 @@ impl Rule for DigestCompleteness {
 
     fn describe(&self) -> &'static str {
         "every numeric ClusterStats/MetricsReport field (transitively) must appear in digest()"
+    }
+
+    fn scope(&self) -> &'static str {
+        "files defining ClusterStats or MetricsReport (self-scoped)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
     }
 
     fn applies(&self, _rel_path: &str) -> bool {
@@ -70,6 +79,7 @@ impl Rule for DigestCompleteness {
                 severity: Severity::Deny,
                 file: ctx.rel_path.to_string(),
                 line: 1,
+                col: 0,
                 message: format!(
                     "`{}` is defined here but no `fn digest` body was found",
                     roots.join("`/`"),
@@ -93,6 +103,7 @@ impl Rule for DigestCompleteness {
                         severity: Severity::Deny,
                         file: ctx.rel_path.to_string(),
                         line: f.line,
+                        col: f.col,
                         message: format!(
                             "numeric field `{}::{}` never appears in `digest()`; fold it \
                              in (new counters must be under the golden-digest net) or \
@@ -162,7 +173,7 @@ fn collect_fields(body: &[Token]) -> Vec<Field> {
         // followed by `:`).
         if depth == 0 && t.kind == Kind::Ident && is_punct(body, i + 1, ":") {
             let name = t.text.clone();
-            let line = t.line;
+            let (line, col) = (t.line, t.col);
             let mut ty = Vec::new();
             let mut j = i + 2;
             let mut tdepth = 0i32;
@@ -180,7 +191,12 @@ fn collect_fields(body: &[Token]) -> Vec<Field> {
                 }
                 j += 1;
             }
-            fields.push(Field { name, ty, line });
+            fields.push(Field {
+                name,
+                ty,
+                line,
+                col,
+            });
             i = j;
             continue;
         }

@@ -27,6 +27,14 @@ impl Rule for EventExhaustiveness {
         "deny silent wildcard arms matching the Event in engine on_event bodies"
     }
 
+    fn scope(&self) -> &'static str {
+        "crates/core/src/engines"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
+    }
+
     fn applies(&self, rel_path: &str) -> bool {
         rel_path.starts_with("crates/core/src/engines/")
     }
@@ -131,12 +139,13 @@ impl EventExhaustiveness {
         if diverges {
             return;
         }
-        let line = pattern.first().map_or(0, |t| t.line);
+        let (line, col) = pattern.first().map_or((0, 0), |t| (t.line, t.col));
         out.push(Diagnostic {
             rule: self.name(),
             severity: Severity::Deny,
             file: ctx.rel_path.to_string(),
             line,
+            col,
             message: "silent catch-all arm in an engine's match over `Event`; list the \
                       ignored variants explicitly, or end with a loud \
                       `other => unreachable!(...)` so a misrouted variant fails fast"

@@ -27,6 +27,14 @@ impl Rule for NoHotPathClone {
         "deny .clone() inside engine on_event bodies (the per-event hot path)"
     }
 
+    fn scope(&self) -> &'static str {
+        "crates/core/src/engines"
+    }
+
+    fn since_pr(&self) -> u32 {
+        5
+    }
+
     fn applies(&self, rel_path: &str) -> bool {
         rel_path.starts_with("crates/core/src/engines/")
     }
@@ -57,6 +65,7 @@ impl Rule for NoHotPathClone {
                         severity: Severity::Deny,
                         file: ctx.rel_path.to_string(),
                         line: toks[j].line,
+                        col: toks[j].col,
                         message: ".clone() in an engine's on_event body — the per-event hot \
                                   path; share (`Bytes`/`Rc`), borrow, or hoist the clone to \
                                   construction time, or justify it with an allow comment"

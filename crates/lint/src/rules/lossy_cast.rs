@@ -43,6 +43,14 @@ impl Rule for LossyModelCast {
         "flag truncating `as` casts on cycle/ns/byte/len quantities (use try_from)"
     }
 
+    fn scope(&self) -> &'static str {
+        "model crates (core, net, io, mem, cpu, sim, apps)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
+    }
+
     fn applies(&self, rel_path: &str) -> bool {
         SCOPED.iter().any(|p| rel_path.starts_with(p))
     }
@@ -90,6 +98,7 @@ impl Rule for LossyModelCast {
                     severity: Severity::Deny,
                     file: ctx.rel_path.to_string(),
                     line: t.line,
+                    col: t.col,
                     message: format!(
                         "`{} as {}` can truncate a model quantity; use \
                          `{}::try_from({}).expect(...)` or a checked helper",

@@ -25,6 +25,7 @@ use crate::lexer::{Kind, Token};
 struct Field {
     name: String,
     line: u32,
+    col: u32,
 }
 
 pub(crate) struct SnapshotCompleteness;
@@ -36,6 +37,14 @@ impl Rule for SnapshotCompleteness {
 
     fn describe(&self) -> &'static str {
         "every field of a struct with snapshot*/restore* methods must appear in those bodies"
+    }
+
+    fn scope(&self) -> &'static str {
+        "files whose impls define snapshot*/restore* methods (self-scoped)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        6
     }
 
     fn applies(&self, _rel_path: &str) -> bool {
@@ -65,6 +74,7 @@ impl Rule for SnapshotCompleteness {
                         severity: Severity::Deny,
                         file: ctx.rel_path.to_string(),
                         line: f.line,
+                        col: f.col,
                         message: format!(
                             "field `{}::{}` never appears in this file's snapshot*/restore* \
                              bodies; serialize it (restored runs must be bit-identical) or \
@@ -125,7 +135,7 @@ fn collect_fields(body: &[Token]) -> Vec<Field> {
         }
         if depth == 0 && t.kind == Kind::Ident && is_punct(body, i + 1, ":") {
             let name = t.text.clone();
-            let line = t.line;
+            let (line, col) = (t.line, t.col);
             // Skip the type tokens to the field-separating comma.
             let mut j = i + 2;
             let mut tdepth = 0i32;
@@ -141,7 +151,7 @@ fn collect_fields(body: &[Token]) -> Vec<Field> {
                 }
                 j += 1;
             }
-            fields.push(Field { name, line });
+            fields.push(Field { name, line, col });
             i = j;
             continue;
         }

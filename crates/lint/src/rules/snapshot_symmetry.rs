@@ -1,0 +1,198 @@
+//! Rule `snapshot-symmetry`: every `snapshot*` writer mirrors its
+//! `restore*` reader, wherever that reader lives.
+//!
+//! The byte codec in `asan-sim::snap` is positional: `SnapReader`
+//! trusts that the `restore` side issues exactly the calls the
+//! `snapshot` side issued, in order. The per-file
+//! `snapshot-completeness` rule proves every *field* is mentioned on
+//! both sides, but a transposed pair of writes (`w.u32(a); w.u64(b)`
+//! restored as `r.u64()?; r.u32()?`) mentions all the right fields and
+//! still corrupts the restore — usually far from the edit, when a
+//! checkpoint from a long sweep refuses to load. This rule extracts
+//! the *sequence* of codec calls from each `snapshot<sfx>` fn and the
+//! `restore<sfx>` counterpart on the same impl type — same file or
+//! not — and denies on the first position where the two call tapes
+//! disagree.
+//!
+//! The comparison is only sound for *straight-line* bodies: once a
+//! codec branches (a per-variant `match`, an `Option` written as a
+//! presence bool plus conditional payload), the static tape is a
+//! superset of any runtime tape and a linear diff would flag correct
+//! code. Pairs where either body contains a branch keyword are
+//! therefore skipped — those codecs are patrolled by the per-field
+//! `snapshot-completeness` rule and the round-trip tests instead.
+
+use std::collections::BTreeMap;
+
+use super::WorkspaceRule;
+use crate::diag::{Diagnostic, Severity};
+use crate::index::{FnDef, WorkspaceIndex};
+use crate::lexer::{Kind, Token};
+
+/// The codec surface shared by `SnapWriter` and `SnapReader`. A call
+/// through any other method name is not part of the byte tape.
+const SNAP_METHODS: &[&str] = &[
+    "section",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "bool",
+    "f64",
+    "time",
+    "dur",
+    "bytes",
+    "str",
+    "opt_u64",
+    "opt_time",
+    "usize_from_u32",
+];
+
+pub(crate) struct SnapshotSymmetry;
+
+impl WorkspaceRule for SnapshotSymmetry {
+    fn name(&self) -> &'static str {
+        "snapshot-symmetry"
+    }
+
+    fn describe(&self) -> &'static str {
+        "a type's snapshot* writer call sequence equals its restore* reader call sequence"
+    }
+
+    fn scope(&self) -> &'static str {
+        "workspace (every impl with a snapshot*/restore* pair)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        8
+    }
+
+    fn check(&self, index: &WorkspaceIndex, out: &mut Vec<Diagnostic>) {
+        // Collect every snapshot*/restore* method (free fns excluded:
+        // test helpers named `snapshot_roundtrip` etc. are not codec
+        // halves). Key: (impl type, name suffix after snapshot/restore).
+        let mut writers: BTreeMap<(String, String), Vec<(usize, &FnDef)>> = BTreeMap::new();
+        let mut readers: BTreeMap<(String, String), Vec<(usize, &FnDef)>> = BTreeMap::new();
+        for (fi, file) in index.files.iter().enumerate() {
+            for f in &file.fns {
+                let Some(ty) = &f.impl_ty else { continue };
+                if let Some(sfx) = f.name.strip_prefix("snapshot") {
+                    writers
+                        .entry((ty.clone(), sfx.to_string()))
+                        .or_default()
+                        .push((fi, f));
+                } else if let Some(sfx) = f.name.strip_prefix("restore") {
+                    readers
+                        .entry((ty.clone(), sfx.to_string()))
+                        .or_default()
+                        .push((fi, f));
+                }
+            }
+        }
+
+        for (key, ws) in &writers {
+            let Some(rs) = readers.get(key) else {
+                // `snapshot_events` with no `restore_events` is a
+                // query method, not half of a codec pair.
+                continue;
+            };
+            // Ambiguous pairs (a name defined twice on the same type,
+            // e.g. two fixture copies) are skipped rather than guessed
+            // at; the completeness rule still patrols each body.
+            if ws.len() != 1 || rs.len() != 1 {
+                continue;
+            }
+            let (wfi, wf) = ws[0];
+            let (rfi, rf) = rs[0];
+            if branches(&index.files[wfi].lexed.tokens, wf)
+                || branches(&index.files[rfi].lexed.tokens, rf)
+            {
+                continue;
+            }
+            let wtape = call_tape(&index.files[wfi].lexed.tokens, wf);
+            let rtape = call_tape(&index.files[rfi].lexed.tokens, rf);
+            if wtape == rtape {
+                continue;
+            }
+            let wfile = &index.files[wfi].rel_path;
+            let n = wtape.len().max(rtape.len());
+            let pos = (0..n).find(|&i| wtape.get(i) != rtape.get(i)).unwrap_or(0);
+            let at = |tape: &[&'static str], i: usize| tape.get(i).copied().unwrap_or("<end>");
+            out.push(Diagnostic {
+                rule: self.name(),
+                severity: Severity::Deny,
+                file: index.files[rfi].rel_path.clone(),
+                line: rf.line,
+                col: rf.col,
+                message: format!(
+                    "`{ty}::{rname}` reads [{r}] but `{ty}::{wname}` ({wfile}:{wline}) \
+                     writes [{w}]; first divergence at call {idx}: reader `{rcall}` vs \
+                     writer `{wcall}` — the byte tape is positional, so the two \
+                     sequences must be identical",
+                    ty = key.0,
+                    rname = rf.name,
+                    wname = wf.name,
+                    wline = wf.line,
+                    r = rtape.join(","),
+                    w = wtape.join(","),
+                    idx = pos + 1,
+                    rcall = at(&rtape, pos),
+                    wcall = at(&wtape, pos),
+                ),
+            });
+        }
+    }
+}
+
+/// True when a fn body contains control flow that makes its codec-call
+/// tape input-dependent, so a linear comparison would be unsound.
+fn branches(toks: &[Token], f: &FnDef) -> bool {
+    f.body.clone().any(|i| {
+        let t = &toks[i];
+        t.kind == Kind::Ident
+            && matches!(
+                t.text.as_str(),
+                "if" | "else" | "match" | "for" | "while" | "loop"
+            )
+    })
+}
+
+/// The ordered codec-call tape of one fn body: every `recv.method(`
+/// where `method` is in [`SNAP_METHODS`] and `recv` is a plain
+/// identifier other than `self` (the writer/reader parameter).
+/// `usize_from_u32` canonicalizes to `u32` — it consumes exactly the
+/// bytes a writer-side `u32` produced.
+fn call_tape(toks: &[Token], f: &FnDef) -> Vec<&'static str> {
+    let mut tape = Vec::new();
+    let body = f.body.clone();
+    for i in body.clone() {
+        let recv = &toks[i];
+        if recv.kind != Kind::Ident || recv.text == "self" {
+            continue;
+        }
+        // `foo.u32(` but not `self.count.u32(` or `Snap::u32(` — a
+        // qualified receiver is somebody else's method.
+        if i > body.start {
+            let prev = &toks[i - 1];
+            if prev.kind == Kind::Punct && (prev.text == "." || prev.text == "::") {
+                continue;
+            }
+        }
+        if !super::is_punct(toks, i + 1, ".") {
+            continue;
+        }
+        let Some(m) = SNAP_METHODS
+            .iter()
+            .find(|m| super::is_ident(toks, i + 2, m))
+        else {
+            continue;
+        };
+        if !super::is_punct(toks, i + 3, "(") {
+            continue;
+        }
+        tape.push(if *m == "usize_from_u32" { "u32" } else { *m });
+    }
+    tape
+}

@@ -1,0 +1,291 @@
+//! Rule `no-unit-mixing`: no arithmetic across time-unit boundaries.
+//!
+//! The simulator's clock is picoseconds end to end (`SimTime` /
+//! `SimDuration` wrap a ps-count `u64`), but configuration knobs and
+//! paper figures speak nanoseconds and microseconds, so `*_ns` and
+//! `*_us` locals are everywhere at the edges. `deadline_ps +
+//! timeout_ns` type-checks (both are `u64`) and is off by a factor of
+//! a thousand — the classic silent unit bug. The rule inspects every
+//! binary `+ - * / %` whose two operand runs both *name* a unit
+//! (suffix `_ps`/`_ns`/`_us`/`_ms`, or an `as_ns()`-style accessor)
+//! and denies when the units differ. Explicit conversions are the
+//! escape hatch and the fix: `from_ns(x)` makes a run opaque, and a
+//! trailing `as_ps()` stamps the run with the unit it actually
+//! carries.
+
+use super::{FileCtx, Rule};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Kind, Token};
+
+/// Crates that model hardware quantities (same set `lossy-model-cast`
+/// patrols — these are where ps/ns boundaries live).
+const SCOPED: [&str; 7] = [
+    "crates/core/",
+    "crates/net/",
+    "crates/io/",
+    "crates/mem/",
+    "crates/cpu/",
+    "crates/sim/",
+    "crates/apps/",
+];
+
+/// Recognized time units, finest first.
+const UNITS: [&str; 4] = ["ps", "ns", "us", "ms"];
+
+/// The binary operators checked. Comparisons are deliberately left
+/// out: `<`/`>` double as generic brackets in a token stream and a
+/// misordered comparison at least fails loudly in tests, while
+/// mixed-unit arithmetic just produces a plausible wrong number.
+const OPS: [&str; 5] = ["+", "-", "*", "/", "%"];
+
+pub(crate) struct UnitMixing;
+
+impl Rule for UnitMixing {
+    fn name(&self) -> &'static str {
+        "no-unit-mixing"
+    }
+
+    fn describe(&self) -> &'static str {
+        "deny arithmetic mixing *_ps with *_ns/*_us/*_ms operands without explicit conversion"
+    }
+
+    fn scope(&self) -> &'static str {
+        "model crates (core, net, io, mem, cpu, sim, apps)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        8
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        SCOPED.iter().any(|p| rel_path.starts_with(p))
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let toks = ctx.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Punct || !OPS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // A unary `-x` / `*ptr` / `&*y` has punctuation (or
+            // nothing) on its left; such an op has an empty left run
+            // and `run_unit` returns `None` for it naturally.
+            let Some(start) = left_run_start(toks, i) else {
+                continue;
+            };
+            let lhs = run_unit(toks, start, i);
+            let rhs = run_unit(toks, i + 1, right_run_end(toks, i + 1));
+            let (Some(l), Some(r)) = (lhs, rhs) else {
+                continue;
+            };
+            if l != r {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    severity: Severity::Deny,
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "`{}` combines a {l} quantity with a {r} quantity; convert \
+                         explicitly (e.g. `SimDuration::from_{r}(..)` / `.as_{l}()`) \
+                         before doing arithmetic",
+                        t.text,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The unit a `name`d value carries, judged by suffix. `SimTime` is
+/// the ps-based clock type itself.
+fn ident_unit(name: &str) -> Option<&'static str> {
+    if name == "SimTime" {
+        return Some("ps");
+    }
+    UNITS
+        .iter()
+        .find(|u| name == **u || name.ends_with(&format!("_{u}")))
+        .copied()
+}
+
+/// Start of the operand run ending just before the operator at `op`:
+/// walks left over identifier / literal / `.` / `::` tokens and over
+/// balanced `(..)` / `[..]` groups (a call's arguments or an index).
+/// `None` when the run is empty (unary operator).
+fn left_run_start(toks: &[Token], op: usize) -> Option<usize> {
+    let mut j = op;
+    while j > 0 {
+        let t = &toks[j - 1];
+        let step = match t.kind {
+            Kind::Ident | Kind::Lit => true,
+            Kind::Punct if t.text == "." || t.text == "::" => true,
+            Kind::Punct if t.text == ")" || t.text == "]" => {
+                // Skip back over the balanced group.
+                let (open, close) = if t.text == ")" {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 0i32;
+                let mut k = j - 1;
+                loop {
+                    if toks[k].kind == Kind::Punct {
+                        if toks[k].text == close {
+                            depth += 1;
+                        } else if toks[k].text == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                j = k + 1;
+                true
+            }
+            _ => false,
+        };
+        if !step {
+            break;
+        }
+        j -= 1;
+    }
+    if j == op {
+        None
+    } else {
+        Some(j)
+    }
+}
+
+/// End (exclusive) of the operand run starting at `from`: walks right
+/// over identifier / literal / `.` / `::` tokens and balanced `(..)` /
+/// `[..]` groups, stopping at anything else (another operator, a
+/// comma, a close brace).
+fn right_run_end(toks: &[Token], from: usize) -> usize {
+    let mut j = from;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            Kind::Ident | Kind::Lit => j += 1,
+            Kind::Punct if t.text == "." || t.text == "::" => j += 1,
+            Kind::Punct if t.text == "(" || t.text == "[" => {
+                let close = if t.text == "(" {
+                    super::matching_delim(toks, j, "(", ")")
+                } else {
+                    super::matching_delim(toks, j, "[", "]")
+                };
+                j = (close + 1).min(toks.len());
+            }
+            _ => break,
+        }
+    }
+    j
+}
+
+/// The unit of one operand run. Scans left to right: a plain
+/// identifier with a unit suffix stamps the run; a `from_*` call makes
+/// it opaque (an explicit conversion produced a typed value); an
+/// `as_<unit>` accessor stamps it with that unit. Call arguments and
+/// index contents are skipped — their identifiers belong to inner
+/// expressions the outer scan visits on its own.
+fn run_unit(toks: &[Token], start: usize, end: usize) -> Option<&'static str> {
+    let mut unit = None;
+    let mut j = start;
+    while j < end {
+        let t = &toks[j];
+        if t.kind == Kind::Ident {
+            if super::is_punct(toks, j + 1, "(") {
+                if let Some(sfx) = t.text.strip_prefix("as_") {
+                    if let Some(u) = UNITS.iter().find(|u| **u == sfx) {
+                        unit = Some(*u);
+                    }
+                } else if t.text.starts_with("from_") {
+                    unit = None;
+                }
+                j = super::matching_delim(toks, j + 1, "(", ")") + 1;
+                continue;
+            }
+            if let Some(u) = ident_unit(&t.text) {
+                unit = Some(u);
+            }
+        } else if t.kind == Kind::Punct && (t.text == "(" || t.text == "[") {
+            // A grouping paren or index: inner expressions are judged
+            // when the outer loop reaches their own operators.
+            let (o, c) = if t.text == "(" {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            j = super::matching_delim(toks, j, o, c) + 1;
+            continue;
+        }
+        j += 1;
+    }
+    unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> usize {
+        let lexed = lex(src);
+        let ctx = FileCtx {
+            rel_path: "crates/sim/src/t.rs",
+            lexed: &lexed,
+        };
+        let mut out = Vec::new();
+        UnitMixing.check(&ctx, &mut out);
+        out.len()
+    }
+
+    #[test]
+    fn mixed_suffixes_are_denied() {
+        assert_eq!(
+            findings("fn f(a_ps: u64, b_ns: u64) -> u64 { a_ps + b_ns }"),
+            1
+        );
+        assert_eq!(
+            findings("fn f(t_us: u64, d_ms: u64) -> u64 { t_us - d_ms }"),
+            1
+        );
+    }
+
+    #[test]
+    fn same_unit_and_unitless_arithmetic_pass() {
+        assert_eq!(
+            findings("fn f(a_ps: u64, b_ps: u64) -> u64 { a_ps + b_ps }"),
+            0
+        );
+        assert_eq!(findings("fn f(a: u64, b_ns: u64) -> u64 { a + b_ns }"), 0);
+        assert_eq!(findings("fn f(a: u64) -> u64 { -1 + a }"), 0);
+    }
+
+    #[test]
+    fn explicit_conversion_is_the_escape_hatch() {
+        assert_eq!(
+            findings(
+                "fn f(a_ps: u64, b_ns: u64) -> u64 { a_ps + SimDuration::from_ns(b_ns).as_ps() }"
+            ),
+            0
+        );
+        assert_eq!(
+            findings("fn f(a_ps: u64, d: SimDuration) -> u64 { a_ps + d.as_ns() }"),
+            1
+        );
+    }
+
+    #[test]
+    fn accessor_methods_carry_their_unit() {
+        assert_eq!(
+            findings("fn f(t: SimTime, d: SimDuration) -> u64 { t.as_ps() % d.as_us() }"),
+            1
+        );
+    }
+}

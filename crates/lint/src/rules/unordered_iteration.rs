@@ -36,6 +36,14 @@ impl Rule for NoUnorderedIteration {
         "deny HashMap/HashSet in order-sensitive model crates (use BTreeMap/BTreeSet)"
     }
 
+    fn scope(&self) -> &'static str {
+        "model crates (core, net, io, sim, apps)"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
+    }
+
     fn applies(&self, rel_path: &str) -> bool {
         SCOPED.iter().any(|p| rel_path.starts_with(p))
     }
@@ -55,6 +63,7 @@ impl Rule for NoUnorderedIteration {
                 severity: Severity::Deny,
                 file: ctx.rel_path.to_string(),
                 line: t.line,
+                col: t.col,
                 message: format!(
                     "`{}` iterates in nondeterministic order; use `{replacement}` (or \
                      annotate `// asan-lint: allow(no-unordered-iteration)` if the \

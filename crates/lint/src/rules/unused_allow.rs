@@ -1,0 +1,37 @@
+//! Rule `unused-allow`: a suppression that suppresses nothing is
+//! itself a deny.
+//!
+//! `// asan-lint: allow(rule)` is the reviewed escape hatch: each one
+//! is a claim, checked by a human, that the flagged line is safe. The
+//! claim rots — the code moves, the rule gets smarter, the flagged
+//! call is deleted — and the stale directive then *pre-silences*
+//! whatever lands on that line next. This rule keeps the allow
+//! inventory tight: the driver (which alone knows which directives
+//! suppressed a finding this run) reports every directive whose rules
+//! suppressed nothing, and `check --fix` deletes them. Directives
+//! naming a rule that does not exist in the catalog are flagged too —
+//! a typo in `allow(no-wall-clok)` silently suppresses nothing today
+//! and confuses every future reader.
+//!
+//! Unlike every other rule, `unused-allow` findings cannot themselves
+//! be allowed: the inventory can only shrink.
+
+use super::CatalogEntry;
+
+/// The rule's stable identifier. The driver emits findings under this
+/// name; `fix::apply` deletes the directives it flags.
+pub(crate) const UNUSED_ALLOW: &str = "unused-allow";
+
+/// The catalog row. `unused-allow` has no `Rule`/`WorkspaceRule`
+/// impl — suppression accounting lives in the driver — but it is a
+/// first-class catalog member so `--list-rules` and the golden test
+/// see it.
+pub(crate) fn catalog_entry() -> CatalogEntry {
+    CatalogEntry {
+        name: UNUSED_ALLOW,
+        describe: "deny `// asan-lint: allow(..)` directives that suppress no finding",
+        scope: "every checked file",
+        since_pr: 8,
+        analysis: "workspace",
+    }
+}

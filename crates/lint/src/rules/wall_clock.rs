@@ -22,6 +22,14 @@ impl Rule for NoWallClock {
         "deny std::time / Instant::now / SystemTime outside crates/bench/benches"
     }
 
+    fn scope(&self) -> &'static str {
+        "everywhere except crates/bench/benches"
+    }
+
+    fn since_pr(&self) -> u32 {
+        3
+    }
+
     fn applies(&self, rel_path: &str) -> bool {
         !rel_path.starts_with("crates/bench/benches/")
     }
@@ -46,6 +54,7 @@ impl Rule for NoWallClock {
                     severity: Severity::Deny,
                     file: ctx.rel_path.to_string(),
                     line: t.line,
+                    col: t.col,
                     message: "wall-clock time read; simulation code must use \
                               `asan_sim::SimTime` (only crates/bench/benches may time \
                               real executions)"

@@ -1,0 +1,21 @@
+//! Known-bad three ways for the parallel-core audit: an ad-hoc
+//! `std::thread` import, a `static mut` counter, and — the subtle
+//! one — a `Rc<RefCell<..>>` table reachable from *two* engine
+//! structs, which is aliased mutation across the future engine/thread
+//! boundary.
+
+use std::thread;
+
+static mut PACKETS_SEEN: u64 = 0;
+
+pub struct SharedTable {
+    pub entries: Rc<RefCell<Vec<u64>>>,
+}
+
+pub struct IngressEngine {
+    pub table: SharedTable,
+}
+
+pub struct EgressEngine {
+    pub table: SharedTable,
+}

@@ -1,0 +1,16 @@
+//! Corrected twin: each engine owns its copy of the routing data
+//! outright (plain `Vec`, no interior mutability), and cross-engine
+//! traffic goes through the event bus instead of threads or globals.
+
+pub struct RouteTable {
+    pub entries: Vec<u64>,
+}
+
+pub struct IngressEngine {
+    pub table: RouteTable,
+    pub seen: u64,
+}
+
+pub struct EgressEngine {
+    pub mirror: RouteTable,
+}

@@ -1,0 +1,26 @@
+//! Known-bad: the per-file `event-exhaustiveness` rule passes — the
+//! engine's match even ends with a loud catch-all — but the *workspace*
+//! event flow is broken twice over: `Event::Orphan` is constructed and
+//! matched by no engine (it dies in the catch-all at runtime), and
+//! `Event::Pong` is declared but never constructed anywhere. Only the
+//! cross-file index can see either.
+
+pub enum Event {
+    Ping(u64),
+    Pong(u64),
+    Orphan(u64),
+}
+
+impl RelayEngine {
+    pub fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::Ping(seq) => self.acks += seq,
+            other => unreachable!("not a relay event: {other:?}"),
+        }
+    }
+}
+
+pub fn inject(bus: &mut Vec<Event>) {
+    bus.push(Event::Ping(1));
+    bus.push(Event::Orphan(2));
+}

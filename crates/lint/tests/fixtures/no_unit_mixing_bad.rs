@@ -1,0 +1,7 @@
+//! Known-bad: `now_ps + timeout_ns` type-checks (both `u64`) and is
+//! off by a factor of a thousand. No cast, no overflow, no panic —
+//! just a deadline 1000x too soon and a digest that quietly moved.
+
+pub fn deadline(now_ps: u64, timeout_ns: u64) -> u64 {
+    now_ps + timeout_ns
+}

@@ -1,0 +1,6 @@
+//! Corrected twin: the nanosecond knob is converted explicitly before
+//! the arithmetic, so both operands are picoseconds.
+
+pub fn deadline(now_ps: u64, timeout_ns: u64) -> u64 {
+    now_ps + SimDuration::from_ns(timeout_ns).as_ps()
+}

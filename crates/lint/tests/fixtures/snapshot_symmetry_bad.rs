@@ -1,0 +1,25 @@
+//! Known-bad: every field is mentioned on both sides, so
+//! `snapshot-completeness` is satisfied — but the restore side reads
+//! `credits` back as a `u32` where the snapshot side wrote a `u64`.
+//! The byte tape is positional; every field after the divergence is
+//! garbage, and the checkpoint only fails (at best) at `finish()`.
+
+pub struct LinkState {
+    pub seq: u32,
+    pub credits: u64,
+}
+
+impl LinkState {
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("link");
+        w.u32(self.seq);
+        w.u64(self.credits);
+    }
+
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("link")?;
+        self.seq = r.u32()?;
+        self.credits = u64::from(r.u32()?);
+        Ok(())
+    }
+}

@@ -1,0 +1,23 @@
+//! Corrected twin: the restore call tape mirrors the snapshot call
+//! tape exactly — section, u32, u64 — so the positional byte codec
+//! round-trips.
+
+pub struct LinkState {
+    pub seq: u32,
+    pub credits: u64,
+}
+
+impl LinkState {
+    pub fn snapshot(&self, w: &mut SnapWriter) {
+        w.section("link");
+        w.u32(self.seq);
+        w.u64(self.credits);
+    }
+
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("link")?;
+        self.seq = r.u32()?;
+        self.credits = r.u64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,14 @@
+//! Known-bad: two rotten escape hatches. The first directive suppresses
+//! nothing (the wall-clock read it once justified is long gone); the
+//! second names a rule that does not exist, so it never suppressed
+//! anything. Both pre-silence whatever lands on those lines next.
+
+// asan-lint: allow(no-wall-clock)
+pub fn quiet() -> u64 {
+    7
+}
+
+// asan-lint: allow(no-wall-clok)
+pub fn typoed() -> u64 {
+    9
+}

@@ -1,0 +1,8 @@
+//! Corrected twin: the only directive present actually suppresses a
+//! finding on its line, so the escape-hatch inventory is honest.
+
+use std::time::Instant; // asan-lint: allow(no-wall-clock)
+
+pub fn stamp() -> Instant {
+    Instant::now() // asan-lint: allow(no-wall-clock)
+}

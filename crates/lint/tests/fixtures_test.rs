@@ -6,8 +6,8 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
-/// The eight rules and their fixture basenames.
-const RULES: [&str; 8] = [
+/// The thirteen rules and their fixture basenames.
+const RULES: [&str; 13] = [
     "no-unordered-iteration",
     "no-wall-clock",
     "no-ambient-randomness",
@@ -16,6 +16,11 @@ const RULES: [&str; 8] = [
     "digest-completeness",
     "no-hot-path-clone",
     "snapshot-completeness",
+    "no-unit-mixing",
+    "event-flow-closure",
+    "snapshot-symmetry",
+    "domain-isolation",
+    "unused-allow",
 ];
 
 fn fixture(name: &str) -> PathBuf {
@@ -96,9 +101,29 @@ fn allow_comment_is_an_escape_hatch() {
 fn exit_code_contract() {
     // 0: clean input (a corrected twin) — covered above.
     // 1: violations — covered above.
-    // 2: internal error (unreadable file).
+    // 0 + stderr note: a *vanished* named path is skipped, not fatal,
+    // so `check --paths $(git diff --name-only)` tolerates deletions.
     let out = lint_json(&fixture("does_not_exist.rs"));
-    assert_eq!(out.status.code(), Some(2), "missing file must exit 2");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "vanished named path must be skipped with exit 0"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("skipping") || stderr.contains("no checkable files"),
+        "vanished path must be noted on stderr\n{stderr}"
+    );
+    // 2: internal error (path exists but cannot be read as a file).
+    let dir = std::env::temp_dir().join("asan-lint-unreadable-test");
+    let bogus = dir.join("directory_named_like_a_file.rs");
+    std::fs::create_dir_all(&bogus).expect("mkdir");
+    let out = lint_json(&bogus);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreadable existing path must exit 2"
+    );
     // 2: bad arguments.
     let out = Command::new(env!("CARGO_BIN_EXE_asan-lint"))
         .args(["check", "--format", "yaml"])

@@ -50,7 +50,7 @@ pub struct TlbStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    cfg: TlbConfig, // asan-lint: allow(snapshot-completeness)
+    cfg: TlbConfig,
     /// (page number, recency stamp) pairs; vector scan is fine at 64 entries.
     entries: Vec<(u64, u64)>,
     stamp: u64,
