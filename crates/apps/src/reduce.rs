@@ -528,6 +528,20 @@ pub fn run_scaled(
     radix: usize,
     placement: HandlerPlacement,
 ) -> ReduceRun {
+    run_scaled_with_config(mode, active, p, radix, placement, ClusterConfig::paper())
+}
+
+/// [`run_scaled`] with an explicit [`ClusterConfig`] — e.g. to narrow
+/// `timeline_window` so the flight recorder resolves intra-run phases
+/// on a reduction that finishes within one default window.
+pub fn run_scaled_with_config(
+    mode: Mode,
+    active: bool,
+    p: usize,
+    radix: usize,
+    placement: HandlerPlacement,
+    cfg: ClusterConfig,
+) -> ReduceRun {
     let spec = TopoSpec::fat_tree(radix, p, 0);
     let case = if active { "active" } else { "normal" };
     let tag = format!(
@@ -536,15 +550,7 @@ pub fn run_scaled(
         spec.label(),
         placement.label()
     );
-    run_spec(
-        mode,
-        active,
-        p,
-        &spec,
-        placement,
-        ClusterConfig::paper(),
-        &tag,
-    )
+    run_spec(mode, active, p, &spec, placement, cfg, &tag)
 }
 
 /// Shared body of [`run_with_config`] and [`run_scaled`]: build the

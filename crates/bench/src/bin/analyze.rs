@@ -3,12 +3,13 @@
 //! ```text
 //! analyze breakdown <file.json>        per-phase time-breakdown table
 //! analyze latency   <file.json>        latency-percentile table
+//! analyze timeline  <file.json>        windowed sparklines + hotspots
 //! analyze perf      <file.json>        wall-clock / events-per-sec table
 //! analyze perf      <old.json> <new.json>   trajectory diff (events/sec)
 //! analyze scale     <file.json>        multi-switch speedup table
 //! ```
 //!
-//! `breakdown` and `latency` read what
+//! `breakdown`, `latency`, and `timeline` read what
 //! `repro --small metrics --json > file.json` writes: the nine
 //! benchmarks in the normal and active configurations, each with its
 //! phase breakdown and latency percentiles. `perf` reads the
@@ -22,10 +23,12 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use asan_bench::{latency_report, parse_metrics_doc, perf, phase_breakdown_report, scale};
+use asan_bench::{
+    latency_report, parse_metrics_doc, perf, phase_breakdown_report, scale, timeline_report,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: analyze <breakdown|latency|perf|scale> <file.json> [new.json]");
+    eprintln!("usage: analyze <breakdown|latency|timeline|perf|scale> <file.json> [new.json]");
     ExitCode::FAILURE
 }
 
@@ -79,7 +82,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        "breakdown" | "latency" => {
+        "breakdown" | "latency" | "timeline" => {
             let rows = match parse_metrics_doc(&text) {
                 Ok(r) => r,
                 Err(e) => {
@@ -87,10 +90,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if cmd == "breakdown" {
-                print!("{}", phase_breakdown_report(&rows));
-            } else {
-                print!("{}", latency_report(&rows));
+            match cmd {
+                "breakdown" => print!("{}", phase_breakdown_report(&rows)),
+                "latency" => print!("{}", latency_report(&rows)),
+                _ => print!("{}", timeline_report(&rows)),
             }
         }
         _ => return usage(),

@@ -36,6 +36,12 @@
 //!   golden-fabric   multi-switch golden digests: reduction on a
 //!                   radix-4 fat-tree at 64 hosts, every placement ×
 //!                   mode (tests/golden_digests_fabric.txt)
+//!   timeline        flight-recorder showcase: the fat-tree reduction
+//!                   with NCA vs root handler placement, Perfetto
+//!                   export on; writes timeline.json and one
+//!                   *.perfetto.json per run under `--results <dir>`
+//!                   (default sweep-results/), byte-identical across
+//!                   reruns and worker counts
 //!   sweep           fault-tolerant parameter sweep: the golden grid
 //!                   plus the MD5-CPU and reduction node-count axes,
 //!                   with a digest-keyed per-cell cache under
@@ -71,8 +77,9 @@ use std::env;
 use asan_apps::runner::{sweep, AppRun, Variant};
 use asan_apps::{grep, hashjoin, md5app, mpeg, multiprog, psort, reduce, select, tar, twolevel};
 use asan_bench::{
-    breakdown_table, latency_report, metrics_json, overall_csv, overall_table, perf,
-    phase_breakdown_report, pool, scale, speedups, sweep as sweep_drv, BenchMetrics,
+    breakdown_table, latency_report, metrics_json, overall_csv, overall_table, parse_metrics_doc,
+    perf, phase_breakdown_report, pool, scale, speedups, sweep as sweep_drv, timeline_report,
+    BenchMetrics,
 };
 use asan_core::cluster::{Cluster, ClusterConfig, Dest, FileId, HostCtx, HostProgram, ReqId};
 use asan_core::metrics::MetricsReport;
@@ -759,6 +766,59 @@ fn golden_fabric() {
     }
 }
 
+/// Flight-recorder showcase: the collective reduce-to-one on a radix-4
+/// fat-tree, once with combine handlers at the participants' nearest
+/// common ancestors and once all at the root switch. Each run exports
+/// a Perfetto trace (`timeline-<tag>.perfetto.json`) via the
+/// `ASAN_TRACE` shim, and the pair's metrics document — including the
+/// windowed `timeline` section — lands in `timeline.json` under
+/// `--results <dir>`. Rendered with `analyze timeline`, the per-link
+/// sparklines show the congestion hotspot moving from the spread-out
+/// NCA switches to the single root. Runs serially, so every output is
+/// byte-identical across reruns and at any `ASAN_JOBS`.
+fn timeline_exp(sc: &Scale, results_dir: &str) {
+    const RADIX: usize = 4;
+    let p = if sc.small { 16 } else { 64 };
+    std::fs::create_dir_all(results_dir).expect("create results dir");
+    let cases = [
+        ("nca", asan_core::HandlerPlacement::Nca),
+        ("root", asan_core::HandlerPlacement::Root),
+    ];
+    let mut reports = Vec::new();
+    // A reduction finishes in tens of microseconds; narrow the window
+    // from the 10 us default so the recorder resolves its phases.
+    let mut cfg = ClusterConfig::paper();
+    cfg.timeline_window = asan_sim::SimDuration::from_ns(500);
+    for (tag, placement) in cases {
+        let trace_path = format!("{results_dir}/timeline-{tag}.perfetto.json");
+        env::set_var("ASAN_TRACE", &trace_path);
+        let r = reduce::run_scaled_with_config(
+            reduce::Mode::ReduceToOne,
+            true,
+            p,
+            RADIX,
+            placement,
+            cfg.clone(),
+        );
+        env::remove_var("ASAN_TRACE");
+        println!(
+            "reduce-to-one r{RADIX} p{p} {tag}: latency {}, wrote {trace_path}",
+            r.latency
+        );
+        reports.push((tag, r.metrics));
+    }
+    let rows: Vec<(&str, &str, &MetricsReport)> = reports
+        .iter()
+        .map(|(tag, m)| ("reduce-to-one", *tag, m))
+        .collect();
+    let doc = metrics_json(&rows);
+    let json_path = format!("{results_dir}/timeline.json");
+    std::fs::write(&json_path, &doc).expect("write timeline.json");
+    let parsed = parse_metrics_doc(&doc).expect("timeline document round-trips");
+    print!("{}", timeline_report(&parsed));
+    println!("wrote {json_path}");
+}
+
 /// Boxes one benchmark run as a *re-runnable* sweep cell (the driver
 /// re-invokes it on retry after a transient failure).
 macro_rules! sweep_cell {
@@ -1053,6 +1113,7 @@ fn main() {
             "metrics" => metrics_exp(&sc),
             "golden" => golden(&sc),
             "golden-fabric" => golden_fabric(),
+            "timeline" => timeline_exp(&sc, &results_dir),
             "perf" => perf_exp(&sc),
             "scale" => scale_exp(&sc),
             "sweep" => sweep_exp(&sc, &results_dir),

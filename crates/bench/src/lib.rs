@@ -120,6 +120,20 @@ pub fn overall_csv(experiment: &str, runs: &[AppRun]) -> String {
     out
 }
 
+/// One windowed time-series track as carried in the `timeline` section
+/// of the metrics JSON document (see [`asan_sim::series::Timeline`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineTrack {
+    /// Track kind label ("link_util", "credit_stall", "queue_depth",
+    /// "handler_occ").
+    pub kind: String,
+    /// Resource key: link index, node id, or 0 for global gauges.
+    pub key: u64,
+    /// Dense per-window values (picoseconds for occupancy kinds, a
+    /// count for gauges), reconstructed from the sparse JSON encoding.
+    pub samples: Vec<u64>,
+}
+
 /// Latency percentile summary of one span kind, as carried in the
 /// metrics JSON document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,6 +163,12 @@ pub struct BenchMetrics {
     pub phases: PhaseBreakdown,
     /// Percentile summaries, in the report's canonical span order.
     pub latency: Vec<LatencySummary>,
+    /// Width of one timeline window in picoseconds (0 when the run
+    /// produced no timeline).
+    pub timeline_window_ps: u64,
+    /// Windowed time-series tracks, in the report's canonical
+    /// (kind, key) order.
+    pub timeline: Vec<TimelineTrack>,
 }
 
 impl BenchMetrics {
@@ -168,6 +188,17 @@ impl BenchMetrics {
                     p50_ps: h.percentile(50),
                     p90_ps: h.percentile(90),
                     p99_ps: h.percentile(99),
+                })
+                .collect(),
+            timeline_window_ps: m.timeline.window_ps,
+            timeline: m
+                .timeline
+                .tracks
+                .iter()
+                .map(|t| TimelineTrack {
+                    kind: asan_sim::series::kind_label(t.kind).to_string(),
+                    key: t.key,
+                    samples: t.samples.clone(),
                 })
                 .collect(),
         }
@@ -196,9 +227,15 @@ pub fn metrics_json(rows: &[(&str, &str, &MetricsReport)]) -> String {
 /// Parses a metrics JSON document (as produced by [`metrics_json`])
 /// back into rows.
 ///
+/// Every `metrics` member must carry the schema version this crate was
+/// built against ([`MetricsReport::JSON_SCHEMA`]); documents written by
+/// an older or newer simulator are rejected rather than silently
+/// misread.
+///
 /// # Errors
 ///
-/// Returns a description of the first malformed or missing field.
+/// Returns a description of the first malformed, missing, or
+/// wrong-schema field.
 pub fn parse_metrics_doc(text: &str) -> Result<Vec<BenchMetrics>, String> {
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     let benches = doc
@@ -223,6 +260,24 @@ pub fn parse_metrics_doc(text: &str) -> Result<Vec<BenchMetrics>, String> {
             .ok_or("missing \"config\"")?
             .to_string();
         let m = b.get("metrics").ok_or("missing \"metrics\"")?;
+        match m.get("schema").and_then(json::Value::as_u64) {
+            Some(v) if v == u64::from(MetricsReport::JSON_SCHEMA) => {}
+            Some(v) => {
+                return Err(format!(
+                    "unsupported metrics schema version {v}: this analyzer reads \
+                     version {} — re-run the matching `repro` to regenerate the \
+                     document",
+                    MetricsReport::JSON_SCHEMA
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "missing \"schema\" version in metrics: the document predates \
+                     schema version {} or is not a metrics document",
+                    MetricsReport::JSON_SCHEMA
+                ));
+            }
+        }
         let p = m.get("phases").ok_or("missing \"phases\"")?;
         let phases = PhaseBreakdown {
             host_ps: field(p, "host_ps")?,
@@ -244,11 +299,48 @@ pub fn parse_metrics_doc(text: &str) -> Result<Vec<BenchMetrics>, String> {
                 });
             }
         }
+        let tl = m.get("timeline").ok_or("missing \"timeline\"")?;
+        let timeline_window_ps = field(tl, "window_ps")?;
+        let tracks = tl
+            .get("tracks")
+            .and_then(json::Value::as_arr)
+            .ok_or("missing \"tracks\" array in timeline")?;
+        let mut timeline = Vec::new();
+        for t in tracks {
+            let kind = t
+                .get("kind")
+                .and_then(json::Value::as_str)
+                .ok_or("missing track \"kind\"")?
+                .to_string();
+            let key = field(t, "key")?;
+            let windows = field(t, "windows")? as usize;
+            let mut samples = vec![0u64; windows];
+            let pairs = t
+                .get("samples")
+                .and_then(json::Value::as_arr)
+                .ok_or("missing track \"samples\"")?;
+            for pair in pairs {
+                let pair = pair.as_arr().ok_or("track sample is not a pair")?;
+                let (w, v) = match pair {
+                    [w, v] => (
+                        w.as_u64().ok_or("non-numeric sample window")? as usize,
+                        v.as_u64().ok_or("non-numeric sample value")?,
+                    ),
+                    _ => return Err("track sample is not an [index, value] pair".into()),
+                };
+                *samples
+                    .get_mut(w)
+                    .ok_or("sample window out of track range")? = v;
+            }
+            timeline.push(TimelineTrack { kind, key, samples });
+        }
         rows.push(BenchMetrics {
             name,
             config,
             phases,
             latency,
+            timeline_window_ps,
+            timeline,
         });
     }
     Ok(rows)
@@ -302,6 +394,119 @@ pub fn latency_report(rows: &[BenchMetrics]) -> String {
                 format!("{}", SimDuration::from_ps(l.p99_ps)),
             ));
         }
+    }
+    out
+}
+
+/// Renders one track as a fixed-width sparkline: samples are bucketed
+/// down to at most `width` characters (per-bucket maximum), `.` marks
+/// an all-zero bucket, and non-zero buckets scale linearly into eight
+/// block levels against the track's own maximum.
+fn sparkline(samples: &[u64], width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if samples.is_empty() {
+        return String::new();
+    }
+    let per = samples.len().div_ceil(width).max(1);
+    let buckets: Vec<u64> = samples
+        .chunks(per)
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .collect();
+    let max = buckets.iter().copied().max().unwrap_or(0);
+    buckets
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                '.'
+            } else {
+                LEVELS[((v as u128 * 7) / max as u128) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Renders the flight-recorder timeline: per-track sparklines (one row
+/// per resource, one character per window bucket) followed by the
+/// top-K hotspot table — the busiest single windows across all
+/// occupancy tracks, ranked by busy time. Deterministic: ties break by
+/// (benchmark, config, kind, key, window).
+pub fn timeline_report(rows: &[BenchMetrics]) -> String {
+    const WIDTH: usize = 64;
+    const TOP_K: usize = 10;
+    let mut out = String::new();
+    out.push_str("== Timeline (per-window activity; '.' = idle window) ==\n");
+    for r in rows {
+        if r.timeline.is_empty() {
+            out.push_str(&format!(
+                "-- {} / {}: no timeline data --\n",
+                r.name, r.config
+            ));
+            continue;
+        }
+        out.push_str(&format!(
+            "-- {} / {} (window {}) --\n",
+            r.name,
+            r.config,
+            SimDuration::from_ps(r.timeline_window_ps),
+        ));
+        for t in &r.timeline {
+            out.push_str(&format!(
+                "{:<13} {:>5} |{}|\n",
+                t.kind,
+                t.key,
+                sparkline(&t.samples, WIDTH),
+            ));
+        }
+    }
+    // Hotspots: occupancy tracks only — gauge samples are counts, not
+    // picoseconds, and cannot be ranked on the same axis.
+    let mut hot: Vec<(u64, &BenchMetrics, &TimelineTrack, usize)> = Vec::new();
+    for r in rows {
+        for t in &r.timeline {
+            if t.kind == "queue_depth" {
+                continue;
+            }
+            for (w, &v) in t.samples.iter().enumerate() {
+                if v > 0 {
+                    hot.push((v, r, t, w));
+                }
+            }
+        }
+    }
+    hot.sort_by(|a, b| {
+        b.0.cmp(&a.0).then_with(|| {
+            (
+                a.1.name.as_str(),
+                a.1.config.as_str(),
+                a.2.kind.as_str(),
+                a.2.key,
+                a.3,
+            )
+                .cmp(&(
+                    b.1.name.as_str(),
+                    b.1.config.as_str(),
+                    b.2.kind.as_str(),
+                    b.2.key,
+                    b.3,
+                ))
+        })
+    });
+    out.push_str("\n== Top busy windows (occupancy tracks) ==\n");
+    out.push_str(&format!(
+        "{:<20} {:<8} {:<13} {:>5} {:>7} {:>12} {:>12}\n",
+        "benchmark", "config", "track", "key", "window", "starts", "busy"
+    ));
+    for &(v, r, t, w) in hot.iter().take(TOP_K) {
+        out.push_str(&format!(
+            "{:<20} {:<8} {:<13} {:>5} {:>7} {:>12} {:>12}\n",
+            r.name,
+            r.config,
+            t.kind,
+            t.key,
+            w,
+            format!("{}", SimDuration::from_ps(w as u64 * r.timeline_window_ps)),
+            format!("{}", SimDuration::from_ps(v)),
+        ));
     }
     out
 }
@@ -443,6 +648,91 @@ mod tests {
         assert!(parse_metrics_doc("{}").is_err());
         assert!(parse_metrics_doc("not json").is_err());
         assert!(parse_metrics_doc("{\"benchmarks\":[{\"name\":\"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn parse_metrics_doc_rejects_unknown_schema_versions() {
+        // A v2 document with its version tampered to a future value:
+        // the parser must refuse rather than misread.
+        let m = fake_metrics();
+        let good = metrics_json(&[("grep", "normal", &m)]);
+        let future = good.replace("\"schema\":2,", "\"schema\":99,");
+        let err = parse_metrics_doc(&future).expect_err("future schema rejected");
+        assert!(
+            err.contains("unsupported metrics schema version 99"),
+            "error names the offending version: {err}"
+        );
+        assert!(
+            err.contains("version 2"),
+            "error names the supported version: {err}"
+        );
+        // A pre-schema document (no version field at all).
+        let legacy = good.replace("\"schema\":2,", "");
+        let err = parse_metrics_doc(&legacy).expect_err("versionless doc rejected");
+        assert!(
+            err.contains("missing \"schema\""),
+            "clear missing-version error: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_metrics_doc_reconstructs_sparse_timelines() {
+        let mut m = fake_metrics();
+        m.timeline.window_ps = 1_000_000;
+        m.timeline.tracks.push(asan_sim::series::Track {
+            kind: asan_sim::series::KIND_LINK_UTIL,
+            key: 3,
+            samples: vec![0, 250_000, 0, 900_000],
+        });
+        let doc = metrics_json(&[("grep", "active", &m)]);
+        let rows = parse_metrics_doc(&doc).expect("parses");
+        assert_eq!(rows[0].timeline_window_ps, 1_000_000);
+        assert_eq!(
+            rows[0].timeline,
+            vec![TimelineTrack {
+                kind: "link_util".into(),
+                key: 3,
+                samples: vec![0, 250_000, 0, 900_000],
+            }],
+            "sparse JSON decodes back to the dense track"
+        );
+        assert_eq!(rows[0], BenchMetrics::from_report("grep", "active", &m));
+    }
+
+    #[test]
+    fn timeline_report_renders_sparklines_and_hotspots() {
+        let mut m = fake_metrics();
+        m.timeline.window_ps = 1_000_000;
+        m.timeline.tracks.push(asan_sim::series::Track {
+            kind: asan_sim::series::KIND_LINK_UTIL,
+            key: 0,
+            samples: vec![100, 0, 1_000_000],
+        });
+        m.timeline.tracks.push(asan_sim::series::Track {
+            kind: asan_sim::series::KIND_QUEUE_DEPTH,
+            key: 0,
+            samples: vec![4, 9],
+        });
+        let rows = vec![BenchMetrics::from_report("reduce", "nca", &m)];
+        let t = timeline_report(&rows);
+        assert!(t.contains("reduce / nca"), "header:\n{t}");
+        assert!(t.contains("link_util"), "track label:\n{t}");
+        assert!(t.contains("|▁.█|"), "sparkline scales to track max:\n{t}");
+        // Hotspot table: the busiest window is link 0, window 2, 1 us;
+        // the queue gauge is excluded (counts, not picoseconds).
+        assert!(t.contains("Top busy windows"), "table:\n{t}");
+        let hot = t.split("Top busy windows").nth(1).unwrap();
+        assert!(hot.contains("1.000us"), "busiest window value:\n{t}");
+        assert!(!hot.contains("queue_depth"), "gauges excluded:\n{t}");
+    }
+
+    #[test]
+    fn sparkline_buckets_wide_tracks_to_width() {
+        let samples: Vec<u64> = (0..512).map(|i| i % 7).collect();
+        let s = sparkline(&samples, 64);
+        assert_eq!(s.chars().count(), 64, "512 windows bucket to 64 chars");
+        assert_eq!(sparkline(&[], 64), "");
+        assert_eq!(sparkline(&[0, 0], 64), "..");
     }
 
     #[test]

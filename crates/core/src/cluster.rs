@@ -25,10 +25,11 @@ use asan_io::{OsCost, StorageConfig};
 use asan_net::topo::{NodeKind, TopoMap, TopoSpec, TopologyBuilder};
 use asan_net::{Fabric, HandlerId, HcaConfig, NodeId};
 use asan_sim::faults::{FaultInjector, FaultPlan, FaultStats};
+use asan_sim::perfetto::PerfettoSink;
 use asan_sim::sched::Scheduler;
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
 use asan_sim::stats::{TimeBreakdown, Traffic};
-use asan_sim::trace::{JsonlSink, TraceSink};
+use asan_sim::trace::{JsonlSink, NullSink, TraceSink};
 use asan_sim::{SimDuration, SimTime};
 
 use crate::active::{ActiveSwitch, ActiveSwitchConfig};
@@ -61,6 +62,12 @@ pub struct ClusterConfig {
     /// Deterministic fault plan, if any. `None` (the default) runs the
     /// simulator exactly as before faults existed.
     pub faults: Option<FaultPlan>,
+    /// Width of one flight-recorder time-series window (see
+    /// [`asan_sim::series::TimeSeries`]). The recorder buckets link
+    /// utilization, credit stalls, queue depth, and handler occupancy
+    /// into fixed windows of this width; it is observation-only and
+    /// never changes simulated behaviour.
+    pub timeline_window: SimDuration,
 }
 
 impl ClusterConfig {
@@ -74,6 +81,7 @@ impl ClusterConfig {
             active: ActiveSwitchConfig::paper(),
             max_events: 80_000_000,
             faults: None,
+            timeline_window: SimDuration::from_us(10),
         }
     }
 
@@ -231,6 +239,8 @@ impl Cluster {
             }
         }
         let injector = cfg.faults.clone().map(FaultInjector::new);
+        let mut probe = Probe::default();
+        probe.set_timeline_window(cfg.timeline_window);
         Cluster {
             cfg,
             fabric,
@@ -243,7 +253,7 @@ impl Cluster {
             reqs: BTreeMap::new(),
             injector,
             active_tca_nodes: BTreeSet::new(),
-            probe: Probe::default(),
+            probe,
             armed: false,
             drain: SimTime::ZERO,
         }
@@ -492,15 +502,22 @@ impl Cluster {
     /// [`SimError::RetriesExhausted`] if a request's retry budget runs
     /// out under fault injection.
     pub fn run_events(&mut self, budget: u64) -> Result<Option<RunReport>, SimError> {
-        // Compatibility shim for the old `ASAN_TRACE` switch: when no
-        // sink was injected explicitly, a non-empty `ASAN_TRACE=<path>`
-        // selects the JSONL file sink (appending, so multi-run sessions
-        // accumulate). Resolved once per call, not per event — and
-        // outside the arming gate, so a restored process regains its
-        // sink.
+        // Environment shim for the `ASAN_TRACE` switch: when no sink
+        // was injected explicitly, a non-empty `ASAN_TRACE` selects
+        // one. `null` installs the drop-everything [`NullSink`] (for
+        // digest-neutrality checks); a path ending in `.json` installs
+        // the Perfetto exporter (truncating — one trace per file); any
+        // other path installs the JSONL file sink (appending, so
+        // multi-run sessions accumulate). Resolved once per call, not
+        // per event — and outside the arming gate, so a restored
+        // process regains its sink.
         if !self.probe.has_sink() {
             if let Some(path) = std::env::var_os("ASAN_TRACE") {
-                if !path.is_empty() {
+                if path == "null" {
+                    self.probe.set_sink(Box::new(NullSink));
+                } else if path.to_string_lossy().ends_with(".json") {
+                    self.probe.set_sink(Box::new(PerfettoSink::create(&path)));
+                } else if !path.is_empty() {
                     if let Ok(sink) = JsonlSink::append(&path) {
                         self.probe.set_sink(Box::new(sink));
                     }
@@ -520,6 +537,9 @@ impl Cluster {
                 });
             }
             self.drain = self.drain.max(t);
+            // Timeline gauge: pending-event count at each popped time —
+            // a per-window proxy for the sim's working-set size.
+            self.probe.sample_queue_depth(t, self.sched.len() as u64);
             self.handle(t, ev)?;
             left -= 1;
         }

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use asan_net::{HandlerId, NodeId, HEADER_BYTES};
 use asan_sim::faults::{BufferSeize, FaultInjector};
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
+use asan_sim::trace::TraceCtx;
 use asan_sim::SimTime;
 
 use crate::active::{ActiveSwitch, ActiveSwitchConfig, DispatchResult};
@@ -56,13 +57,14 @@ impl Engine for DispatchEngine {
                 payload_start,
                 payload_end,
                 io_req,
+                trace,
             } => match io_req {
                 // Mapped storage data under a fault plan: release to
                 // the handler strictly in sequence order.
-                Some(req) => self.mapped_arrival(req, sw, pkt, t, bus),
-                None => self.dispatch_active(sw, &pkt, t, payload_start, payload_end, bus),
+                Some(req) => self.mapped_arrival(req, sw, pkt, t, bus, trace),
+                None => self.dispatch_active(sw, &pkt, t, payload_start, payload_end, bus, trace),
             },
-            Event::FallbackDispatch { sw, pkt } => {
+            Event::FallbackDispatch { sw, pkt, trace } => {
                 let fb = self.fallback_host.expect("fallback host exists");
                 let result = self
                     .fallback_engines
@@ -70,8 +72,8 @@ impl Engine for DispatchEngine {
                     .expect("fallback engine exists")
                     .dispatch(&pkt, t, t, t);
                 bus.injector.as_mut().expect("armed").stats.fallback_packets += 1;
-                Self::record_dispatch_spans(sw, &pkt, t, &result, bus);
-                self.apply_dispatch_result(sw, fb, pkt.header.seq, result, bus);
+                Self::record_dispatch_spans(sw, &pkt, t, &result, bus, trace);
+                self.apply_dispatch_result(sw, fb, pkt.header.seq, result, bus, trace);
             }
             other => unreachable!("not a dispatch event: {other:?}"),
         }
@@ -365,6 +367,7 @@ impl DispatchEngine {
         pkt: asan_net::Packet,
         t: SimTime,
         bus: &mut EventBus<'_>,
+        trace: u64,
     ) {
         let seq = pkt.header.seq as usize;
         let Some(st) = bus.reqs.get_mut(&req) else {
@@ -387,8 +390,9 @@ impl DispatchEngine {
         }
         for p in release {
             // Store-and-forward under faults: the whole payload is
-            // present by the time the handler runs.
-            self.dispatch_active(sw, &p, t, t, t, bus);
+            // present by the time the handler runs. Every packet of the
+            // flow shares the request's trace.
+            self.dispatch_active(sw, &p, t, t, t, bus, trace);
         }
         if all {
             self.flows.remove(&req);
@@ -402,6 +406,7 @@ impl DispatchEngine {
     /// with its accumulated state — to a software engine on the
     /// fallback host; the stream's packets then cross the fabric to
     /// that host (graceful degradation: slower, still correct).
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_active(
         &mut self,
         sw: NodeId,
@@ -410,11 +415,12 @@ impl DispatchEngine {
         payload_start: SimTime,
         payload_end: SimTime,
         bus: &mut EventBus<'_>,
+        trace: u64,
     ) {
         if bus.injector.is_some() {
             if let Some(hid) = pkt.header.handler {
                 if self.trapped.contains(&(sw, hid)) {
-                    self.forward_to_fallback(sw, pkt.clone(), t, bus);
+                    self.forward_to_fallback(sw, pkt.clone(), t, bus, trace);
                     return;
                 }
                 let installed = self
@@ -455,7 +461,7 @@ impl DispatchEngine {
                         .stats
                         .handler_trap
                         .degraded += 1;
-                    self.forward_to_fallback(sw, pkt.clone(), t, bus);
+                    self.forward_to_fallback(sw, pkt.clone(), t, bus, trace);
                     return;
                 }
             }
@@ -466,29 +472,34 @@ impl DispatchEngine {
             .or_else(|| self.active_tcas.get_mut(&sw))
             .expect("active engine exists");
         let result = engine.dispatch(pkt, t, payload_start, payload_end);
-        Self::record_dispatch_spans(sw, pkt, t, &result, bus);
-        self.apply_dispatch_result(sw, sw, pkt.header.seq, result, bus);
+        Self::record_dispatch_spans(sw, pkt, t, &result, bus, trace);
+        self.apply_dispatch_result(sw, sw, pkt.header.seq, result, bus, trace);
     }
 
     /// Reports one invocation's handler-occupancy and buffer spans to
-    /// the probe. The buffer span covers the dispatch window (grant →
-    /// invocation done); a handler that keeps its input buffer holds it
-    /// longer, which the occupancy gauge in the DBA tracks separately.
+    /// the probe, on the triggering packet's causal trace. The buffer
+    /// span covers the dispatch window (grant → invocation done); a
+    /// handler that keeps its input buffer holds it longer, which the
+    /// occupancy gauge in the DBA tracks separately.
     fn record_dispatch_spans(
         sw: NodeId,
         pkt: &asan_net::Packet,
         header_at: SimTime,
         result: &DispatchResult,
         bus: &mut EventBus<'_>,
+        trace: u64,
     ) {
+        let ctx = TraceCtx { trace, parent: 0 };
         let bytes = pkt.payload.len() as u64;
-        bus.probe.handler(sw, result.started, result.done, bytes);
+        bus.probe
+            .handler(sw, result.started, result.done, bytes, ctx);
         bus.probe.buffer(
             sw,
             result.granted,
             result.done,
             result.granted.saturating_since(header_at),
             bytes,
+            ctx,
         );
     }
 
@@ -502,11 +513,16 @@ impl DispatchEngine {
         pkt: asan_net::Packet,
         t: SimTime,
         bus: &mut EventBus<'_>,
+        trace: u64,
     ) {
         let fb = self.fallback_host.expect("fault plan requires a host");
-        let d = bus.transmit(pkt.wire_bytes(), sw, fb, t);
+        let ctx = TraceCtx { trace, parent: 0 };
+        let d = bus.transmit(pkt.wire_bytes(), sw, fb, t, ctx);
         let demux = bus.cfg.os.per_request;
-        bus.push(d.arrival + demux, Event::FallbackDispatch { sw, pkt });
+        bus.push(
+            d.arrival + demux,
+            Event::FallbackDispatch { sw, pkt, trace },
+        );
     }
 
     /// Applies a dispatch result: transmits the handler's output
@@ -520,7 +536,11 @@ impl DispatchEngine {
         seq: u32,
         result: DispatchResult,
         bus: &mut EventBus<'_>,
+        trace: u64,
     ) {
+        // Everything the handler emits — output messages and posted
+        // disk requests — stays on the triggering packet's trace.
+        let ctx = TraceCtx { trace, parent: 0 };
         for m in result.outbox {
             let d = if m.dst == from {
                 // Output for the very node the engine runs on: local.
@@ -532,7 +552,7 @@ impl DispatchEngine {
                 }
             } else {
                 let wire = (m.data.len() + HEADER_BYTES) as u64;
-                bus.transmit(wire, from, m.dst, m.ready)
+                bus.transmit(wire, from, m.dst, m.ready, ctx)
             };
             bus.deliver(
                 origin,
@@ -543,6 +563,7 @@ impl DispatchEngine {
                 seq,
                 d,
                 None,
+                trace,
             );
         }
         for r in result.io_reqs {
@@ -552,7 +573,7 @@ impl DispatchEngine {
                 bus.push(r.ready, Event::SwitchIoAtTca { r, attempt: 0 });
             } else {
                 let wire = (HEADER_BYTES * 2) as u64;
-                let d = bus.transmit(wire, from, r.tca, r.ready);
+                let d = bus.transmit(wire, from, r.tca, r.ready, ctx);
                 bus.push(d.arrival, Event::SwitchIoAtTca { r, attempt: 0 });
             }
         }

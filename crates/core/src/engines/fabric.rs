@@ -12,6 +12,7 @@
 
 use asan_net::{Fabric, HEADER_BYTES, MTU};
 use asan_sim::faults::{FaultInjector, FaultPlan, PacketFate};
+use asan_sim::trace::TraceCtx;
 use asan_sim::SimTime;
 
 use crate::error::SimError;
@@ -35,6 +36,7 @@ impl Engine for FabricEngine {
                 payload,
                 seq,
                 io_req,
+                trace,
             } => {
                 let wire = (payload.len() + HEADER_BYTES) as u64;
                 if let Some(req) = io_req.filter(|_| bus.injector.is_some()) {
@@ -86,8 +88,8 @@ impl Engine for FabricEngine {
                         }
                     }
                 }
-                let d = bus.transmit(wire, src, dst, t);
-                bus.deliver(src, dst, handler, addr, payload, seq, d, io_req);
+                let d = bus.transmit(wire, src, dst, t, TraceCtx { trace, parent: 0 });
+                bus.deliver(src, dst, handler, addr, payload, seq, d, io_req, trace);
             }
             Event::Retransmit { req, seq } => {
                 let Some(st) = bus.reqs.get(&req) else {
@@ -146,7 +148,8 @@ impl Engine for FabricEngine {
             }
             Event::CompletionNotice { tca, host, req } => {
                 let wire = HEADER_BYTES as u64;
-                let d = bus.transmit(wire, tca, host, t);
+                let ctx = bus.probe.trace_for_req(req.0);
+                let d = bus.transmit(wire, tca, host, t, ctx);
                 bus.push(d.arrival, Event::IoComplete { host, req });
             }
             other => unreachable!("not a fabric event: {other:?}"),
@@ -200,6 +203,8 @@ impl FabricEngine {
         let payload = bus.files.data[st.file.0].slice(start..start + plen);
         let src = st.tca;
         bus.injector.as_mut().expect("armed").stats.retransmits += 1;
+        // Retransmits stay on the original request's causal trace.
+        let trace = bus.probe.trace_for_req(req.0).trace;
         bus.push(
             now,
             Event::InjectIoPacket {
@@ -210,6 +215,7 @@ impl FabricEngine {
                 payload,
                 seq,
                 io_req: Some(req),
+                trace,
             },
         );
     }

@@ -255,6 +255,7 @@ impl Engine for HostEngine {
                 // The dispatch engine's reorder buffer for this flow, if
                 // any, was already cleared when its last packet arrived.
                 let st = bus.reqs.remove(&req).expect("live request");
+                bus.probe.end_req(req.0);
                 // Completion-side OS cost: the interrupt/copy share, plus
                 // the per-KB cost — only for data that landed in host
                 // memory (active completions are consumed by polling).
@@ -503,7 +504,11 @@ impl HostEngine {
                 } => {
                     let tca = bus.files.meta[file.0].tca;
                     let wire = (HEADER_BYTES * 2) as u64;
-                    let d = bus.transmit(wire, host, tca, issue_at);
+                    // Root of the request's causal trace: the issue
+                    // packet and everything downstream (disk service,
+                    // data injection, retransmits, completion) share it.
+                    let ctx = bus.probe.trace_for_req(req.0);
+                    let d = bus.transmit(wire, host, tca, issue_at, ctx);
                     let timeout = bus
                         .injector
                         .as_ref()
@@ -577,10 +582,13 @@ impl HostEngine {
                             .map(|o| (o, (data.len() - o).min(MTU)))
                             .collect()
                     };
+                    // One causal trace per message: every MTU chunk
+                    // (and the handler work it triggers) shares it.
+                    let ctx = bus.probe.fresh_trace();
                     for (i, (off, clen)) in chunks.into_iter().enumerate() {
                         let payload = data.slice(off..off + clen);
                         let wire = (clen + HEADER_BYTES) as u64;
-                        let d = bus.transmit(wire, host, dst, ready);
+                        let d = bus.transmit(wire, host, dst, ready, ctx);
                         bus.deliver(
                             host,
                             dst,
@@ -590,6 +598,7 @@ impl HostEngine {
                             i as u32,
                             d,
                             None,
+                            ctx.trace,
                         );
                     }
                 }

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use asan_io::Storage;
 use asan_net::{NodeId, MTU};
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
+use asan_sim::trace::TraceCtx;
 use asan_sim::{SimDuration, SimTime};
 
 use crate::cluster::ClusterConfig;
@@ -54,7 +55,9 @@ impl Engine for StorageEngine {
                     node.write_cursor += chunk;
                     node.write_pending = 0;
                     node.last_write_done = node.last_write_done.max(done);
-                    bus.probe.disk(tca, t, done, chunk);
+                    // Aggregated archive chunks mix bytes from many
+                    // senders: no single causal trace applies.
+                    bus.probe.disk(tca, t, done, chunk, TraceCtx::NONE);
                 }
             }
             Event::IoRequestAtTca {
@@ -149,7 +152,7 @@ impl StorageEngine {
                 tca.write_cursor += chunk;
                 tca.write_pending = 0;
                 tca.last_write_done = tca.last_write_done.max(done);
-                probe.disk(id, drain, done, chunk);
+                probe.disk(id, drain, done, chunk, TraceCtx::NONE);
             }
             drain = drain.max(tca.last_write_done);
         }
@@ -295,10 +298,12 @@ impl StorageEngine {
             node.storage
                 .read_stream(meta.disk_offset + offset, len, now)
         };
+        // The whole read rides the issuing request's causal trace.
+        let ctx = bus.probe.trace_for_req(req.0);
         if let Some(&last) = sched.packet_ready.last() {
             // One disk-service span per read request: issue → last
             // stripe ready off the array.
-            bus.probe.disk(tca, now, last, len);
+            bus.probe.disk(tca, now, last, len, ctx);
         }
         let host = bus.reqs[&req].host;
         let (dst, handler, base_addr) = match dest {
@@ -360,6 +365,7 @@ impl StorageEngine {
                         payload_start: ready - window.min(SimDuration::from_ps(ready.as_ps())),
                         payload_end: ready,
                         io_req: None,
+                        trace: ctx.trace,
                     },
                 );
                 continue;
@@ -374,6 +380,7 @@ impl StorageEngine {
                     payload,
                     seq: i as u32,
                     io_req: (track_packets || faulted_path).then_some(req),
+                    trace: ctx.trace,
                 },
             );
         }
@@ -399,8 +406,14 @@ impl StorageEngine {
             node.storage
                 .read_stream(meta.disk_offset + r.offset, r.len, now)
         };
+        // Switch-initiated reads are not tied to a host request id, so
+        // each read roots a fresh trace covering its disk service and
+        // every injected data packet (documented compromise: the
+        // triggering handler's trace is not carried through the
+        // `SwitchIoAtTca` event).
+        let ctx = bus.probe.fresh_trace();
         if let Some(&last) = sched.packet_ready.last() {
-            bus.probe.disk(r.tca, now, last, r.len);
+            bus.probe.disk(r.tca, now, last, r.len, ctx);
         }
         let mut cursor = r.offset as usize;
         for (i, (&ready, &plen)) in sched
@@ -422,6 +435,7 @@ impl StorageEngine {
                     payload,
                     seq: i as u32,
                     io_req: None,
+                    trace: ctx.trace,
                 },
             );
         }

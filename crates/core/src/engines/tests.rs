@@ -350,6 +350,7 @@ fn fabric_engine_injects_and_delivers_by_node_kind() {
         payload: vec![0xEE; 256].into(),
         seq: 0,
         io_req: None,
+        trace: 0,
     };
     // To a host: arrives as a host packet carrying the payload.
     eng.on_event(SimTime::ZERO, inject(rig.tca, rig.host), &mut rig.bus())
@@ -509,6 +510,7 @@ fn dispatch_engine_invokes_handler_and_routes_its_output() {
             payload_start: t,
             payload_end: t,
             io_req: None,
+            trace: 0,
         },
         &mut rig.bus(),
     )

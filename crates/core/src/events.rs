@@ -20,6 +20,7 @@ use asan_net::topo::NodeKind;
 use asan_net::{Bytes, Fabric, HandlerId, NodeId};
 use asan_sim::faults::FaultInjector;
 use asan_sim::sched::{Scheduler, Traceable};
+use asan_sim::trace::TraceCtx;
 use asan_sim::{SimDuration, SimTime};
 
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
@@ -315,6 +316,9 @@ pub enum Event {
         payload_end: SimTime,
         /// Set for per-sequence tracked storage data under faults.
         io_req: Option<ReqId>,
+        /// Causal trace id of the packet's lifecycle (0 = untraced);
+        /// the dispatch spans it triggers inherit it.
+        trace: u64,
     },
     /// A packet for a trapped handler reached the fallback host and is
     /// dispatched on its software engine.
@@ -323,6 +327,8 @@ pub enum Event {
         sw: NodeId,
         /// The forwarded packet.
         pkt: asan_net::Packet,
+        /// Causal trace id carried over from the original packet.
+        trace: u64,
     },
     /// Raw data arrived at a TCA (archive-write stream).
     PacketToTca {
@@ -394,6 +400,9 @@ pub enum Event {
         seq: u32,
         /// The request this packet belongs to, when tracked.
         io_req: Option<ReqId>,
+        /// Causal trace id of the owning request's lifecycle (set even
+        /// when `io_req` is not tracked; 0 = untraced).
+        trace: u64,
     },
     /// Retransmit packet `seq` of `req` from the TCA's buffer cache
     /// (NAK- or timeout-driven).
@@ -519,6 +528,7 @@ impl Event {
                 payload_start,
                 payload_end,
                 io_req,
+                trace,
             } => {
                 w.u8(2);
                 snap_node(w, *sw);
@@ -526,11 +536,13 @@ impl Event {
                 w.time(*payload_start);
                 w.time(*payload_end);
                 snap_opt_req(w, *io_req);
+                w.u64(*trace);
             }
-            Event::FallbackDispatch { sw, pkt } => {
+            Event::FallbackDispatch { sw, pkt, trace } => {
                 w.u8(3);
                 snap_node(w, *sw);
                 snap_packet(w, pkt);
+                w.u64(*trace);
             }
             Event::PacketToTca { tca, bytes } => {
                 w.u8(4);
@@ -586,6 +598,7 @@ impl Event {
                 payload,
                 seq,
                 io_req,
+                trace,
             } => {
                 w.u8(9);
                 snap_node(w, *src);
@@ -595,6 +608,7 @@ impl Event {
                 w.bytes(payload);
                 w.u32(*seq);
                 snap_opt_req(w, *io_req);
+                w.u64(*trace);
             }
             Event::Retransmit { req, seq } => {
                 w.u8(10);
@@ -624,10 +638,12 @@ impl Event {
                 payload_start: r.time()?,
                 payload_end: r.time()?,
                 io_req: read_opt_req(r)?,
+                trace: r.u64()?,
             },
             3 => Event::FallbackDispatch {
                 sw: read_node(r)?,
                 pkt: read_packet(r)?,
+                trace: r.u64()?,
             },
             4 => Event::PacketToTca {
                 tca: read_node(r)?,
@@ -672,6 +688,7 @@ impl Event {
                 payload: Bytes::from(r.bytes()?),
                 seq: r.u32()?,
                 io_req: read_opt_req(r)?,
+                trace: r.u64()?,
             },
             10 => Event::Retransmit {
                 req: ReqId(r.u64()?),
@@ -745,19 +762,27 @@ impl EventBus<'_> {
 
     /// Injects `wire_bytes` into the fabric from `src` toward `dst` and
     /// records the packet's end-to-end span (injection → last byte at
-    /// the destination) with the probe. Engines use this for every
-    /// *delivered* packet; sends that a fault swallows (drops, corrupt
-    /// payloads discarded by ICRC) call [`Fabric::transmit`] directly so
-    /// the latency distribution only contains real deliveries.
+    /// the destination) with the probe, tagged with `ctx`'s causal
+    /// trace, plus one per-hop link span (and stall span when the hop
+    /// waited). Engines use this for every *delivered* packet; sends
+    /// that a fault swallows (drops, corrupt payloads discarded by
+    /// ICRC) call [`Fabric::transmit`] directly so the latency
+    /// distribution — and the timeline — only contain real deliveries.
     pub(crate) fn transmit(
         &mut self,
         wire_bytes: u64,
         src: NodeId,
         dst: NodeId,
         ready: SimTime,
+        ctx: TraceCtx,
     ) -> asan_net::Delivery {
-        let d = self.fabric.transmit(wire_bytes, src, dst, ready);
-        self.probe.packet(dst, ready, d.arrival, wire_bytes, d.hops);
+        let mut hops = self.probe.take_hop_buf();
+        let d = self
+            .fabric
+            .transmit_recorded(wire_bytes, src, dst, ready, Some(&mut hops));
+        self.probe
+            .packet(dst, ready, d.arrival, wire_bytes, &hops, ctx);
+        self.probe.put_hop_buf(hops);
         d
     }
 
@@ -788,7 +813,8 @@ impl EventBus<'_> {
 
     /// Schedules the delivery events for one packet already injected
     /// into the fabric: the receiving node's kind decides which
-    /// subsystem sees it next.
+    /// subsystem sees it next. `trace` is the causal trace id stamped
+    /// on switch-bound follow-up events (0 = untraced).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn deliver(
         &mut self,
@@ -800,6 +826,7 @@ impl EventBus<'_> {
         seq: u32,
         d: asan_net::Delivery,
         io_req: Option<ReqId>,
+        trace: u64,
     ) {
         match self.fabric.kind(dst) {
             NodeKind::Host => {
@@ -820,11 +847,11 @@ impl EventBus<'_> {
             }
             NodeKind::Switch => {
                 let h = handler.expect("messages to a switch must be active");
-                self.push_switch_packet(src, dst, h, addr, data, seq, d, io_req);
+                self.push_switch_packet(src, dst, h, addr, data, seq, d, io_req, trace);
             }
             NodeKind::Tca => {
                 if let Some(h) = handler.filter(|_| self.active_tca_nodes.contains(&dst)) {
-                    self.push_switch_packet(src, dst, h, addr, data, seq, d, io_req);
+                    self.push_switch_packet(src, dst, h, addr, data, seq, d, io_req, trace);
                 } else {
                     self.push(
                         d.arrival,
@@ -850,6 +877,7 @@ impl EventBus<'_> {
         seq: u32,
         d: asan_net::Delivery,
         io_req: Option<ReqId>,
+        trace: u64,
     ) {
         let len = data.len();
         let pkt = asan_net::Packet::new(
@@ -875,6 +903,7 @@ impl EventBus<'_> {
                     payload_start: d.arrival,
                     payload_end: d.arrival,
                     io_req,
+                    trace,
                 },
             );
         } else {
@@ -886,6 +915,7 @@ impl EventBus<'_> {
                     payload_start: d.payload_start,
                     payload_end: d.arrival,
                     io_req: None,
+                    trace,
                 },
             );
         }

@@ -16,13 +16,15 @@
 //! ([`SimTime`]); wall-clock reads are banned by asan-lint's
 //! `no-wall-clock` rule.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
-use asan_net::NodeId;
+use asan_net::{Hop, NodeId};
 use asan_sim::faults::fnv1a_fold;
 use asan_sim::hist::LogHistogram;
+use asan_sim::series::{self, TimeSeries, Timeline};
 use asan_sim::snap::{SnapError, SnapReader, SnapWriter};
-use asan_sim::trace::{Span, SpanKind, TraceSink};
+use asan_sim::trace::{Span, SpanKind, TraceCtx, TraceSink};
 use asan_sim::{SimDuration, SimTime};
 
 /// Where the simulated cycles of a run went, one bucket per pipeline
@@ -86,6 +88,10 @@ pub struct MetricsReport {
     pub packet_hops: LogHistogram,
     /// Where the run's simulated cycles went.
     pub phases: PhaseBreakdown,
+    /// Windowed time-series telemetry: per-link utilization and
+    /// send-wait occupancy, per-node handler occupancy, and the event
+    /// queue's per-window depth high-water mark.
+    pub timeline: Timeline,
 }
 
 impl MetricsReport {
@@ -111,7 +117,7 @@ impl MetricsReport {
         for v in [host_ps, fabric_ps, handler_ps, storage_ps, total_ps] {
             h = fnv1a_fold(h, v);
         }
-        h
+        self.timeline.digest(h)
     }
 
     /// The named latency histograms, in canonical order.
@@ -125,10 +131,16 @@ impl MetricsReport {
         ]
     }
 
+    /// The metrics-JSON schema version emitted by [`Self::to_json`].
+    /// Bumped whenever the document shape changes; the `asan-bench`
+    /// analyzer refuses documents with any other version.
+    pub const JSON_SCHEMA: u32 = 2;
+
     /// Deterministic JSON encoding (fixed field order, integral
-    /// picoseconds) for the `asan-bench` analyzer.
+    /// picoseconds) for the `asan-bench` analyzer. The leading
+    /// `schema` field carries [`Self::JSON_SCHEMA`].
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"phases\":{");
+        let mut out = format!("{{\"schema\":{},\"phases\":{{", Self::JSON_SCHEMA);
         let PhaseBreakdown {
             host_ps,
             fabric_ps,
@@ -157,11 +169,13 @@ impl MetricsReport {
             ));
         }
         out.push_str(&format!(
-            "}},\"packet_hops\":{{\"count\":{},\"p50\":{},\"max\":{},\"mean\":{}}}}}",
+            "}},\"packet_hops\":{{\"count\":{},\"p50\":{},\"max\":{},\"mean\":{}}},\
+             \"timeline\":{}}}",
             self.packet_hops.count(),
             self.packet_hops.percentile(50),
             self.packet_hops.max(),
             self.packet_hops.mean(),
+            self.timeline.to_json(),
         ));
         out
     }
@@ -215,12 +229,17 @@ impl fmt::Display for MetricsReport {
 }
 
 /// The in-run observability probe: engines report every timed interval
-/// here. Histograms always record (they are cheap and deterministic);
-/// spans reach a [`TraceSink`] only when one is installed, so the
-/// default configuration pays no formatting or I/O cost.
+/// here. Histograms, the time-series, span ids and trace ids always
+/// advance (they are cheap and deterministic, and the metrics digest
+/// must not depend on whether anyone is watching); spans reach a
+/// [`TraceSink`] only when one is installed, so the default
+/// configuration pays no formatting or I/O cost.
 #[derive(Debug, Default)]
 pub struct Probe {
     sink: Option<Box<dyn TraceSink>>, // asan-lint: allow(snapshot-completeness)
+    /// Scratch buffer for per-hop records, reused across transmits
+    /// (always empty between events, so never snapshotted).
+    hop_buf: Vec<Hop>, // asan-lint: allow(snapshot-completeness)
     packet_e2e: LogHistogram,
     handler_occupancy: LogHistogram,
     disk_service: LogHistogram,
@@ -228,6 +247,14 @@ pub struct Probe {
     packet_hops: LogHistogram,
     /// Deterministic span sequence number (emission order).
     next_id: u64,
+    /// Deterministic causal trace-id allocator; 0 means "untraced", so
+    /// the first allocated trace is 1.
+    next_trace: u64,
+    /// Trace id of each in-flight I/O request, keyed by request id;
+    /// entries are dropped when the request completes.
+    req_traces: BTreeMap<u64, u64>,
+    /// Always-on windowed time-series telemetry.
+    series: TimeSeries,
 }
 
 impl Probe {
@@ -254,48 +281,191 @@ impl Probe {
         }
     }
 
-    fn span(&mut self, kind: SpanKind, node: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+    /// Allocates a fresh causal trace id, rooting a new lifecycle
+    /// (e.g. one host send with all its MTU chunks).
+    pub(crate) fn fresh_trace(&mut self) -> TraceCtx {
+        self.next_trace += 1;
+        TraceCtx {
+            trace: self.next_trace,
+            parent: 0,
+        }
+    }
+
+    /// The trace id of I/O request `req`, allocated on first use. Every
+    /// span of the request's lifecycle — issue packet, retransmits,
+    /// disk service, mapped-handler work, completion notice — shares
+    /// it, so a flight-recorder query for the trace reconstructs the
+    /// whole causal chain.
+    pub(crate) fn trace_for_req(&mut self, req: u64) -> TraceCtx {
+        if let Some(&trace) = self.req_traces.get(&req) {
+            return TraceCtx { trace, parent: 0 };
+        }
+        let ctx = self.fresh_trace();
+        self.req_traces.insert(req, ctx.trace);
+        ctx
+    }
+
+    /// Forgets request `req`'s trace mapping (the request completed).
+    pub(crate) fn end_req(&mut self, req: u64) {
+        self.req_traces.remove(&req);
+    }
+
+    /// Hands out the reusable hop-record buffer (empty). Return it with
+    /// [`Self::put_hop_buf`] after the transmit so the next packet
+    /// reuses the allocation.
+    pub(crate) fn take_hop_buf(&mut self) -> Vec<Hop> {
+        std::mem::take(&mut self.hop_buf)
+    }
+
+    /// Returns the hop buffer taken by [`Self::take_hop_buf`].
+    pub(crate) fn put_hop_buf(&mut self, mut buf: Vec<Hop>) {
+        buf.clear();
+        self.hop_buf = buf;
+    }
+
+    /// Resizes the time-series window (only before any sample exists;
+    /// see [`TimeSeries::set_window`]).
+    pub(crate) fn set_timeline_window(&mut self, window: SimDuration) {
+        self.series.set_window(window);
+    }
+
+    /// Records the scheduler's pending-event count at instant `t` into
+    /// the queue-depth track (per-window high-water mark).
+    pub(crate) fn sample_queue_depth(&mut self, t: SimTime, depth: u64) {
+        self.series.gauge_max(series::KIND_QUEUE_DEPTH, 0, t, depth);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        &mut self,
+        kind: SpanKind,
+        node: u64,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        trace_id: u64,
+        parent: u64,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         if let Some(sink) = self.sink.as_mut() {
             sink.record(&Span {
                 kind,
-                node: node.0 as u64,
+                node,
                 id,
                 start,
                 end,
                 bytes,
+                trace_id,
+                parent,
             });
         }
+        id
     }
 
     /// One packet delivered: injected at `start`, last byte at `end`,
-    /// after crossing `hops` links.
+    /// crossing the recorded `hops`. Emits the packet span plus one
+    /// link-occupancy child span per hop (and a stall child when the
+    /// hop waited before its wire accepted the bytes), and feeds the
+    /// link-utilization and send-wait time-series tracks.
     pub(crate) fn packet(
         &mut self,
         dst: NodeId,
         start: SimTime,
         end: SimTime,
         wire: u64,
-        hops: usize,
+        hops: &[Hop],
+        ctx: TraceCtx,
     ) {
         self.packet_e2e.record_duration(end.saturating_since(start));
-        self.packet_hops.record(hops as u64);
-        self.span(SpanKind::Packet, dst, start, end, wire);
+        self.packet_hops.record(hops.len() as u64);
+        let pid = self.span(
+            SpanKind::Packet,
+            dst.0 as u64,
+            start,
+            end,
+            wire,
+            ctx.trace,
+            ctx.parent,
+        );
+        for &h in hops {
+            self.series
+                .add_occupancy(series::KIND_LINK_UTIL, h.link as u64, h.start, h.busy_until);
+            self.span(
+                SpanKind::Link,
+                h.from.0 as u64,
+                h.start,
+                h.done,
+                wire,
+                ctx.trace,
+                pid,
+            );
+            if h.wait > SimDuration::ZERO {
+                let waited_from = h.start - h.wait;
+                self.series.add_occupancy(
+                    series::KIND_CREDIT_STALL,
+                    h.link as u64,
+                    waited_from,
+                    h.start,
+                );
+                self.span(
+                    SpanKind::Stall,
+                    h.from.0 as u64,
+                    waited_from,
+                    h.start,
+                    wire,
+                    ctx.trace,
+                    pid,
+                );
+            }
+        }
     }
 
-    /// One handler invocation on `node`'s engine.
-    pub(crate) fn handler(&mut self, node: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+    /// One handler invocation on `node`'s engine. Also feeds the
+    /// per-node handler-occupancy time-series track.
+    pub(crate) fn handler(
+        &mut self,
+        node: NodeId,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        ctx: TraceCtx,
+    ) {
         self.handler_occupancy
             .record_duration(end.saturating_since(start));
-        self.span(SpanKind::Handler, node, start, end, bytes);
+        self.series
+            .add_occupancy(series::KIND_HANDLER_OCC, node.0 as u64, start, end);
+        self.span(
+            SpanKind::Handler,
+            node.0 as u64,
+            start,
+            end,
+            bytes,
+            ctx.trace,
+            ctx.parent,
+        );
     }
 
     /// One disk request serviced by `tca`'s array.
-    pub(crate) fn disk(&mut self, tca: NodeId, start: SimTime, end: SimTime, bytes: u64) {
+    pub(crate) fn disk(
+        &mut self,
+        tca: NodeId,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        ctx: TraceCtx,
+    ) {
         self.disk_service
             .record_duration(end.saturating_since(start));
-        self.span(SpanKind::Disk, tca, start, end, bytes);
+        self.span(
+            SpanKind::Disk,
+            tca.0 as u64,
+            start,
+            end,
+            bytes,
+            ctx.trace,
+            ctx.parent,
+        );
     }
 
     /// One data buffer held on `node` from `seize` (grant) to
@@ -307,15 +477,24 @@ impl Probe {
         release: SimTime,
         wait: SimDuration,
         bytes: u64,
+        ctx: TraceCtx,
     ) {
         self.buffer_wait.record_duration(wait);
-        self.span(SpanKind::Buffer, node, seize, release, bytes);
+        self.span(
+            SpanKind::Buffer,
+            node.0 as u64,
+            seize,
+            release,
+            bytes,
+            ctx.trace,
+            ctx.parent,
+        );
     }
 
-    /// Writes the probe's dynamic state (histograms and the span
-    /// sequence cursor). The trace sink is a process-local resource and
-    /// is not captured; a restored run re-installs one if tracing is
-    /// enabled.
+    /// Writes the probe's dynamic state (histograms, the span and
+    /// trace cursors, live request traces, and the time-series). The
+    /// trace sink is a process-local resource and is not captured; a
+    /// restored run re-installs one if tracing is enabled.
     pub(crate) fn snapshot_state(&self, w: &mut SnapWriter) {
         self.packet_e2e.snapshot(w);
         self.handler_occupancy.snapshot(w);
@@ -323,10 +502,17 @@ impl Probe {
         self.buffer_wait.snapshot(w);
         self.packet_hops.snapshot(w);
         w.u64(self.next_id);
+        w.u64(self.next_trace);
+        w.u64(self.req_traces.len() as u64);
+        for (&req, &trace) in &self.req_traces {
+            w.u64(req);
+            w.u64(trace);
+        }
+        self.series.snapshot(w);
     }
 
-    /// Overwrites the probe's histograms and span cursor from a
-    /// snapshot, keeping any installed sink.
+    /// Overwrites the probe's dynamic state from a snapshot, keeping
+    /// any installed sink.
     pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         self.packet_e2e = LogHistogram::restore(r)?;
         self.handler_occupancy = LogHistogram::restore(r)?;
@@ -334,12 +520,22 @@ impl Probe {
         self.buffer_wait = LogHistogram::restore(r)?;
         self.packet_hops = LogHistogram::restore(r)?;
         self.next_id = r.u64()?;
+        self.next_trace = r.u64()?;
+        let n = r.u64()?;
+        let mut req_traces = BTreeMap::new();
+        for _ in 0..n {
+            let req = r.u64()?;
+            let trace = r.u64()?;
+            req_traces.insert(req, trace);
+        }
+        self.req_traces = req_traces;
+        self.series = TimeSeries::restore(r)?;
         Ok(())
     }
 
-    /// Snapshot of the probe-side histograms as a partially filled
-    /// report (credit stalls and phases are merged in by
-    /// [`Cluster::metrics`](crate::cluster::Cluster::metrics)).
+    /// Snapshot of the probe-side histograms and timeline as a
+    /// partially filled report (credit stalls and phases are merged in
+    /// by [`Cluster::metrics`](crate::cluster::Cluster::metrics)).
     pub(crate) fn snapshot(&self) -> MetricsReport {
         MetricsReport {
             packet_e2e: self.packet_e2e.clone(),
@@ -349,6 +545,7 @@ impl Probe {
             credit_stall: LogHistogram::new(),
             packet_hops: self.packet_hops.clone(),
             phases: PhaseBreakdown::default(),
+            timeline: self.series.timeline(),
         }
     }
 }
@@ -358,18 +555,52 @@ mod tests {
     use super::*;
     use asan_sim::trace::RingSink;
 
+    fn hop(link: u32, from: u16, to: u16, wait_ns: u64, start_ns: u64, ser_ns: u64) -> Hop {
+        let start = SimTime::from_ns(start_ns);
+        Hop {
+            link,
+            from: NodeId(from),
+            to: NodeId(to),
+            wait: SimDuration::from_ns(wait_ns),
+            start,
+            busy_until: start + SimDuration::from_ns(ser_ns),
+            done: start + SimDuration::from_ns(ser_ns + 10),
+        }
+    }
+
     #[test]
     fn probe_records_histograms_without_a_sink() {
         let mut p = Probe::default();
-        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528, 2);
-        p.handler(NodeId(2), SimTime::from_ns(5), SimTime::from_ns(9), 512);
-        p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
+        let hops = [hop(0, 1, 9, 0, 0, 2), hop(1, 9, 2, 0, 2, 2)];
+        p.packet(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_ns(5),
+            528,
+            &hops,
+            TraceCtx::NONE,
+        );
+        p.handler(
+            NodeId(2),
+            SimTime::from_ns(5),
+            SimTime::from_ns(9),
+            512,
+            TraceCtx::NONE,
+        );
+        p.disk(
+            NodeId(3),
+            SimTime::ZERO,
+            SimTime::from_us(2),
+            4096,
+            TraceCtx::NONE,
+        );
         p.buffer(
             NodeId(2),
             SimTime::from_ns(5),
             SimTime::from_ns(9),
             SimDuration::from_ns(1),
             512,
+            TraceCtx::NONE,
         );
         let m = p.snapshot();
         assert_eq!(m.packet_e2e.count(), 1);
@@ -380,22 +611,98 @@ mod tests {
         assert_eq!(m.packet_hops.count(), 1);
         assert_eq!(m.packet_hops.max(), 2);
         assert!(!p.has_sink());
+        // The hops fed the always-on link-utilization timeline.
+        assert_eq!(m.timeline.tracks_of(series::KIND_LINK_UTIL).count(), 2);
     }
 
     #[test]
     fn probe_delivers_spans_to_the_sink_in_order() {
         let mut p = Probe::default();
         p.set_sink(Box::new(RingSink::new(16)));
-        p.packet(NodeId(1), SimTime::ZERO, SimTime::from_ns(5), 528, 1);
-        p.disk(NodeId(3), SimTime::ZERO, SimTime::from_us(2), 4096);
+        let ctx = p.fresh_trace();
+        p.packet(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_ns(5),
+            528,
+            &[hop(3, 0, 1, 2, 2, 1)],
+            ctx,
+        );
+        p.disk(
+            NodeId(3),
+            SimTime::ZERO,
+            SimTime::from_us(2),
+            4096,
+            TraceCtx::NONE,
+        );
         let ring = p
             .sink()
             .and_then(|s| s.as_any())
             .and_then(|a| a.downcast_ref::<RingSink>())
             .expect("ring sink");
+        // Packet span, its link child, the stall child (wait > 0), then
+        // the unrelated disk span — ids in emission order.
+        let kinds: Vec<SpanKind> = ring.spans().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Packet,
+                SpanKind::Link,
+                SpanKind::Stall,
+                SpanKind::Disk
+            ]
+        );
         let ids: Vec<u64> = ring.spans().map(|s| s.id).collect();
-        assert_eq!(ids, vec![0, 1]);
-        assert_eq!(ring.spans().next().unwrap().kind, SpanKind::Packet);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let spans: Vec<Span> = ring.spans().copied().collect();
+        assert_eq!(spans[0].trace_id, 1);
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[1].trace_id, 1);
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert_eq!(spans[2].parent, spans[0].id);
+        // The stall child covers the wait leading into the hop start.
+        assert_eq!(spans[2].start, SimTime::ZERO);
+        assert_eq!(spans[2].end, SimTime::from_ns(2));
+        assert_eq!(spans[3].trace_id, 0);
+    }
+
+    #[test]
+    fn trace_ids_are_stable_per_request_and_released_on_end() {
+        let mut p = Probe::default();
+        let a = p.trace_for_req(7);
+        let b = p.trace_for_req(7);
+        assert_eq!(a.trace, b.trace);
+        let c = p.trace_for_req(9);
+        assert_ne!(a.trace, c.trace);
+        p.end_req(7);
+        let d = p.trace_for_req(7);
+        assert_ne!(a.trace, d.trace, "completed request gets a new trace");
+        assert_eq!(p.fresh_trace().trace, d.trace + 1);
+    }
+
+    #[test]
+    fn probe_state_snapshot_round_trips_traces_and_series() {
+        let mut p = Probe::default();
+        let ctx = p.trace_for_req(42);
+        p.packet(
+            NodeId(1),
+            SimTime::ZERO,
+            SimTime::from_ns(5),
+            528,
+            &[hop(0, 0, 1, 0, 0, 3)],
+            ctx,
+        );
+        p.sample_queue_depth(SimTime::from_ns(3), 17);
+        let mut w = SnapWriter::new();
+        p.snapshot_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = Probe::default();
+        let mut r = SnapReader::new(&bytes).unwrap();
+        q.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(q.trace_for_req(42).trace, ctx.trace);
+        assert_eq!(q.snapshot().timeline, p.snapshot().timeline);
+        assert_eq!(q.snapshot().digest(), p.snapshot().digest());
     }
 
     #[test]
@@ -408,6 +715,13 @@ mod tests {
         let mut c = MetricsReport::default();
         c.packet_e2e.record(5);
         assert_ne!(c.digest(), b.digest());
+        let mut d = MetricsReport::default();
+        d.timeline.tracks.push(asan_sim::series::Track {
+            kind: series::KIND_LINK_UTIL,
+            key: 0,
+            samples: vec![1],
+        });
+        assert_ne!(d.digest(), b.digest(), "digest covers the timeline");
     }
 
     #[test]
@@ -416,11 +730,11 @@ mod tests {
         m.packet_e2e.record(1000);
         m.phases.total_ps = 2000;
         let j = m.to_json();
-        assert!(j.starts_with("{\"phases\":{\"host_ps\":0,"));
+        assert!(j.starts_with("{\"schema\":2,\"phases\":{\"host_ps\":0,"));
         assert!(j.contains("\"total_ps\":2000"));
         assert!(j.contains("\"packet\":{\"count\":1,\"p50_ps\":1000,"));
         assert!(j.contains("\"credit_stall\":{\"count\":0,"));
-        assert!(j.ends_with("}}"));
+        assert!(j.ends_with("\"timeline\":{\"window_ps\":0,\"tracks\":[]}}"));
     }
 
     #[test]

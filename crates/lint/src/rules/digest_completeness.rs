@@ -26,8 +26,10 @@ const NUMERIC: [&str; 14] = [
 ];
 
 /// The digest roots: structs whose numeric closure must be fully
-/// folded into the `fn digest` defined in the same file.
-const ROOTS: [&str; 2] = ["ClusterStats", "MetricsReport"];
+/// folded into the `fn digest` defined in the same file. `Timeline`
+/// covers the flight recorder's windowed time-series, which the
+/// trace-determinism job byte-diffs through the metrics digest.
+const ROOTS: [&str; 3] = ["ClusterStats", "MetricsReport", "Timeline"];
 
 /// One struct field: name, type tokens, declaration line.
 struct Field {
@@ -45,11 +47,11 @@ impl Rule for DigestCompleteness {
     }
 
     fn describe(&self) -> &'static str {
-        "every numeric ClusterStats/MetricsReport field (transitively) must appear in digest()"
+        "every numeric ClusterStats/MetricsReport/Timeline field (transitively) must appear in digest()"
     }
 
     fn scope(&self) -> &'static str {
-        "files defining ClusterStats or MetricsReport (self-scoped)"
+        "files defining ClusterStats, MetricsReport, or Timeline (self-scoped)"
     }
 
     fn since_pr(&self) -> u32 {

@@ -1,7 +1,8 @@
 //! Known-bad: `retries` was added to the stats but never folded into
-//! the digest, and the metrics report grew a `dropped_spans` counter
-//! its own digest never sees — the golden-digest net cannot catch
-//! either one drifting.
+//! the digest, the metrics report grew a `dropped_spans` counter its
+//! own digest never sees, and the timeline's per-window `samples`
+//! never reach its digest — the golden-digest net cannot catch any of
+//! them drifting.
 
 pub struct LinkSnapshot {
     pub bytes: u64,
@@ -30,5 +31,27 @@ pub struct MetricsReport {
 impl MetricsReport {
     pub fn digest(&self) -> u64 {
         fold(0xcbf2_9ce4_8422_2325, self.total_ps)
+    }
+}
+
+pub struct Track {
+    pub kind: u8,
+    pub key: u64,
+    pub samples: Vec<u64>,
+}
+
+pub struct Timeline {
+    pub window_ps: u64,
+    pub tracks: Vec<Track>,
+}
+
+impl Timeline {
+    pub fn digest(&self, seed: u64) -> u64 {
+        let mut h = fold(seed, self.window_ps);
+        for t in &self.tracks {
+            h = fold(h, u64::from(t.kind));
+            h = fold(h, t.key);
+        }
+        h
     }
 }

@@ -1,5 +1,5 @@
 //! Corrected twin: every numeric counter — including those in nested
-//! snapshot structs, in both digest roots — reaches its digest.
+//! snapshot structs, in all three digest roots — reaches its digest.
 
 pub struct LinkSnapshot {
     pub bytes: u64,
@@ -30,5 +30,30 @@ impl MetricsReport {
     pub fn digest(&self) -> u64 {
         let h = fold(0xcbf2_9ce4_8422_2325, self.total_ps);
         fold(h, self.dropped_spans)
+    }
+}
+
+pub struct Track {
+    pub kind: u8,
+    pub key: u64,
+    pub samples: Vec<u64>,
+}
+
+pub struct Timeline {
+    pub window_ps: u64,
+    pub tracks: Vec<Track>,
+}
+
+impl Timeline {
+    pub fn digest(&self, seed: u64) -> u64 {
+        let mut h = fold(seed, self.window_ps);
+        for t in &self.tracks {
+            h = fold(h, u64::from(t.kind));
+            h = fold(h, t.key);
+            for &s in &t.samples {
+                h = fold(h, s);
+            }
+        }
+        h
     }
 }

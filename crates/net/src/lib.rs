@@ -41,6 +41,6 @@ pub use packet::{
     MTU,
 };
 pub use topo::{
-    single_switch_cluster, Delivery, Fabric, NodeKind, SwitchSpec, TopoError, TopoMap, TopoSpec,
-    TopologyBuilder,
+    single_switch_cluster, Delivery, Fabric, Hop, NodeKind, SwitchSpec, TopoError, TopoMap,
+    TopoSpec, TopologyBuilder,
 };

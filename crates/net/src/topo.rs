@@ -681,6 +681,37 @@ impl TopoMap {
     }
 }
 
+/// One link traversal of a packet's route, as recorded by
+/// [`Fabric::transmit_recorded`] for the flight recorder: which link
+/// carried the bytes, between which nodes, how long the send waited
+/// before the link accepted it, and the exact wire occupancy window.
+///
+/// Recording is observation-only — the timings are the ones the
+/// ordinary [`Fabric::transmit`] computes; a recorded transmit is
+/// bit-identical to an unrecorded one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Index of the link direction that carried the packet (stable for
+    /// a given topology: links are numbered in edge-insertion order,
+    /// two directions per edge).
+    pub link: u32,
+    /// The sending node of this hop.
+    pub from: NodeId,
+    /// The receiving node of this hop.
+    pub to: NodeId,
+    /// How long the send waited after the data was ready at this hop
+    /// before the first byte left — credit stalls, a busy wire, or an
+    /// outage deferral.
+    pub wait: SimDuration,
+    /// When the first byte left the sender.
+    pub start: SimTime,
+    /// When serialization finished (the wire freed; excludes
+    /// propagation).
+    pub busy_until: SimTime,
+    /// When the last byte arrived at the receiver.
+    pub done: SimTime,
+}
+
 /// Result of injecting one packet into the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
@@ -777,6 +808,32 @@ impl Fabric {
         hops
     }
 
+    /// Builds the flight-recorder record for one link traversal.
+    /// `entry_ready` is the instant the data was ready to go out on
+    /// this hop (routing latency already applied), i.e. the `ready`
+    /// value handed to [`Link::send`].
+    fn hop_record(
+        &self,
+        link_idx: usize,
+        from: usize,
+        to: usize,
+        entry_ready: SimTime,
+        timing: LinkTiming,
+    ) -> Hop {
+        // `done` includes propagation; the wire itself frees when
+        // serialization ends.
+        let busy_until = timing.done - self.links[link_idx].config().propagation;
+        Hop {
+            link: link_idx as u32,
+            from: NodeId(from as u16),
+            to: NodeId(to as u16),
+            wait: timing.start.since(entry_ready),
+            start: timing.start,
+            busy_until,
+            done: timing.done,
+        }
+    }
+
     /// Injects a packet of `wire_bytes` from `src` to `dst`, with the
     /// data ready at the source NIC at `ready`. Returns delivery timing
     /// and records traffic at both endpoints.
@@ -791,9 +848,28 @@ impl Fabric {
         dst: NodeId,
         ready: SimTime,
     ) -> Delivery {
+        self.transmit_recorded(wire_bytes, src, dst, ready, None)
+    }
+
+    /// [`Fabric::transmit`], additionally appending one [`Hop`] record
+    /// per link traversal to `hops_out` (when given). Recording is
+    /// purely observational: the returned [`Delivery`] and all link
+    /// state mutations are bit-identical to an unrecorded transmit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn transmit_recorded(
+        &mut self,
+        wire_bytes: u64,
+        src: NodeId,
+        dst: NodeId,
+        ready: SimTime,
+        mut hops_out: Option<&mut Vec<Hop>>,
+    ) -> Delivery {
         assert_ne!(src, dst, "transmit to self");
         if self.hop_backpressure {
-            return self.transmit_chained(wire_bytes, src, dst, ready);
+            return self.transmit_chained(wire_bytes, src, dst, ready, hops_out);
         }
         let dst_idx = dst.0 as usize;
         let mut cur = src.0 as usize;
@@ -818,6 +894,9 @@ impl Fabric {
             // Endpoint-drain model (seed behavior): the receiver's input
             // buffer frees at the packet's own arrival on this hop.
             self.links[link_idx].note_drain(timing.done);
+            if let Some(out) = hops_out.as_deref_mut() {
+                out.push(self.hop_record(link_idx, cur, nb, header_ready, timing));
+            }
             header_ready = timing.header_at;
             last_timing = Some(timing);
             cur = nb;
@@ -845,6 +924,7 @@ impl Fabric {
         src: NodeId,
         dst: NodeId,
         ready: SimTime,
+        mut hops_out: Option<&mut Vec<Hop>>,
     ) -> Delivery {
         let dst_idx = dst.0 as usize;
         let mut cur = src.0 as usize;
@@ -861,6 +941,9 @@ impl Fabric {
                 }
             }
             let timing = self.links[link_idx].send(wire_bytes, header_ready);
+            if let Some(out) = hops_out.as_deref_mut() {
+                out.push(self.hop_record(link_idx, cur, nb, header_ready, timing));
+            }
             header_ready = timing.header_at;
             path.push((link_idx, timing));
             cur = nb;
@@ -1011,6 +1094,69 @@ mod tests {
         assert_eq!(d.hops, 2);
         // Hop 1 header at 26 ns; +100 ns routing; hop 2: 528 ns ser +10 prop.
         assert_eq!(d.arrival.as_ns(), 26 + 100 + 528 + 10);
+    }
+
+    #[test]
+    fn recorded_transmit_reports_hops_without_changing_delivery() {
+        let (mut f, hosts, _, sw) = single_switch_cluster(2, 1);
+        let (mut g, ghosts, _, _) = single_switch_cluster(2, 1);
+        let mut hops = Vec::new();
+        let d = f.transmit_recorded(528, hosts[0], hosts[1], SimTime::ZERO, Some(&mut hops));
+        let plain = g.transmit(528, ghosts[0], ghosts[1], SimTime::ZERO);
+        assert_eq!(d, plain, "recording must not perturb timing");
+        assert_eq!(hops.len(), d.hops);
+        // Hop 1: host0 → switch, wire busy for the 528 ns serialization,
+        // arrival 10 ns of propagation later.
+        assert_eq!(hops[0].from, hosts[0]);
+        assert_eq!(hops[0].to, sw);
+        assert_eq!(hops[0].wait, SimDuration::ZERO);
+        assert_eq!(hops[0].start, SimTime::ZERO);
+        assert_eq!(hops[0].busy_until.as_ns(), 528);
+        assert_eq!(hops[0].done.as_ns(), 538);
+        // Hop 2: cut-through switch forwards the header (26 ns) plus
+        // 100 ns routing latency before the next wire starts.
+        assert_eq!(hops[1].from, sw);
+        assert_eq!(hops[1].to, hosts[1]);
+        assert_eq!(hops[1].start.as_ns(), 126);
+        assert_eq!(hops[1].busy_until.as_ns(), 126 + 528);
+        assert_eq!(hops[1].done.as_ns(), 126 + 538);
+        assert_ne!(hops[0].link, hops[1].link);
+        assert_eq!(hops[1].done, d.arrival);
+    }
+
+    #[test]
+    fn recorded_transmit_covers_chained_routes_and_stalls() {
+        let spec = TopoSpec::fat_tree(4, 4, 0).with_link(LinkConfig {
+            credits: 1,
+            ..LinkConfig::paper()
+        });
+        let (mut f, map) = spec.build();
+        assert!(f.hop_backpressure());
+        let mut hops = Vec::new();
+        let d = f.transmit_recorded(
+            4096,
+            map.hosts[0],
+            map.hosts[3],
+            SimTime::ZERO,
+            Some(&mut hops),
+        );
+        assert_eq!(hops.len(), d.hops);
+        assert!(d.hops >= 3);
+        // Back-to-back send on the same route stalls on the
+        // single-credit links; the recorded wait is the stall.
+        let mut second = Vec::new();
+        f.transmit_recorded(
+            4096,
+            map.hosts[0],
+            map.hosts[3],
+            SimTime::ZERO,
+            Some(&mut second),
+        );
+        assert!(
+            second[0].wait > SimDuration::ZERO,
+            "expected a credit stall"
+        );
+        assert_eq!(second[0].start, SimTime::ZERO + second[0].wait);
     }
 
     #[test]

@@ -433,6 +433,75 @@ mod tests {
     }
 
     #[test]
+    fn top_bucket_holds_the_extremes_of_the_u64_range() {
+        // The overflow end of the range: u64::MAX and its neighborhood
+        // must land in the final bucket without panicking, and every
+        // statistic must stay exact (count/min/max) or saturate (sum).
+        let top = NUM_BUCKETS - 1;
+        assert_eq!(bucket_index(u64::MAX), top);
+        assert!(bucket_lower(top) < bucket_upper(top));
+        assert_eq!(bucket_upper(top), u64::MAX, "upper bound saturates");
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(bucket_lower(top));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), bucket_lower(top));
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        // All three samples share the top bucket, so every percentile
+        // reports from it, clamped to the recorded extrema.
+        assert_eq!(h.percentile(50), u64::MAX);
+        assert_eq!(h.percentile(0), u64::MAX);
+        // A merge that only touches the top bucket stays exact too.
+        let mut other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn fold_digest_is_stable_across_merge_order() {
+        // Folding the same multiset of samples must yield one digest no
+        // matter how the parts were merged: pairwise, left-fold,
+        // right-fold, or interleaved. This is what lets parallel sweep
+        // workers merge partial histograms in completion order.
+        let mk = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let parts = [
+            mk(&[1, 2, 3]),
+            mk(&[40, 50]),
+            mk(&[7_000_000]),
+            mk(&[u64::MAX, 0]),
+            mk(&[]),
+        ];
+        let fold = |order: &[usize]| {
+            let mut acc = LogHistogram::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc.fold_digest(0xfeed)
+        };
+        let reference = fold(&[0, 1, 2, 3, 4]);
+        for order in [
+            [4, 3, 2, 1, 0],
+            [2, 0, 4, 1, 3],
+            [1, 3, 0, 2, 4],
+            [3, 4, 1, 0, 2],
+        ] {
+            assert_eq!(fold(&order), reference, "order {order:?}");
+        }
+        // Digest differs from folding a different multiset.
+        assert_ne!(fold(&[0, 1, 2, 4, 4]), reference);
+    }
+
+    #[test]
     fn digest_is_order_insensitive_but_value_sensitive() {
         let mut a = LogHistogram::new();
         let mut b = LogHistogram::new();

@@ -11,8 +11,14 @@
 //!   bit-for-bit across runs.
 //! * [`sched::Scheduler`] — the run-loop facade over the queue: pop
 //!   counting on top of the deterministic ordering.
-//! * [`trace`] — typed observability spans and the [`trace::TraceSink`]
-//!   contract (null / JSONL / in-memory ring sinks).
+//! * [`trace`] — typed observability spans, causal trace identity
+//!   ([`trace::TraceCtx`]), and the [`trace::TraceSink`] contract
+//!   (null / JSONL / in-memory ring sinks).
+//! * [`series`] — windowed time-series telemetry: fixed simulated-time
+//!   windows with deterministic bucket edges, behind the metrics
+//!   report's `timeline` section.
+//! * [`perfetto`] — byte-reproducible Chrome `trace_event` JSON export
+//!   of a run's spans (the flight recorder's renderable artifact).
 //! * [`hist`] — dependency-free log-linear latency histograms recording
 //!   simulated-time distributions (packet, handler, disk, buffer-wait,
 //!   credit-stall).
@@ -42,9 +48,11 @@
 
 pub mod faults;
 pub mod hist;
+pub mod perfetto;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod series;
 pub mod snap;
 pub mod stats;
 pub mod time;
@@ -52,9 +60,11 @@ pub mod trace;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use hist::LogHistogram;
+pub use perfetto::PerfettoSink;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sched::{Scheduler, Traceable};
+pub use series::{TimeSeries, Timeline, Track};
 pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};
-pub use trace::{JsonlSink, NullSink, RingSink, Span, SpanKind, TraceSink};
+pub use trace::{JsonlSink, NullSink, RingSink, Span, SpanKind, TraceCtx, TraceSink};

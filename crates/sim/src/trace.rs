@@ -46,6 +46,13 @@ pub enum SpanKind {
     Disk,
     /// A data buffer, from seize (grant) to release.
     Buffer,
+    /// One hop of a packet across a single link (child of the packet's
+    /// end-to-end span).
+    Link,
+    /// Time a send spent waiting before a link accepted it — credit
+    /// exhaustion, wire busy, or an outage deferral (child of the
+    /// packet's end-to-end span).
+    Stall,
 }
 
 impl SpanKind {
@@ -56,8 +63,49 @@ impl SpanKind {
             SpanKind::Handler => "handler",
             SpanKind::Disk => "disk",
             SpanKind::Buffer => "buffer",
+            SpanKind::Link => "link",
+            SpanKind::Stall => "stall",
         }
     }
+
+    /// Stable small integer for each kind — the Perfetto exporter's
+    /// `tid` derivation and any fixed-width encoding use this, so the
+    /// values are part of the export contract and never reordered.
+    pub fn index(self) -> u64 {
+        match self {
+            SpanKind::Packet => 0,
+            SpanKind::Handler => 1,
+            SpanKind::Disk => 2,
+            SpanKind::Buffer => 3,
+            SpanKind::Link => 4,
+            SpanKind::Stall => 5,
+        }
+    }
+}
+
+/// Causal trace context carried alongside a span: which logical flow
+/// (trace) the span belongs to and which span caused it.
+///
+/// Trace ids are allocated deterministically from simulation state
+/// (never wall clock): the probe hands out consecutive ids starting at
+/// 1, and id 0 means "untraced" — work that is not attributable to a
+/// single flow (e.g. aggregated archive writes that combine many
+/// packets). `parent` is the span id of the causing span within the
+/// same trace, or 0 for a root span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// The flow this span belongs to (0 = untraced).
+    pub trace: u64,
+    /// Span id of the causing span (0 = root of its trace).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The untraced context: no flow, no parent.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        parent: 0,
+    };
 }
 
 /// One timed interval of simulated work.
@@ -77,6 +125,11 @@ pub struct Span {
     pub end: SimTime,
     /// Bytes involved (wire bytes, payload bytes, or request length).
     pub bytes: u64,
+    /// The flow (trace) this span belongs to; 0 = untraced. Allocated
+    /// deterministically from simulation state, never wall clock.
+    pub trace_id: u64,
+    /// Span id of the causing span within the same trace; 0 = root.
+    pub parent: u64,
 }
 
 impl Span {
@@ -85,13 +138,16 @@ impl Span {
     /// platforms.
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"kind\":\"{}\",\"node\":{},\"id\":{},\"start_ps\":{},\"end_ps\":{},\"bytes\":{}}}",
+            "{{\"kind\":\"{}\",\"node\":{},\"id\":{},\"start_ps\":{},\"end_ps\":{},\
+             \"bytes\":{},\"trace\":{},\"parent\":{}}}",
             self.kind.label(),
             self.node,
             self.id,
             self.start.as_ps(),
             self.end.as_ps(),
             self.bytes,
+            self.trace_id,
+            self.parent,
         )
     }
 }
@@ -132,6 +188,22 @@ impl TraceSink for NullSink {
 }
 
 /// A bounded in-memory sink keeping the most recent `cap` spans.
+///
+/// # Capacity and eviction semantics
+///
+/// The ring holds **exactly the last `cap` spans recorded**, in
+/// emission order. Recording into a full ring evicts the *oldest*
+/// retained span (FIFO) before the new span is appended — one eviction
+/// per record, never a batch. Consequences callers rely on:
+///
+/// * [`RingSink::spans`] always iterates oldest → newest, and that
+///   order is the probe's emission order restricted to the retained
+///   window — wrapping never reorders, only truncates the front.
+/// * Span `id`s therefore remain strictly increasing across the
+///   iterator even after arbitrarily many wraps.
+/// * `cap == 0` is a valid degenerate ring: every record is dropped
+///   immediately and the ring stays empty (it never allocates).
+/// * The ring never grows past `cap`: `len() <= cap` at all times.
 #[derive(Debug, Default)]
 pub struct RingSink {
     cap: usize,
@@ -243,6 +315,8 @@ mod tests {
             start: SimTime::from_ns(10),
             end: SimTime::from_ns(25),
             bytes: 528,
+            trace_id: 1,
+            parent: 0,
         }
     }
 
@@ -251,7 +325,28 @@ mod tests {
         assert_eq!(
             span(7).to_jsonl(),
             "{\"kind\":\"packet\",\"node\":3,\"id\":7,\"start_ps\":10000,\
-             \"end_ps\":25000,\"bytes\":528}"
+             \"end_ps\":25000,\"bytes\":528,\"trace\":1,\"parent\":0}"
+        );
+    }
+
+    #[test]
+    fn span_kind_indices_are_pinned() {
+        // The Perfetto exporter derives tids from these; reordering
+        // the enum must not silently change exported traces.
+        let kinds = [
+            SpanKind::Packet,
+            SpanKind::Handler,
+            SpanKind::Disk,
+            SpanKind::Buffer,
+            SpanKind::Link,
+            SpanKind::Stall,
+        ];
+        let idx: Vec<u64> = kinds.iter().map(|k| k.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+        let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["packet", "handler", "disk", "buffer", "link", "stall"]
         );
     }
 
@@ -266,6 +361,32 @@ mod tests {
         assert_eq!(ids, vec![2, 3, 4]);
         assert!(!s.is_empty());
         assert!(RingSink::new(0).is_empty());
+    }
+
+    #[test]
+    fn ring_sink_preserves_emission_order_after_wrap() {
+        // Wrap the ring several times over: the retained window must
+        // always be the newest `cap` spans in exact emission order —
+        // eviction is strictly FIFO, one span per record.
+        let mut s = RingSink::new(4);
+        for i in 0..11 {
+            s.record(&span(i));
+            assert!(s.len() <= 4, "ring grew past cap at i={i}");
+            let ids: Vec<u64> = s.spans().map(|sp| sp.id).collect();
+            let lo = (i + 1).saturating_sub(4);
+            let want: Vec<u64> = (lo..=i).collect();
+            assert_eq!(ids, want, "window after recording span {i}");
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "ids must stay strictly increasing after wrap"
+            );
+        }
+        // A zero-capacity ring drops everything even under wrap load.
+        let mut z = RingSink::new(0);
+        for i in 0..3 {
+            z.record(&span(i));
+        }
+        assert!(z.is_empty());
     }
 
     #[test]

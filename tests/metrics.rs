@@ -7,6 +7,8 @@ use asan_core::handler::{Handler, HandlerCtx};
 use asan_core::metrics::MetricsReport;
 use asan_net::topo::{SwitchSpec, TopologyBuilder};
 use asan_net::{HandlerId, LinkConfig, NodeId};
+use asan_sim::perfetto::PerfettoSink;
+use asan_sim::series::{KIND_LINK_UTIL, KIND_QUEUE_DEPTH};
 use asan_sim::trace::{JsonlSink, NullSink, RingSink, SpanKind, TraceSink};
 
 use asan_apps::runner::Variant;
@@ -100,19 +102,28 @@ fn run_with_sink(sink: Option<Box<dyn TraceSink>>) -> (u64, MetricsReport) {
 }
 
 /// Tracing must be invisible to the simulation: the stats digest and
-/// every metrics histogram are bit-identical whether spans are
-/// discarded (no sink / null sink) or recorded (ring / JSONL sink).
+/// every metrics histogram (and the timeline folded into the metrics
+/// digest) are bit-identical whether spans are discarded (no sink /
+/// null sink) or recorded (ring / JSONL / Perfetto sink).
 #[test]
 fn digests_identical_across_all_sinks() {
     let jsonl_path =
         std::env::temp_dir().join(format!("asan-metrics-{}.jsonl", std::process::id()));
+    let perfetto_path =
+        std::env::temp_dir().join(format!("asan-metrics-{}.perfetto.json", std::process::id()));
     let (d_none, m_none) = run_with_sink(None);
     let (d_null, m_null) = run_with_sink(Some(Box::new(NullSink)));
     let (d_ring, m_ring) = run_with_sink(Some(Box::new(RingSink::new(1 << 16))));
     let (d_jsonl, m_jsonl) = run_with_sink(Some(Box::new(JsonlSink::create(&jsonl_path).unwrap())));
+    let (d_perfetto, m_perfetto) =
+        run_with_sink(Some(Box::new(PerfettoSink::create(&perfetto_path))));
     assert_eq!(d_none, d_null, "null sink perturbed the stats digest");
     assert_eq!(d_none, d_ring, "ring sink perturbed the stats digest");
     assert_eq!(d_none, d_jsonl, "jsonl sink perturbed the stats digest");
+    assert_eq!(
+        d_none, d_perfetto,
+        "perfetto sink perturbed the stats digest"
+    );
     assert_eq!(
         m_none.digest(),
         m_null.digest(),
@@ -128,7 +139,88 @@ fn digests_identical_across_all_sinks() {
         m_jsonl.digest(),
         "jsonl sink perturbed metrics"
     );
+    assert_eq!(
+        m_none.digest(),
+        m_perfetto.digest(),
+        "perfetto sink perturbed metrics"
+    );
     let _ = std::fs::remove_file(&jsonl_path);
+    let _ = std::fs::remove_file(&perfetto_path);
+}
+
+/// The windowed time-series is always on: every run carries link and
+/// queue-depth tracks, and the timeline is identical with and without
+/// a sink installed.
+#[test]
+fn timeline_is_always_on_and_sink_independent() {
+    let (_, m_none) = run_with_sink(None);
+    let (_, m_ring) = run_with_sink(Some(Box::new(RingSink::new(1 << 16))));
+    let tl = &m_none.timeline;
+    assert_eq!(
+        tl.window_ps,
+        ClusterConfig::paper().timeline_window.as_ps(),
+        "window comes from the cluster config"
+    );
+    assert!(
+        tl.tracks_of(KIND_LINK_UTIL).next().is_some(),
+        "no link-utilization track"
+    );
+    let q = tl
+        .tracks_of(KIND_QUEUE_DEPTH)
+        .next()
+        .expect("no queue-depth track");
+    assert!(
+        q.samples.iter().any(|&v| v > 0),
+        "queue gauge never sampled"
+    );
+    assert_eq!(tl, &m_ring.timeline, "sink changed the timeline");
+}
+
+/// Traced runs carry causal ids: every span of the active pipeline
+/// belongs to a nonzero trace, and link/stall child spans reference
+/// their packet span as parent.
+#[test]
+fn spans_carry_causal_trace_ids() {
+    let mut cl = build_active_cluster();
+    cl.set_trace_sink(Box::new(RingSink::new(1 << 16)));
+    cl.run().unwrap();
+    let ring = cl
+        .trace_sink()
+        .and_then(|s| s.as_any())
+        .and_then(|a| a.downcast_ref::<RingSink>())
+        .expect("ring sink");
+    let spans: Vec<_> = ring.spans().copied().collect();
+    let packet_ids: std::collections::BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Packet)
+        .map(|s| s.id)
+        .collect();
+    assert!(!packet_ids.is_empty());
+    let mut saw_link_child = false;
+    for s in &spans {
+        match s.kind {
+            SpanKind::Packet | SpanKind::Handler | SpanKind::Buffer => {
+                assert_ne!(s.trace_id, 0, "untraced {:?} span: {s:?}", s.kind);
+            }
+            SpanKind::Link | SpanKind::Stall => {
+                assert!(
+                    packet_ids.contains(&s.parent),
+                    "{:?} span not parented to a packet span: {s:?}",
+                    s.kind
+                );
+                saw_link_child = true;
+            }
+            SpanKind::Disk => {} // archive writes aggregate chunks: untraced
+        }
+    }
+    assert!(saw_link_child, "no per-hop link spans recorded");
+    // The storage read of the mapped request is traced.
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Disk && s.trace_id != 0),
+        "storage read span untraced"
+    );
 }
 
 /// The ring sink captures well-formed spans of every kind the active
@@ -180,7 +272,9 @@ fn jsonl_sink_writes_parseable_lines() {
     assert!(!text.is_empty(), "jsonl sink wrote nothing");
     for line in text.lines() {
         let v = asan_bench::json::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
-        for key in ["kind", "node", "id", "start_ps", "end_ps", "bytes"] {
+        for key in [
+            "kind", "node", "id", "start_ps", "end_ps", "bytes", "trace", "parent",
+        ] {
             assert!(v.get(key).is_some(), "span line missing {key:?}: {line}");
         }
         let start = v
